@@ -1,0 +1,168 @@
+#include <map>
+// Experiment E4 — microbenchmarks (google-benchmark): construction cost of
+// every substrate and routing throughput of every scheme. These quantify the
+// preprocessing/routing split the paper's model assumes (preprocessing is
+// offline; routing decisions must be cheap).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/prng.hpp"
+#include "gen/generators.hpp"
+#include "graph/dijkstra.hpp"
+#include "graph/metric.hpp"
+#include "labeled/hierarchical_labeled.hpp"
+#include "labeled/scale_free_labeled.hpp"
+#include "nameind/scale_free_nameind.hpp"
+#include "nameind/simple_nameind.hpp"
+#include "nets/ball_packing.hpp"
+#include "nets/rnet.hpp"
+#include "routing/naming.hpp"
+#include "search/search_tree.hpp"
+
+namespace compactroute {
+namespace {
+
+const Graph& shared_graph(std::size_t n) {
+  static std::map<std::size_t, Graph> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    it = cache.emplace(n, make_random_geometric(n, 2, 5, 12345)).first;
+  }
+  return it->second;
+}
+
+const MetricSpace& shared_metric(std::size_t n) {
+  static std::map<std::size_t, std::unique_ptr<MetricSpace>> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    it = cache.emplace(n, std::make_unique<MetricSpace>(shared_graph(n))).first;
+  }
+  return *it->second;
+}
+
+const NetHierarchy& shared_hierarchy(std::size_t n) {
+  static std::map<std::size_t, std::unique_ptr<NetHierarchy>> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    it = cache.emplace(n, std::make_unique<NetHierarchy>(shared_metric(n))).first;
+  }
+  return *it->second;
+}
+
+void BM_Dijkstra(benchmark::State& state) {
+  const Graph& g = shared_graph(state.range(0));
+  NodeId src = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dijkstra(g, src));
+    src = (src + 17) % g.num_nodes();
+  }
+}
+BENCHMARK(BM_Dijkstra)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_MetricConstruction(benchmark::State& state) {
+  const Graph& g = shared_graph(state.range(0));
+  for (auto _ : state) {
+    MetricSpace metric(g);
+    benchmark::DoNotOptimize(metric.delta());
+  }
+}
+BENCHMARK(BM_MetricConstruction)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_NetHierarchy(benchmark::State& state) {
+  const MetricSpace& metric = shared_metric(state.range(0));
+  for (auto _ : state) {
+    NetHierarchy hierarchy(metric);
+    benchmark::DoNotOptimize(hierarchy.top_level());
+  }
+}
+BENCHMARK(BM_NetHierarchy)->Arg(128)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
+
+void BM_BallPacking(benchmark::State& state) {
+  const MetricSpace& metric = shared_metric(256);
+  for (auto _ : state) {
+    BallPacking packing(metric, static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(packing.balls().size());
+  }
+}
+BENCHMARK(BM_BallPacking)->Arg(2)->Arg(4)->Arg(6)->Unit(benchmark::kMillisecond);
+
+void BM_SearchTreeBuild(benchmark::State& state) {
+  const MetricSpace& metric = shared_metric(256);
+  for (auto _ : state) {
+    SearchTree tree(metric, 0, metric.delta(), 0.5);
+    benchmark::DoNotOptimize(tree.tree().size());
+  }
+}
+BENCHMARK(BM_SearchTreeBuild)->Unit(benchmark::kMillisecond);
+
+void BM_SearchTreeLookup(benchmark::State& state) {
+  const MetricSpace& metric = shared_metric(256);
+  SearchTree tree(metric, 0, metric.delta(), 0.5);
+  std::vector<std::pair<SearchTree::Key, SearchTree::Data>> pairs;
+  for (NodeId v = 0; v < metric.n(); ++v) pairs.emplace_back(v, v);
+  tree.store(std::move(pairs));
+  SearchTree::Key key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.lookup(key));
+    key = (key + 41) % metric.n();
+  }
+}
+BENCHMARK(BM_SearchTreeLookup);
+
+void BM_ScaleFreeLabeledBuild(benchmark::State& state) {
+  const MetricSpace& metric = shared_metric(state.range(0));
+  const NetHierarchy& hierarchy = shared_hierarchy(state.range(0));
+  for (auto _ : state) {
+    ScaleFreeLabeledScheme scheme(metric, hierarchy, 0.5);
+    benchmark::DoNotOptimize(scheme.label_bits());
+  }
+}
+BENCHMARK(BM_ScaleFreeLabeledBuild)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_HierarchicalLabeledRoute(benchmark::State& state) {
+  const MetricSpace& metric = shared_metric(256);
+  const NetHierarchy& hierarchy = shared_hierarchy(256);
+  const HierarchicalLabeledScheme scheme(metric, hierarchy, 0.5);
+  Prng prng(1);
+  for (auto _ : state) {
+    const NodeId u = static_cast<NodeId>(prng.next_below(metric.n()));
+    const NodeId v = static_cast<NodeId>(prng.next_below(metric.n()));
+    benchmark::DoNotOptimize(scheme.route(u, scheme.label(v)));
+  }
+}
+BENCHMARK(BM_HierarchicalLabeledRoute);
+
+void BM_ScaleFreeLabeledRoute(benchmark::State& state) {
+  const MetricSpace& metric = shared_metric(256);
+  const NetHierarchy& hierarchy = shared_hierarchy(256);
+  const ScaleFreeLabeledScheme scheme(metric, hierarchy, 0.5);
+  Prng prng(2);
+  for (auto _ : state) {
+    const NodeId u = static_cast<NodeId>(prng.next_below(metric.n()));
+    const NodeId v = static_cast<NodeId>(prng.next_below(metric.n()));
+    benchmark::DoNotOptimize(scheme.route(u, scheme.label(v)));
+  }
+}
+BENCHMARK(BM_ScaleFreeLabeledRoute);
+
+void BM_ScaleFreeNameIndependentRoute(benchmark::State& state) {
+  const MetricSpace& metric = shared_metric(256);
+  const NetHierarchy& hierarchy = shared_hierarchy(256);
+  static const Naming naming = Naming::random(metric.n(), 6);
+  static const ScaleFreeLabeledScheme labeled(metric, hierarchy, 0.5);
+  static const ScaleFreeNameIndependentScheme scheme(metric, hierarchy, naming,
+                                                     labeled, 0.5);
+  Prng prng(3);
+  for (auto _ : state) {
+    const NodeId u = static_cast<NodeId>(prng.next_below(metric.n()));
+    const NodeId v = static_cast<NodeId>(prng.next_below(metric.n()));
+    benchmark::DoNotOptimize(scheme.route(u, naming.name_of(v)));
+  }
+}
+BENCHMARK(BM_ScaleFreeNameIndependentRoute);
+
+}  // namespace
+}  // namespace compactroute
+
+BENCHMARK_MAIN();

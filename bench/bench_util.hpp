@@ -1,0 +1,88 @@
+#pragma once
+//
+// Shared helpers for the experiment harness: fixture bundles and fixed-width
+// table printing so every bench emits paper-style rows.
+//
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/bits.hpp"
+#include "gen/generators.hpp"
+#include "graph/metric.hpp"
+#include "labeled/hierarchical_labeled.hpp"
+#include "labeled/scale_free_labeled.hpp"
+#include "nameind/scale_free_nameind.hpp"
+#include "nameind/simple_nameind.hpp"
+#include "nets/rnet.hpp"
+#include "routing/baselines.hpp"
+#include "routing/naming.hpp"
+#include "routing/simulator.hpp"
+
+namespace compactroute::bench {
+
+/// Everything the experiments need for one (graph, ε) configuration.
+struct Stack {
+  Stack(Graph g, double eps, std::uint64_t naming_seed = 4242)
+      : graph(std::move(g)),
+        epsilon(eps),
+        metric(graph),
+        hierarchy(metric),
+        naming(Naming::random(metric.n(), naming_seed)) {}
+
+  void build_labeled() {
+    if (!hier_labeled) {
+      hier_labeled = std::make_unique<HierarchicalLabeledScheme>(
+          metric, hierarchy, std::min(epsilon, 0.5));
+      sf_labeled = std::make_unique<ScaleFreeLabeledScheme>(metric, hierarchy,
+                                                            std::min(epsilon, 0.5));
+    }
+  }
+
+  void build_name_independent() {
+    build_labeled();
+    if (!simple_ni) {
+      simple_ni = std::make_unique<SimpleNameIndependentScheme>(
+          metric, hierarchy, naming, *hier_labeled, epsilon);
+      sf_ni = std::make_unique<ScaleFreeNameIndependentScheme>(
+          metric, hierarchy, naming, *sf_labeled, epsilon);
+    }
+  }
+
+  Graph graph;
+  double epsilon;
+  MetricSpace metric;
+  NetHierarchy hierarchy;
+  Naming naming;
+  std::unique_ptr<HierarchicalLabeledScheme> hier_labeled;
+  std::unique_ptr<ScaleFreeLabeledScheme> sf_labeled;
+  std::unique_ptr<SimpleNameIndependentScheme> simple_ni;
+  std::unique_ptr<ScaleFreeNameIndependentScheme> sf_ni;
+};
+
+template <typename Scheme>
+StorageStats storage_of(const Scheme& scheme, std::size_t n) {
+  std::vector<std::size_t> bits(n);
+  for (NodeId u = 0; u < n; ++u) bits[u] = scheme.storage_bits(u);
+  return summarize_storage(bits);
+}
+
+inline void print_rule(int width) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+/// The mid-sized graph families the tables sweep over.
+inline std::vector<std::pair<std::string, Graph>> table_graphs() {
+  std::vector<std::pair<std::string, Graph>> graphs;
+  graphs.emplace_back("grid-20x20", make_grid(20, 20));
+  graphs.emplace_back("geometric-512", make_random_geometric(512, 2, 5, 1001));
+  graphs.emplace_back("holes-22x22", make_grid_with_holes(22, 22, 10, 4, 7));
+  graphs.emplace_back("clusters-512", make_cluster_hierarchy(3, 8, 8, 5));
+  graphs.emplace_back("spider-16x12", make_exponential_spider(16, 12));
+  graphs.emplace_back("cliques-16x8", make_ring_of_cliques(16, 8, 12));
+  return graphs;
+}
+
+}  // namespace compactroute::bench

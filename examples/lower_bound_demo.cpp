@@ -1,0 +1,63 @@
+// The Theorem 1.3 lower bound, hands on: builds the Figure 3 tree, shows why
+// no small-table name-independent scheme can beat stretch ~9 on it, and runs
+// our Theorem 1.1 scheme against the adversarial search models.
+//
+//   $ ./examples/lower_bound_demo [epsilon]
+//
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/prng.hpp"
+#include "gen/lower_bound_tree.hpp"
+#include "graph/doubling.hpp"
+#include "graph/metric.hpp"
+#include "labeled/scale_free_labeled.hpp"
+#include "lowerbound/congruence.hpp"
+#include "nameind/scale_free_nameind.hpp"
+#include "nets/rnet.hpp"
+#include "routing/naming.hpp"
+#include "routing/simulator.hpp"
+
+using namespace compactroute;
+
+int main(int argc, char** argv) {
+  const double eps = argc > 1 ? std::atof(argv[1]) : 4.0;
+  const LowerBoundTree tree = make_lower_bound_tree(eps, 1200);
+  const MetricSpace metric(tree.graph);
+  std::printf("Figure 3 tree for eps=%.1f: p=%d q=%d, %zu nodes, Delta=%.3g\n",
+              eps, tree.p, tree.q, tree.graph.num_nodes(), metric.delta());
+
+  Prng prng(1);
+  const DoublingEstimate dim = estimate_doubling_dimension(metric, 4, prng);
+  std::printf("doubling dimension ~%.2f (Lemma 5.8 bound: %.2f)\n\n",
+              dim.dimension, 6.0 - std::log2(eps));
+
+  // The adversarial geometry: any search strategy that cannot read the
+  // destination's location from its tables must expand through the weight
+  // grid w_{i,j} = 2^i (q+j), paying round trips.
+  const ObliviousSearchResult ring = evaluate_expanding_ring_search(tree);
+  const ObliviousSearchResult naive = evaluate_probe_all_search(tree);
+  std::printf("expanding-ring search (optimal shape): worst stretch %.6f "
+              "(gap to 9: %.2g — approaches 9 from below, never reaches it)\n",
+              ring.worst_stretch, 9.0 - ring.worst_stretch);
+  std::printf("naive cheapest-first probing:          worst stretch %.1f "
+              "(Theta(1/eps))\n\n", naive.worst_stretch);
+
+  // Our polylog-table scheme on the same tree: it cannot asymptotically beat
+  // 9 - eps here (Theorem 1.3), and its upper bound says it never needs more
+  // than 9 + O(eps') — the measured band on sampled pairs:
+  const NetHierarchy hierarchy(metric);
+  const Naming naming = Naming::random(metric.n(), 2);
+  const ScaleFreeLabeledScheme labeled(metric, hierarchy, 0.5);
+  const ScaleFreeNameIndependentScheme scheme(metric, hierarchy, naming, labeled,
+                                              0.5);
+  const StretchStats stats =
+      evaluate_name_independent(scheme, metric, naming, 4000, prng);
+  std::printf("Theorem 1.1 scheme (eps'=0.5) on this tree: max stretch %.3f, "
+              "avg %.3f over %zu pairs\n",
+              stats.max_stretch, stats.avg_stretch, stats.pairs);
+  std::printf("(finite-n samples sit inside the asymptotic [9-eps, 9+O(eps')] "
+              "band's reach)\n");
+  return 0;
+}

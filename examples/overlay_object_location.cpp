@@ -1,0 +1,76 @@
+// Object location in a peer-to-peer overlay — the application the paper's
+// introduction motivates (locating nearby copies of replicated objects on
+// top of intrinsic node names, as in DHTs [7, 26]).
+//
+// Objects are published under flat names (hashes). Replicas register their
+// (object-name -> holder-label) binding in the same search-tree hierarchy the
+// name-independent scheme uses, so a lookup finds a *nearby* replica at
+// 9+O(ε) stretch — unlike a plain DHT, which sends every lookup to a random
+// rendezvous node regardless of distance.
+//
+//   $ ./examples/overlay_object_location
+//
+#include <cstdio>
+#include <vector>
+
+#include "core/prng.hpp"
+#include "gen/generators.hpp"
+#include "graph/metric.hpp"
+#include "labeled/scale_free_labeled.hpp"
+#include "nameind/scale_free_nameind.hpp"
+#include "nets/rnet.hpp"
+#include "routing/baselines.hpp"
+#include "routing/naming.hpp"
+#include "routing/simulator.hpp"
+
+using namespace compactroute;
+
+int main() {
+  // A clustered overlay: dense pockets of peers, sparse long-haul links —
+  // doubling but very much not growth-bounded.
+  const Graph graph = make_cluster_hierarchy(4, 4, 12, 99);
+  const MetricSpace metric(graph);
+  const NetHierarchy hierarchy(metric);
+  const double epsilon = 0.5;
+  const ScaleFreeLabeledScheme labeled(metric, hierarchy, epsilon);
+  const Naming naming = Naming::random(metric.n(), 5);
+  const ScaleFreeNameIndependentScheme locator(metric, hierarchy, naming, labeled,
+                                               epsilon);
+  const HashLocationScheme dht(metric, naming);
+
+  std::printf("overlay: %zu peers, Delta=%.3g\n\n", metric.n(), metric.delta());
+
+  // "Replicate" an object by reusing node names as object names: the replica
+  // of object o lives at the node named o. A client locating o measures the
+  // distance to the replica the scheme finds.
+  Prng prng(17);
+  double locator_total = 0, dht_total = 0, optimal_total = 0;
+  double locator_worst = 0, dht_worst = 0;
+  const int queries = 4000;
+  for (int trial = 0; trial < queries; ++trial) {
+    const NodeId client = static_cast<NodeId>(prng.next_below(metric.n()));
+    NodeId holder = static_cast<NodeId>(prng.next_below(metric.n() - 1));
+    if (holder >= client) ++holder;
+    const Name object = naming.name_of(holder);
+
+    const RouteResult found = locator.route(client, object);
+    const RouteResult via_dht = dht.route(client, object);
+    const Weight optimal = metric.dist(client, holder);
+    locator_total += found.cost;
+    dht_total += via_dht.cost;
+    optimal_total += optimal;
+    locator_worst = std::max(locator_worst, found.cost / optimal);
+    dht_worst = std::max(dht_worst, via_dht.cost / optimal);
+  }
+
+  std::printf("%-28s %14s %14s\n", "", "locality-aware", "plain DHT");
+  std::printf("%-28s %14.2f %14.2f\n", "avg lookup cost",
+              locator_total / queries, dht_total / queries);
+  std::printf("%-28s %14.2f %14.2f\n", "avg cost / optimal",
+              locator_total / optimal_total, dht_total / optimal_total);
+  std::printf("%-28s %14.2f %14.2f\n", "worst stretch", locator_worst, dht_worst);
+  std::printf("\nNearby replicas are found at near-optimal cost by the "
+              "compact-routing hierarchy;\nthe DHT pays the full overlay "
+              "diameter for them.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Quickstart: build a network, preprocess the two headline schemes of the
+// paper (Theorem 1.2 labeled and Theorem 1.1 name-independent), and route a
+// few packets.
+//
+//   $ ./examples/quickstart
+//
+#include <cstdio>
+
+#include "gen/generators.hpp"
+#include "graph/metric.hpp"
+#include "labeled/scale_free_labeled.hpp"
+#include "nameind/scale_free_nameind.hpp"
+#include "nets/rnet.hpp"
+#include "routing/naming.hpp"
+#include "routing/simulator.hpp"
+
+using namespace compactroute;
+
+int main() {
+  // 1. A network of low doubling dimension: a 2-D random geometric graph.
+  const Graph graph = make_random_geometric(/*n=*/200, /*dim=*/2,
+                                            /*k-nearest=*/5, /*seed=*/42);
+  std::printf("network: %zu nodes, %zu edges\n", graph.num_nodes(),
+              graph.num_edges());
+
+  // 2. Preprocessing: shortest-path metric, net hierarchy, and the schemes.
+  const MetricSpace metric(graph);
+  const NetHierarchy hierarchy(metric);
+  const double epsilon = 0.5;
+  const ScaleFreeLabeledScheme labeled(metric, hierarchy, epsilon);
+
+  // Nodes keep their arbitrary original names; the name-independent scheme
+  // routes on top of them using the labeled scheme as its substrate.
+  const Naming naming = Naming::random(metric.n(), /*seed=*/7);
+  const ScaleFreeNameIndependentScheme name_independent(metric, hierarchy, naming,
+                                                        labeled, epsilon);
+
+  // 3. Labeled routing: the source knows the destination's designer label.
+  const NodeId src = 3, dst = 177;
+  const RouteResult by_label = labeled.route(src, labeled.label(dst));
+  std::printf("\nlabeled route %u -> %u: %zu hops, cost %.3f, optimal %.3f, "
+              "stretch %.3f\n",
+              src, dst, by_label.path.size() - 1, by_label.cost,
+              metric.dist(src, dst), by_label.cost / metric.dist(src, dst));
+
+  // 4. Name-independent routing: the source knows only the original name.
+  const Name dest_name = naming.name_of(dst);
+  const RouteResult by_name = name_independent.route(src, dest_name);
+  std::printf("name-independent route %u -> name %llu: cost %.3f, stretch "
+              "%.3f\n",
+              src, static_cast<unsigned long long>(dest_name), by_name.cost,
+              by_name.cost / metric.dist(src, dst));
+
+  // 5. The space/stretch ledger the paper is about.
+  std::printf("\nper-node state at node %u:\n", src);
+  std::printf("  labeled scheme:          %zu bits (label: %zu bits, header: "
+              "%zu bits)\n",
+              labeled.storage_bits(src), labeled.label_bits(),
+              labeled.header_bits());
+  std::printf("  name-independent scheme: %zu bits (header: %zu bits)\n",
+              name_independent.storage_bits(src), name_independent.header_bits());
+  std::printf("  vs. a full routing table: %zu bits\n",
+              (metric.n() - 1) * 2 * 8);
+  return 0;
+}

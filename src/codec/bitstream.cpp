@@ -1,0 +1,54 @@
+#include "codec/bitstream.hpp"
+
+namespace compactroute {
+
+void BitWriter::write(std::uint64_t value, int width) {
+  CR_CHECK(width >= 0 && width <= 64);
+  if (width < 64) {
+    CR_CHECK_MSG(value < (std::uint64_t{1} << width), "value does not fit width");
+  }
+  for (int b = 0; b < width; ++b) {
+    const std::size_t byte = bit_count_ / 8;
+    if (byte == bytes_.size()) bytes_.push_back(0);
+    if ((value >> b) & 1) {
+      bytes_[byte] = static_cast<std::uint8_t>(bytes_[byte] | (1u << (bit_count_ % 8)));
+    }
+    ++bit_count_;
+  }
+}
+
+void BitWriter::write_varint(std::uint64_t value) {
+  do {
+    const std::uint64_t group = value & 0x7f;
+    value >>= 7;
+    write(group | (value ? 0x80 : 0), 8);
+  } while (value);
+}
+
+std::uint64_t BitReader::read(int width) {
+  CR_CHECK(width >= 0 && width <= 64);
+  CR_CHECK_MSG(cursor_ + static_cast<std::size_t>(width) <= bytes_->size() * 8,
+               "bit stream underflow");
+  std::uint64_t value = 0;
+  for (int b = 0; b < width; ++b) {
+    const std::size_t byte = cursor_ / 8;
+    if (((*bytes_)[byte] >> (cursor_ % 8)) & 1) value |= std::uint64_t{1} << b;
+    ++cursor_;
+  }
+  return value;
+}
+
+std::uint64_t BitReader::read_varint() {
+  std::uint64_t value = 0;
+  int shift = 0;
+  for (;;) {
+    const std::uint64_t group = read(8);
+    value |= (group & 0x7f) << shift;
+    if (!(group & 0x80)) break;
+    shift += 7;
+    CR_CHECK_MSG(shift < 64, "varint too long");
+  }
+  return value;
+}
+
+}  // namespace compactroute

@@ -1,0 +1,57 @@
+#pragma once
+//
+// Bit-granular serialization.
+//
+// The paper's space bounds are in bits, and this library reports bit-exact
+// table sizes. The codec makes those numbers real: routing labels, ranges,
+// and whole per-node tables can be packed into actual bit streams and read
+// back, so "this table is 1432 bits" is a property of bytes on the wire, not
+// just of an accounting formula.
+//
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/check.hpp"
+
+namespace compactroute {
+
+class BitWriter {
+ public:
+  /// Appends the low `width` bits of `value` (width in [0, 64]).
+  void write(std::uint64_t value, int width);
+
+  /// Appends a LEB128-style varint (7 bits + continuation per byte-group).
+  void write_varint(std::uint64_t value);
+
+  std::size_t bit_count() const { return bit_count_; }
+
+  /// Finished stream, padded with zero bits to a byte boundary.
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::size_t bit_count_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(const std::vector<std::uint8_t>& bytes) : bytes_(&bytes) {}
+
+  /// Reads `width` bits (width in [0, 64]).
+  std::uint64_t read(int width);
+
+  std::uint64_t read_varint();
+
+  std::size_t bits_consumed() const { return cursor_; }
+
+  /// True if fewer than 8 unread bits remain (stream exhausted up to byte
+  /// padding).
+  bool exhausted() const { return cursor_ + 8 > bytes_->size() * 8; }
+
+ private:
+  const std::vector<std::uint8_t>* bytes_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace compactroute

@@ -1,0 +1,53 @@
+#pragma once
+//
+// Routing straight off the wire format.
+//
+// The strongest form of the "tables are X bits" claim: serialize every
+// node's routing state into a bit-packed blob, throw the original scheme
+// away, and route using only (a) the blobs and (b) the physical adjacency
+// lists (ports). PackedHierarchicalRouter does exactly that for the
+// hierarchical labeled scheme: each blob holds the node's own ⌈log n⌉-bit
+// label and its per-level ring entries (DFS range + next-hop port); routing
+// decodes the current node's blob and forwards greedily. Paths must match
+// the original scheme's hop for hop — verified in the tests.
+//
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+#include "graph/metric.hpp"
+#include "labeled/hierarchical_labeled.hpp"
+
+namespace compactroute {
+
+class PackedHierarchicalRouter {
+ public:
+  /// Packs every node's tables; the scheme can be discarded afterwards.
+  PackedHierarchicalRouter(const HierarchicalLabeledScheme& scheme,
+                           const MetricSpace& metric);
+
+  /// The serialized table of node u.
+  const std::vector<std::uint8_t>& blob(NodeId u) const { return blobs_[u]; }
+  std::size_t blob_bits(NodeId u) const { return blob_bits_[u]; }
+
+  /// Routes from src to the node labeled dest using only the packed blobs
+  /// and the graph's adjacency lists.
+  RouteResult route(NodeId src, NodeId dest_label) const;
+
+ private:
+  struct Entry {
+    LeafRange range;
+    std::uint32_t port = 0;  // adjacency index; degree(u) encodes "self"
+  };
+
+  /// Decodes node u's blob (done on demand during routing).
+  std::pair<NodeId, std::vector<std::vector<Entry>>> decode(NodeId u) const;
+
+  const Graph* graph_;
+  std::size_t n_ = 0;
+  int num_levels_ = 0;
+  std::vector<std::vector<std::uint8_t>> blobs_;
+  std::vector<std::size_t> blob_bits_;
+};
+
+}  // namespace compactroute

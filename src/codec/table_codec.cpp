@@ -1,0 +1,109 @@
+#include "codec/table_codec.hpp"
+
+#include <algorithm>
+
+#include "core/bits.hpp"
+#include "core/check.hpp"
+
+namespace compactroute {
+
+IdCodec::IdCodec(std::size_t universe_size) : width(id_bits(universe_size)) {}
+
+void IdCodec::encode(BitWriter& w, NodeId id) const { w.write(id, width); }
+
+NodeId IdCodec::decode(BitReader& r) const {
+  return static_cast<NodeId>(r.read(width));
+}
+
+void RangeCodec::encode(BitWriter& w, const LeafRange& range) const {
+  ids.encode(w, range.lo);
+  ids.encode(w, range.hi);
+}
+
+LeafRange RangeCodec::decode(BitReader& r) const {
+  LeafRange range;
+  range.lo = ids.decode(r);
+  range.hi = ids.decode(r);
+  return range;
+}
+
+TreeLabelCodec::TreeLabelCodec(std::size_t tree_size, std::size_t max_ports)
+    : dfs(tree_size), ports(std::max<std::size_t>(max_ports, 2)) {}
+
+void TreeLabelCodec::encode(BitWriter& w, const TreeLabel& label) const {
+  dfs.encode(w, label.dfs);
+  w.write_varint(label.light_edges.size());
+  for (const auto& [anchor, port] : label.light_edges) {
+    dfs.encode(w, anchor);
+    ports.encode(w, port);
+  }
+}
+
+TreeLabel TreeLabelCodec::decode(BitReader& r) const {
+  TreeLabel label;
+  label.dfs = dfs.decode(r);
+  const std::uint64_t count = r.read_varint();
+  label.light_edges.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const NodeId anchor = dfs.decode(r);
+    const NodeId port = ports.decode(r);
+    label.light_edges.emplace_back(anchor, port);
+  }
+  return label;
+}
+
+namespace {
+
+// Index of neighbor `next` in u's adjacency list (the physical port).
+std::uint32_t port_of(const MetricSpace& metric, NodeId u, NodeId next) {
+  const auto& neighbors = metric.graph().neighbors(u);
+  for (std::size_t k = 0; k < neighbors.size(); ++k) {
+    if (neighbors[k].to == next) return static_cast<std::uint32_t>(k);
+  }
+  CR_CHECK_MSG(false, "next hop must be a graph neighbor");
+  return 0;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_hierarchical_table(
+    const HierarchicalLabeledScheme& scheme, const MetricSpace& metric, NodeId u,
+    std::size_t* bit_count) {
+  const RangeCodec ranges(metric.n());
+  const IdCodec ports(std::max<std::size_t>(metric.graph().degree(u) + 1, 2));
+  BitWriter writer;
+  for (const auto& ring : scheme.rings(u)) {
+    writer.write_varint(ring.size());
+    for (const auto& entry : ring) {
+      ranges.encode(writer, entry.range);
+      // Self-entries (x == u) encode the sentinel port "degree".
+      const std::uint32_t port = entry.next_hop == u
+                                     ? static_cast<std::uint32_t>(
+                                           metric.graph().degree(u))
+                                     : port_of(metric, u, entry.next_hop);
+      ports.encode(writer, port);
+    }
+  }
+  if (bit_count) *bit_count = writer.bit_count();
+  return writer.bytes();
+}
+
+std::vector<std::vector<DecodedRingEntry>> decode_hierarchical_table(
+    const std::vector<std::uint8_t>& bytes, const MetricSpace& metric, NodeId u,
+    int num_levels) {
+  const RangeCodec ranges(metric.n());
+  const IdCodec ports(std::max<std::size_t>(metric.graph().degree(u) + 1, 2));
+  BitReader reader(bytes);
+  std::vector<std::vector<DecodedRingEntry>> rings(num_levels);
+  for (auto& ring : rings) {
+    const std::uint64_t count = reader.read_varint();
+    ring.resize(count);
+    for (auto& entry : ring) {
+      entry.range = ranges.decode(reader);
+      entry.port = static_cast<std::uint32_t>(ports.decode(reader));
+    }
+  }
+  return rings;
+}
+
+}  // namespace compactroute

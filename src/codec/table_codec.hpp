@@ -1,0 +1,66 @@
+#pragma once
+//
+// Wire formats for the routing structures whose bit sizes the paper bounds:
+// tree-routing labels (Lemma 4.1), DFS ranges, ring entries, and whole
+// per-node tables of the hierarchical labeled scheme. Round-tripping these
+// through BitWriter/BitReader certifies that the reported "bits per node"
+// numbers are achievable encodings, not bookkeeping fictions.
+//
+#include <cstdint>
+#include <vector>
+
+#include "codec/bitstream.hpp"
+#include "core/types.hpp"
+#include "labeled/hierarchical_labeled.hpp"
+#include "nets/rnet.hpp"
+#include "trees/compact_tree_router.hpp"
+
+namespace compactroute {
+
+/// Fixed-width node-id codec for a universe of n nodes.
+struct IdCodec {
+  explicit IdCodec(std::size_t universe_size);
+  void encode(BitWriter& w, NodeId id) const;
+  NodeId decode(BitReader& r) const;
+  int width = 0;
+};
+
+/// LeafRange as two fixed-width labels.
+struct RangeCodec {
+  explicit RangeCodec(std::size_t universe_size) : ids(universe_size) {}
+  void encode(BitWriter& w, const LeafRange& range) const;
+  LeafRange decode(BitReader& r) const;
+  IdCodec ids;
+};
+
+/// Compact tree-routing label: DFS index + light-edge list, entries as
+/// (anchor DFS index, port) with a varint entry count.
+struct TreeLabelCodec {
+  TreeLabelCodec(std::size_t tree_size, std::size_t max_ports);
+  void encode(BitWriter& w, const TreeLabel& label) const;
+  TreeLabel decode(BitReader& r) const;
+  IdCodec dfs;
+  IdCodec ports;
+};
+
+/// Serialized per-node routing table of the hierarchical labeled scheme:
+/// for each level, the ring entries (range + next-hop port index).
+/// encode_hierarchical_table returns the packed bytes; its bit count is the
+/// real storage footprint of node u.
+std::vector<std::uint8_t> encode_hierarchical_table(
+    const HierarchicalLabeledScheme& scheme, const MetricSpace& metric, NodeId u,
+    std::size_t* bit_count = nullptr);
+
+/// Decoded ring entry: the DFS range plus the neighbor index (port) of the
+/// next hop at the owning node.
+struct DecodedRingEntry {
+  LeafRange range;
+  std::uint32_t port = 0;
+};
+
+/// Per-level rings recovered from a packed table.
+std::vector<std::vector<DecodedRingEntry>> decode_hierarchical_table(
+    const std::vector<std::uint8_t>& bytes, const MetricSpace& metric, NodeId u,
+    int num_levels);
+
+}  // namespace compactroute

@@ -1,0 +1,53 @@
+#include "core/bits.hpp"
+
+#include "core/check.hpp"
+
+namespace compactroute {
+
+int ceil_log2(std::uint64_t x) {
+  CR_CHECK(x >= 1);
+  int bits = 0;
+  std::uint64_t v = 1;
+  while (v < x) {
+    v <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+int floor_log2(std::uint64_t x) {
+  CR_CHECK(x >= 1);
+  int bits = 0;
+  while (x >>= 1) ++bits;
+  return bits;
+}
+
+int id_bits(std::uint64_t universe_size) {
+  if (universe_size <= 2) return 1;
+  return ceil_log2(universe_size);
+}
+
+void BitLedger::add(const std::string& component, std::size_t bits) {
+  total_ += bits;
+  for (auto& [name, count] : breakdown_) {
+    if (name == component) {
+      count += bits;
+      return;
+    }
+  }
+  breakdown_.emplace_back(component, bits);
+}
+
+StorageStats summarize_storage(const std::vector<std::size_t>& per_node_bits) {
+  StorageStats stats;
+  if (per_node_bits.empty()) return stats;
+  for (std::size_t bits : per_node_bits) {
+    stats.total_bits += bits;
+    if (bits > stats.max_bits) stats.max_bits = bits;
+  }
+  stats.avg_bits =
+      static_cast<double>(stats.total_bits) / static_cast<double>(per_node_bits.size());
+  return stats;
+}
+
+}  // namespace compactroute

@@ -1,0 +1,55 @@
+#pragma once
+//
+// Bit accounting for routing-table / header / label sizes.
+//
+// The paper's space bounds are stated in bits. We hold routing structures in
+// native containers for speed, but every scheme reports its space consumption
+// through these helpers using explicit per-entry costs: a node id costs
+// ceil(log2 n) bits, a port costs ceil(log2 deg) bits, a stored distance costs
+// 64 bits, and tree-routing labels cost their measured encoded size. This is
+// the honest "information content" accounting the theory bounds refer to, not
+// sizeof() of C++ objects.
+//
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace compactroute {
+
+/// ceil(log2(x)) for x >= 1 (returns 0 for x == 1).
+int ceil_log2(std::uint64_t x);
+
+/// floor(log2(x)) for x >= 1.
+int floor_log2(std::uint64_t x);
+
+/// Number of bits needed to store an id drawn from a universe of size n
+/// (at least 1 bit even for n <= 2 so empty/sentinel states are encodable).
+int id_bits(std::uint64_t universe_size);
+
+/// Accumulates a per-node bit budget, keyed by component name, so benchmarks
+/// can print a breakdown (e.g. "rings", "search-trees", "tree-routing").
+class BitLedger {
+ public:
+  void add(const std::string& component, std::size_t bits);
+
+  std::size_t total() const { return total_; }
+  const std::vector<std::pair<std::string, std::size_t>>& breakdown() const {
+    return breakdown_;
+  }
+
+ private:
+  std::size_t total_ = 0;
+  std::vector<std::pair<std::string, std::size_t>> breakdown_;
+};
+
+/// Summary statistics over per-node storage: maximum and average bits.
+struct StorageStats {
+  std::size_t max_bits = 0;
+  double avg_bits = 0.0;
+  std::size_t total_bits = 0;
+};
+
+StorageStats summarize_storage(const std::vector<std::size_t>& per_node_bits);
+
+}  // namespace compactroute

@@ -1,0 +1,45 @@
+#pragma once
+//
+// Invariant checking. CR_CHECK is always on (it guards data-structure
+// invariants whose violation would silently corrupt routing results);
+// CR_DCHECK compiles out in release builds for hot paths.
+//
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace compactroute {
+
+/// Thrown when a library invariant is violated.
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << "CR_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantError(os.str());
+}
+}  // namespace detail
+
+}  // namespace compactroute
+
+#define CR_CHECK(expr)                                                               \
+  do {                                                                               \
+    if (!(expr)) ::compactroute::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define CR_CHECK_MSG(expr, msg)                                                        \
+  do {                                                                                 \
+    if (!(expr)) ::compactroute::detail::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define CR_DCHECK(expr) ((void)0)
+#else
+#define CR_DCHECK(expr) CR_CHECK(expr)
+#endif

@@ -1,0 +1,67 @@
+#pragma once
+//
+// Deterministic, seedable PRNG (xoshiro256**). Every randomized component in
+// the library takes an explicit seed so tests and benchmarks are reproducible
+// bit-for-bit across platforms, unlike std::mt19937 + distribution objects
+// whose output is implementation-defined for some distributions.
+//
+#include <cstdint>
+
+#include "core/check.hpp"
+
+namespace compactroute {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
+class Prng {
+ public:
+  explicit Prng(std::uint64_t seed) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be positive.
+  std::uint64_t next_below(std::uint64_t bound) {
+    CR_CHECK(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % bound);
+    std::uint64_t value;
+    do {
+      value = next_u64();
+    } while (value >= limit);
+    return value % bound;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double next_double(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t v, int k) { return (v << k) | (v >> (64 - k)); }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace compactroute

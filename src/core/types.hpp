@@ -1,0 +1,30 @@
+#pragma once
+//
+// Basic identifiers and numeric types shared across the library.
+//
+// Node identifiers are dense integers in [0, n). Distances are doubles; the
+// metric layer normalizes them so the minimum pairwise distance equals 1,
+// matching the paper's w.l.o.g. assumption (Section 2).
+//
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace compactroute {
+
+/// Dense node identifier in [0, n).
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Edge weight / distance. Always finite and positive for real edges.
+using Weight = double;
+
+/// Positive infinity used for "unreachable" distances.
+inline constexpr Weight kInfiniteWeight = std::numeric_limits<Weight>::infinity();
+
+/// A sequence of node identifiers describing a walk in the graph.
+using Path = std::vector<NodeId>;
+
+}  // namespace compactroute

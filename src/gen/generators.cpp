@@ -1,0 +1,301 @@
+#include "gen/generators.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <functional>
+#include <numeric>
+#include <vector>
+
+#include "core/check.hpp"
+#include "core/prng.hpp"
+
+namespace compactroute {
+
+namespace {
+
+/// Largest connected component of `graph`, with nodes relabeled densely in
+/// increasing original-id order.
+Graph largest_component(const Graph& graph) {
+  const std::size_t n = graph.num_nodes();
+  std::vector<int> component(n, -1);
+  int num_components = 0;
+  for (NodeId start = 0; start < n; ++start) {
+    if (component[start] >= 0) continue;
+    std::vector<NodeId> stack = {start};
+    component[start] = num_components;
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      for (const HalfEdge& half : graph.neighbors(u)) {
+        if (component[half.to] < 0) {
+          component[half.to] = num_components;
+          stack.push_back(half.to);
+        }
+      }
+    }
+    ++num_components;
+  }
+  std::vector<std::size_t> sizes(num_components, 0);
+  for (NodeId u = 0; u < n; ++u) ++sizes[component[u]];
+  const int biggest = static_cast<int>(
+      std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+
+  std::vector<NodeId> relabel(n, kInvalidNode);
+  NodeId next = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    if (component[u] == biggest) relabel[u] = next++;
+  }
+  Graph out(next);
+  for (NodeId u = 0; u < n; ++u) {
+    if (component[u] != biggest) continue;
+    for (const HalfEdge& half : graph.neighbors(u)) {
+      if (u < half.to) out.add_edge(relabel[u], relabel[half.to], half.weight);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Graph make_grid(std::size_t width, std::size_t height) {
+  CR_CHECK(width >= 1 && height >= 1 && width * height >= 2);
+  Graph graph(width * height);
+  const auto id = [width](std::size_t x, std::size_t y) {
+    return static_cast<NodeId>(y * width + x);
+  };
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      if (x + 1 < width) graph.add_edge(id(x, y), id(x + 1, y), 1);
+      if (y + 1 < height) graph.add_edge(id(x, y), id(x, y + 1), 1);
+    }
+  }
+  return graph;
+}
+
+Graph make_grid_with_holes(std::size_t width, std::size_t height,
+                           std::size_t num_holes, std::size_t max_hole_side,
+                           std::uint64_t seed) {
+  CR_CHECK(max_hole_side >= 1);
+  Prng prng(seed);
+  std::vector<char> blocked(width * height, 0);
+  for (std::size_t h = 0; h < num_holes; ++h) {
+    const std::size_t hw = 1 + prng.next_below(max_hole_side);
+    const std::size_t hh = 1 + prng.next_below(max_hole_side);
+    const std::size_t x0 = prng.next_below(width);
+    const std::size_t y0 = prng.next_below(height);
+    for (std::size_t y = y0; y < std::min(height, y0 + hh); ++y) {
+      for (std::size_t x = x0; x < std::min(width, x0 + hw); ++x) {
+        blocked[y * width + x] = 1;
+      }
+    }
+  }
+  Graph full(width * height);
+  const auto id = [width](std::size_t x, std::size_t y) {
+    return static_cast<NodeId>(y * width + x);
+  };
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      if (blocked[y * width + x]) continue;
+      if (x + 1 < width && !blocked[y * width + x + 1]) {
+        full.add_edge(id(x, y), id(x + 1, y), 1);
+      }
+      if (y + 1 < height && !blocked[(y + 1) * width + x]) {
+        full.add_edge(id(x, y), id(x, y + 1), 1);
+      }
+    }
+  }
+  Graph out = largest_component(full);
+  CR_CHECK_MSG(out.num_nodes() >= 2, "holes destroyed the grid; use fewer/smaller holes");
+  return out;
+}
+
+Graph make_random_geometric(std::size_t n, int dim, std::size_t k,
+                            std::uint64_t seed) {
+  CR_CHECK(n >= 2 && dim >= 1 && dim <= 3 && k >= 1);
+  Prng prng(seed);
+  std::vector<std::array<double, 3>> points(n, {0, 0, 0});
+  for (auto& p : points) {
+    for (int d = 0; d < dim; ++d) p[d] = prng.next_double();
+  }
+  const auto euclid = [&](std::size_t a, std::size_t b) {
+    double s = 0;
+    for (int d = 0; d < dim; ++d) {
+      const double diff = points[a][d] - points[b][d];
+      s += diff * diff;
+    }
+    // Clamp so coincident points still get a positive edge weight.
+    return std::max(std::sqrt(s), 1e-9);
+  };
+
+  Graph graph(n);
+  std::vector<std::pair<double, NodeId>> dists(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) dists[v] = {euclid(u, v), v};
+    std::sort(dists.begin(), dists.end());
+    for (std::size_t i = 1; i <= std::min(k, n - 1); ++i) {
+      graph.add_edge(u, dists[i].second, dists[i].first);
+    }
+  }
+
+  // Stitch components via closest cross-component pairs.
+  while (!graph.is_connected()) {
+    std::vector<int> component(n, -1);
+    int num_components = 0;
+    for (NodeId start = 0; start < n; ++start) {
+      if (component[start] >= 0) continue;
+      std::vector<NodeId> stack = {start};
+      component[start] = num_components;
+      while (!stack.empty()) {
+        const NodeId u = stack.back();
+        stack.pop_back();
+        for (const HalfEdge& half : graph.neighbors(u)) {
+          if (component[half.to] < 0) {
+            component[half.to] = num_components;
+            stack.push_back(half.to);
+          }
+        }
+      }
+      ++num_components;
+    }
+    double best = kInfiniteWeight;
+    NodeId bu = 0, bv = 0;
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = u + 1; v < n; ++v) {
+        if (component[u] != component[v] && euclid(u, v) < best) {
+          best = euclid(u, v);
+          bu = u;
+          bv = v;
+        }
+      }
+    }
+    graph.add_edge(bu, bv, best);
+  }
+  return graph;
+}
+
+Graph make_path(std::size_t n, Weight edge_weight) {
+  CR_CHECK(n >= 2);
+  Graph graph(n);
+  for (NodeId u = 0; u + 1 < n; ++u) graph.add_edge(u, u + 1, edge_weight);
+  return graph;
+}
+
+Graph make_cycle(std::size_t n, Weight edge_weight) {
+  CR_CHECK(n >= 3);
+  Graph graph = make_path(n, edge_weight);
+  graph.add_edge(static_cast<NodeId>(n - 1), 0, edge_weight);
+  return graph;
+}
+
+Graph make_star(std::size_t leaves, Weight edge_weight) {
+  CR_CHECK(leaves >= 1);
+  Graph graph(leaves + 1);
+  for (NodeId leaf = 1; leaf <= leaves; ++leaf) graph.add_edge(0, leaf, edge_weight);
+  return graph;
+}
+
+Graph make_random_tree(std::size_t n, Weight max_weight, std::uint64_t seed) {
+  CR_CHECK(n >= 2 && max_weight >= 1);
+  Prng prng(seed);
+  Graph graph(n);
+  for (NodeId u = 1; u < n; ++u) {
+    const NodeId parent = static_cast<NodeId>(prng.next_below(u));
+    graph.add_edge(u, parent, prng.next_double(1.0, max_weight));
+  }
+  return graph;
+}
+
+Graph make_balanced_tree(std::size_t branching, std::size_t depth) {
+  CR_CHECK(branching >= 2 && depth >= 1);
+  std::size_t n = 1, level_size = 1;
+  for (std::size_t d = 0; d < depth; ++d) {
+    level_size *= branching;
+    n += level_size;
+  }
+  Graph graph(n);
+  for (NodeId u = 1; u < n; ++u) {
+    graph.add_edge(u, static_cast<NodeId>((u - 1) / branching), 1);
+  }
+  return graph;
+}
+
+Graph make_exponential_spider(std::size_t arms, std::size_t nodes_per_arm,
+                              Weight growth) {
+  CR_CHECK(arms >= 1 && nodes_per_arm >= 1 && growth > 1);
+  Graph graph(1 + arms * nodes_per_arm);
+  NodeId next = 1;
+  for (std::size_t arm = 0; arm < arms; ++arm) {
+    const Weight w = std::pow(growth, static_cast<double>(arm));
+    NodeId prev = 0;
+    for (std::size_t i = 0; i < nodes_per_arm; ++i) {
+      graph.add_edge(prev, next, w);
+      prev = next++;
+    }
+  }
+  return graph;
+}
+
+Graph make_torus(std::size_t width, std::size_t height) {
+  CR_CHECK(width >= 3 && height >= 3);
+  Graph graph(width * height);
+  const auto id = [width](std::size_t x, std::size_t y) {
+    return static_cast<NodeId>(y * width + x);
+  };
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      graph.add_edge(id(x, y), id((x + 1) % width, y), 1);
+      graph.add_edge(id(x, y), id(x, (y + 1) % height), 1);
+    }
+  }
+  return graph;
+}
+
+Graph make_ring_of_cliques(std::size_t num_cliques, std::size_t clique_size,
+                           Weight bridge) {
+  CR_CHECK(num_cliques >= 3 && clique_size >= 2 && bridge >= 1);
+  Graph graph(num_cliques * clique_size);
+  for (std::size_t c = 0; c < num_cliques; ++c) {
+    const NodeId base = static_cast<NodeId>(c * clique_size);
+    for (std::size_t a = 0; a < clique_size; ++a) {
+      for (std::size_t b = a + 1; b < clique_size; ++b) {
+        graph.add_edge(base + static_cast<NodeId>(a), base + static_cast<NodeId>(b),
+                       1);
+      }
+    }
+    const NodeId next_base =
+        static_cast<NodeId>(((c + 1) % num_cliques) * clique_size);
+    graph.add_edge(base, next_base, bridge);
+  }
+  return graph;
+}
+
+Graph make_cluster_hierarchy(std::size_t levels, std::size_t fanout, Weight spread,
+                             std::uint64_t seed) {
+  CR_CHECK(levels >= 1 && fanout >= 2 && spread > 1);
+  Prng prng(seed);
+  std::size_t n = 1;
+  for (std::size_t l = 0; l < levels; ++l) n *= fanout;
+  Graph graph(n);
+
+  // Recursive structure over the contiguous id range [lo, lo + size):
+  // split into `fanout` blocks, link each block's representative (its first
+  // id) to the first block's representative with weight ~ spread^level,
+  // jittered to avoid massive distance ties.
+  const std::function<void(std::size_t, std::size_t, std::size_t)> build =
+      [&](std::size_t lo, std::size_t size, std::size_t level) {
+        if (size <= 1) return;
+        const std::size_t block = size / fanout;
+        const Weight base = std::pow(spread, static_cast<double>(level));
+        for (std::size_t b = 1; b < fanout; ++b) {
+          const Weight w = base * (1.0 + 0.1 * prng.next_double());
+          graph.add_edge(static_cast<NodeId>(lo),
+                         static_cast<NodeId>(lo + b * block), w);
+        }
+        for (std::size_t b = 0; b < fanout; ++b) build(lo + b * block, block, level - 1);
+      };
+  build(0, n, levels);
+  return graph;
+}
+
+}  // namespace compactroute

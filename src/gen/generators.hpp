@@ -1,0 +1,73 @@
+#pragma once
+//
+// Synthetic network generators.
+//
+// The paper evaluates no real traces (it is a theory paper); its target class
+// is "networks of low doubling dimension". These generators produce that
+// class with the features the paper's analysis stresses:
+//   * grids and geometric graphs  — classic constant-doubling metrics;
+//   * grids with holes            — doubling but *not* growth-bounded
+//                                   (the paper's motivating distinction);
+//   * trees, paths, stars         — degenerate metrics / worst cases;
+//   * exponential spider          — normalized diameter Δ exponential in the
+//                                   size, exercising scale-freeness;
+//   * cluster hierarchies         — highly non-uniform density (dense and
+//                                   sparse regions side by side, the case
+//                                   that defeats plain grid hierarchies).
+//
+#include <cstddef>
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace compactroute {
+
+/// width x height unit-weight grid.
+Graph make_grid(std::size_t width, std::size_t height);
+
+/// Grid with `num_holes` random rectangular holes of size up to
+/// max_hole_side; returns the largest connected component, relabeled densely.
+Graph make_grid_with_holes(std::size_t width, std::size_t height,
+                           std::size_t num_holes, std::size_t max_hole_side,
+                           std::uint64_t seed);
+
+/// n points uniform in [0,1]^dim (dim in {1,2,3}), each joined to its k
+/// nearest neighbors with Euclidean edge weights; components are then stitched
+/// by their closest point pairs so the result is connected.
+Graph make_random_geometric(std::size_t n, int dim, std::size_t k,
+                            std::uint64_t seed);
+
+Graph make_path(std::size_t n, Weight edge_weight = 1);
+Graph make_cycle(std::size_t n, Weight edge_weight = 1);
+Graph make_star(std::size_t leaves, Weight edge_weight = 1);
+
+/// Random tree: node i attaches to a uniformly random earlier node with
+/// weight uniform in [1, max_weight].
+Graph make_random_tree(std::size_t n, Weight max_weight, std::uint64_t seed);
+
+/// Complete `branching`-ary tree with `depth` levels of edges, unit weights.
+Graph make_balanced_tree(std::size_t branching, std::size_t depth);
+
+/// Star of `arms` paths with `nodes_per_arm` nodes each; edges on arm a weigh
+/// growth^a, so Δ grows exponentially with the number of arms. The canonical
+/// stress test for scale-free storage bounds.
+Graph make_exponential_spider(std::size_t arms, std::size_t nodes_per_arm,
+                              Weight growth = 2);
+
+/// Recursive cluster hierarchy: `fanout` subclusters per level, `levels`
+/// levels; intra-cluster distances shrink geometrically by `spread` per
+/// level. Doubling, with density varying by orders of magnitude.
+Graph make_cluster_hierarchy(std::size_t levels, std::size_t fanout, Weight spread,
+                             std::uint64_t seed);
+
+/// width x height torus (grid with wrap-around edges), unit weights. Still
+/// doubling; no boundary effects.
+Graph make_torus(std::size_t width, std::size_t height);
+
+/// `num_cliques` cliques of `clique_size` nodes (intra-clique weight 1)
+/// arranged on a ring with bridges of weight `bridge`. Dense pockets on a
+/// one-dimensional backbone — doubling, not growth-bounded.
+Graph make_ring_of_cliques(std::size_t num_cliques, std::size_t clique_size,
+                           Weight bridge);
+
+}  // namespace compactroute

@@ -1,0 +1,70 @@
+#include "gen/lower_bound_tree.hpp"
+
+#include <cmath>
+
+#include "core/check.hpp"
+
+namespace compactroute {
+
+Weight LowerBoundTree::root_edge_weight(int i, int j) const {
+  return std::ldexp(1.0, i) * static_cast<Weight>(q + j);
+}
+
+LowerBoundTree make_lower_bound_tree(double epsilon, std::size_t n) {
+  CR_CHECK_MSG(epsilon > 0 && epsilon < 8, "Theorem 1.3 requires ε ∈ (0, 8)");
+  LowerBoundTree tree;
+  tree.epsilon = epsilon;
+  tree.p = static_cast<int>(std::ceil(72.0 / epsilon)) + 6;
+  tree.q = static_cast<int>(std::ceil(48.0 / epsilon)) - 4;
+  CR_CHECK(tree.q >= 1);
+  const int c = tree.p * tree.q;
+  CR_CHECK_MSG(n >= static_cast<std::size_t>(2 * c),
+               "need n >= 2·p·q so every path T_{i,j} is non-empty");
+
+  // Path k (k = iq + j) nominally spans cumulative counts
+  // [n^{k/c}, n^{(k+1)/c}); we round the cumulative counts and enforce that
+  // each path gets at least one node.
+  const double nd = static_cast<double>(n);
+  std::vector<std::size_t> cumulative(c + 1);
+  cumulative[0] = 1;  // n^0
+  for (int k = 1; k <= c; ++k) {
+    const double exact = std::pow(nd, static_cast<double>(k) / c);
+    std::size_t rounded = static_cast<std::size_t>(std::llround(exact));
+    // Monotone and strictly increasing so |T_{i,j}| >= 1.
+    rounded = std::max(rounded, cumulative[k - 1] + 1);
+    cumulative[k] = rounded;
+  }
+  // cumulative[0] = 1 accounts for the root (the paper's |S_{p-1,q-1}| = n
+  // includes u), so the final cumulative count is the full node budget.
+  const std::size_t total = cumulative[c];
+  const Weight path_edge = 1.0 / nd;  // the paper's 1/n edge weight
+  tree.path_edge_weight = path_edge;
+
+  Graph graph(total);
+  const NodeId root = 0;
+  NodeId next = 1;
+  tree.paths.assign(tree.p, std::vector<std::vector<NodeId>>(tree.q));
+  tree.middle.assign(tree.p, std::vector<NodeId>(tree.q, kInvalidNode));
+
+  for (int i = 0; i < tree.p; ++i) {
+    for (int j = 0; j < tree.q; ++j) {
+      const int k = i * tree.q + j;
+      const std::size_t size = cumulative[k + 1] - cumulative[k];
+      std::vector<NodeId>& path = tree.paths[i][j];
+      path.reserve(size);
+      for (std::size_t s = 0; s < size; ++s) {
+        path.push_back(next++);
+        if (s > 0) graph.add_edge(path[s - 1], path[s], path_edge);
+      }
+      const NodeId mid = path[size / 2];
+      tree.middle[i][j] = mid;
+      graph.add_edge(root, mid, tree.root_edge_weight(i, j));
+    }
+  }
+  CR_CHECK(next == graph.num_nodes());
+  tree.graph = std::move(graph);
+  tree.root = root;
+  return tree;
+}
+
+}  // namespace compactroute

@@ -1,0 +1,41 @@
+#pragma once
+//
+// The lower-bound tree of Section 5.2 (Figure 3).
+//
+// Given ε ∈ (0, 8) and a target size n, builds the tree used in the proof of
+// Theorem 1.3: a root u, and for i ∈ [p], j ∈ [q] (p = ⌈72/ε⌉ + 6,
+// q = ⌈48/ε⌉ − 4) a path T_{i,j} on n^{(iq+j+1)/(pq)} − n^{(iq+j)/(pq)} nodes
+// with edge weight 1/n, whose middle node hangs off the root by an edge of
+// weight w_{i,j} = 2^i (q + j). Its doubling dimension is at most 6 − log ε
+// (Lemma 5.8) and its normalized diameter is O(2^{1/ε} n).
+//
+// Path sizes are fractional for realistic n, so we round the cumulative node
+// counts and guarantee at least one node per path; the reported structure
+// records the exact sizes realized.
+//
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace compactroute {
+
+struct LowerBoundTree {
+  Graph graph;
+  NodeId root = 0;
+  double epsilon = 0;
+  int p = 0;
+  int q = 0;
+  /// paths[i][j] = node ids of T_{i,j} in path order.
+  std::vector<std::vector<std::vector<NodeId>>> paths;
+  /// middle[i][j] = the node attached to the root.
+  std::vector<std::vector<NodeId>> middle;
+  /// Weight of every in-path edge (the paper's 1/n).
+  Weight path_edge_weight = 0;
+  /// w_{i,j} = 2^i (q + j).
+  Weight root_edge_weight(int i, int j) const;
+};
+
+LowerBoundTree make_lower_bound_tree(double epsilon, std::size_t n);
+
+}  // namespace compactroute

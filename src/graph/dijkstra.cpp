@@ -1,0 +1,102 @@
+#include "graph/dijkstra.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <tuple>
+
+#include "core/check.hpp"
+
+namespace compactroute {
+
+namespace {
+
+// Priority-queue entry. Ordered by (distance, owner, node) so pops are
+// deterministic; `owner` is the multi-source label (the source id itself for
+// plain Dijkstra).
+struct QueueEntry {
+  Weight dist;
+  NodeId owner;
+  NodeId node;
+  bool operator>(const QueueEntry& other) const {
+    return std::tie(dist, owner, node) > std::tie(other.dist, other.owner, other.node);
+  }
+};
+
+// Candidate (d2, o2, p2) improves on the node's current assignment if it is
+// lexicographically smaller in (distance, owner, parent). Equal-distance
+// improvements implement the "least id" tie-breaking used throughout the
+// paper; they cannot cascade unboundedly because the tuple only decreases.
+bool improves(Weight d2, NodeId o2, NodeId p2, Weight d, NodeId o, NodeId p) {
+  if (d2 != d) return d2 < d;
+  if (o2 != o) return o2 < o;
+  return p2 < p;
+}
+
+VoronoiDiagram run(const Graph& graph, const std::vector<NodeId>& sources) {
+  const std::size_t n = graph.num_nodes();
+  VoronoiDiagram out;
+  out.dist.assign(n, kInfiniteWeight);
+  out.owner.assign(n, kInvalidNode);
+  out.parent.assign(n, kInvalidNode);
+
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue;
+  for (NodeId s : sources) {
+    CR_CHECK(s < n);
+    if (improves(0, s, kInvalidNode, out.dist[s], out.owner[s], out.parent[s])) {
+      out.dist[s] = 0;
+      out.owner[s] = s;
+      out.parent[s] = kInvalidNode;
+      queue.push({0, s, s});
+    }
+  }
+
+  while (!queue.empty()) {
+    const QueueEntry top = queue.top();
+    queue.pop();
+    if (top.dist != out.dist[top.node] || top.owner != out.owner[top.node]) {
+      continue;  // stale entry
+    }
+    for (const HalfEdge& half : graph.neighbors(top.node)) {
+      const Weight d2 = top.dist + half.weight;
+      if (improves(d2, top.owner, top.node, out.dist[half.to], out.owner[half.to],
+                   out.parent[half.to])) {
+        out.dist[half.to] = d2;
+        out.owner[half.to] = top.owner;
+        out.parent[half.to] = top.node;
+        queue.push({d2, top.owner, half.to});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Path ShortestPathTree::path_to_source(NodeId from) const {
+  Path path;
+  NodeId cur = from;
+  while (cur != kInvalidNode) {
+    path.push_back(cur);
+    if (cur == source) return path;
+    cur = parent[cur];
+  }
+  CR_CHECK_MSG(false, "node is not connected to the tree source");
+  return path;
+}
+
+ShortestPathTree dijkstra(const Graph& graph, NodeId source) {
+  VoronoiDiagram diagram = run(graph, {source});
+  ShortestPathTree tree;
+  tree.source = source;
+  tree.dist = std::move(diagram.dist);
+  tree.parent = std::move(diagram.parent);
+  return tree;
+}
+
+VoronoiDiagram multi_source_dijkstra(const Graph& graph,
+                                     const std::vector<NodeId>& sources) {
+  CR_CHECK(!sources.empty());
+  return run(graph, sources);
+}
+
+}  // namespace compactroute

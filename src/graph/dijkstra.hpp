@@ -1,0 +1,47 @@
+#pragma once
+//
+// Single-source shortest paths. Ties between equal-length paths are broken
+// deterministically toward the smaller predecessor id so that every component
+// of the library (shortest-path trees, Voronoi cells, next-hop tables) agrees
+// on one canonical shortest path per pair, as the paper requires ("all nodes
+// should use the same tie-breaking mechanism").
+//
+#include <vector>
+
+#include "core/types.hpp"
+#include "graph/graph.hpp"
+
+namespace compactroute {
+
+struct ShortestPathTree {
+  NodeId source = kInvalidNode;
+  /// dist[u] = d(source, u); kInfiniteWeight if unreachable.
+  std::vector<Weight> dist;
+  /// parent[u] = predecessor of u on the canonical shortest path source->u;
+  /// kInvalidNode for the source itself and unreachable nodes.
+  std::vector<NodeId> parent;
+
+  /// Canonical shortest path from `from` back to the tree source, i.e. the
+  /// route a packet at `from` takes toward `source` (inclusive of both ends).
+  Path path_to_source(NodeId from) const;
+};
+
+/// Dijkstra from `source` over the whole graph.
+ShortestPathTree dijkstra(const Graph& graph, NodeId source);
+
+/// Multi-source Dijkstra: every node is assigned to the closest source, ties
+/// broken by smaller source id (then smaller predecessor id along the path).
+/// Returns, per node: distance to its owner, the owner id, and the parent
+/// pointer (which always stays inside the same owner's region, so the parent
+/// pointers of one region form a shortest-path tree spanning exactly that
+/// region — the paper's Voronoi trees T_c(j) of Section 4.1).
+struct VoronoiDiagram {
+  std::vector<Weight> dist;
+  std::vector<NodeId> owner;
+  std::vector<NodeId> parent;
+};
+
+VoronoiDiagram multi_source_dijkstra(const Graph& graph,
+                                     const std::vector<NodeId>& sources);
+
+}  // namespace compactroute

@@ -1,0 +1,84 @@
+#include "graph/doubling.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "core/check.hpp"
+
+namespace compactroute {
+
+namespace {
+
+// Greedily covers `targets` (all within distance r of some center) with balls
+// of radius half_r centered at arbitrary graph nodes; returns the number of
+// balls used.
+std::size_t greedy_cover(const MetricSpace& metric, const std::vector<NodeId>& targets,
+                         Weight half_r) {
+  std::vector<char> covered(targets.size(), 0);
+  std::size_t remaining = targets.size();
+  std::size_t balls = 0;
+  while (remaining > 0) {
+    // Pick the center covering the most uncovered targets; ties toward the
+    // smaller id for determinism. Candidate centers are the targets
+    // themselves: any external ball intersecting the set can be replaced by a
+    // same-radius ball centered inside it at the cost of doubling the radius,
+    // so covering "from inside" at radius r/2 still certifies dimension
+    // within one unit, which the callers' tolerances absorb.
+    std::size_t best_gain = 0;
+    NodeId best_center = kInvalidNode;
+    for (NodeId c : targets) {
+      std::size_t gain = 0;
+      for (std::size_t k = 0; k < targets.size(); ++k) {
+        if (!covered[k] && metric.dist(c, targets[k]) <= half_r) ++gain;
+      }
+      if (gain > best_gain || (gain == best_gain && gain > 0 && c < best_center)) {
+        best_gain = gain;
+        best_center = c;
+      }
+    }
+    CR_CHECK_MSG(best_gain > 0, "uncoverable target (impossible: targets cover themselves)");
+    for (std::size_t k = 0; k < targets.size(); ++k) {
+      if (!covered[k] && metric.dist(best_center, targets[k]) <= half_r) {
+        covered[k] = 1;
+        --remaining;
+      }
+    }
+    ++balls;
+  }
+  return balls;
+}
+
+}  // namespace
+
+DoublingEstimate estimate_doubling_dimension(const MetricSpace& metric,
+                                             std::size_t center_samples, Prng& prng) {
+  const std::size_t n = metric.n();
+  std::vector<NodeId> centers(n);
+  std::iota(centers.begin(), centers.end(), NodeId{0});
+  if (center_samples < n) {
+    // Fisher–Yates prefix shuffle.
+    for (std::size_t i = 0; i < center_samples; ++i) {
+      const std::size_t j = i + prng.next_below(n - i);
+      std::swap(centers[i], centers[j]);
+    }
+    centers.resize(center_samples);
+  }
+
+  DoublingEstimate estimate;
+  estimate.worst_cover_size = 1;
+  for (NodeId c : centers) {
+    for (int level = 0; level <= metric.num_levels(); ++level) {
+      const Weight r = std::ldexp(1.0, level);
+      std::vector<NodeId> ball = metric.ball(c, r);
+      if (ball.size() <= 1) continue;
+      const std::size_t cover = greedy_cover(metric, ball, r / 2);
+      estimate.worst_cover_size = std::max(estimate.worst_cover_size, cover);
+    }
+  }
+  estimate.dimension = std::log2(static_cast<double>(estimate.worst_cover_size));
+  return estimate;
+}
+
+}  // namespace compactroute

@@ -1,0 +1,35 @@
+#pragma once
+//
+// Doubling-dimension estimation.
+//
+// The doubling dimension α is the least value such that every ball B_u(r) can
+// be covered by at most 2^α balls of radius r/2 (Section 1). Computing the
+// exact minimum cover is NP-hard, so we report a greedy upper estimate: for
+// sampled (center, radius) pairs we cover the ball greedily with half-radius
+// balls (largest uncovered gain first) and take log2 of the worst cover size.
+// Greedy set cover is within a ln factor of optimal, so the estimate is an
+// upper bound on the true cover number and never underestimates by more than
+// the greedy slack — good enough to validate constructions such as the
+// lower-bound tree of Lemma 5.8 against a relaxed ceiling.
+//
+#include <cstddef>
+
+#include "core/prng.hpp"
+#include "graph/metric.hpp"
+
+namespace compactroute {
+
+struct DoublingEstimate {
+  /// log2 of the largest greedy half-radius cover found.
+  double dimension = 0;
+  /// Size of that worst cover.
+  std::size_t worst_cover_size = 0;
+};
+
+/// Estimates the doubling dimension by sampling `center_samples` ball centers
+/// (all centers if center_samples >= n) and testing radii 2^i for every level
+/// i of the metric.
+DoublingEstimate estimate_doubling_dimension(const MetricSpace& metric,
+                                             std::size_t center_samples, Prng& prng);
+
+}  // namespace compactroute

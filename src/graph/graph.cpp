@@ -1,0 +1,63 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/check.hpp"
+
+namespace compactroute {
+
+void Graph::add_edge(NodeId u, NodeId v, Weight w) {
+  CR_CHECK_MSG(u != v, "self-loops are not allowed");
+  CR_CHECK(u < num_nodes() && v < num_nodes());
+  CR_CHECK_MSG(w > 0, "edge weights must be positive");
+  for (auto& half : adjacency_[u]) {
+    if (half.to == v) {
+      if (w < half.weight) {
+        half.weight = w;
+        for (auto& back : adjacency_[v]) {
+          if (back.to == u) back.weight = w;
+        }
+      }
+      return;
+    }
+  }
+  adjacency_[u].push_back({v, w});
+  adjacency_[v].push_back({u, w});
+  ++num_edges_;
+}
+
+std::size_t Graph::max_degree() const {
+  std::size_t best = 0;
+  for (const auto& list : adjacency_) best = std::max(best, list.size());
+  return best;
+}
+
+Weight Graph::edge_weight(NodeId u, NodeId v) const {
+  for (const auto& half : adjacency_[u]) {
+    if (half.to == v) return half.weight;
+  }
+  return kInfiniteWeight;
+}
+
+bool Graph::is_connected() const {
+  if (num_nodes() == 0) return true;
+  std::vector<char> seen(num_nodes(), 0);
+  std::vector<NodeId> stack = {0};
+  seen[0] = 1;
+  std::size_t visited = 0;
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    ++visited;
+    for (const auto& half : adjacency_[u]) {
+      if (!seen[half.to]) {
+        seen[half.to] = 1;
+        stack.push_back(half.to);
+      }
+    }
+  }
+  return visited == num_nodes();
+}
+
+}  // namespace compactroute

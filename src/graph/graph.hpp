@@ -1,0 +1,50 @@
+#pragma once
+//
+// Connected, edge-weighted, undirected graph G = (V, E) — the network model
+// of Section 2 of the paper. Nodes are dense ids [0, n); parallel edges are
+// collapsed to the lighter one; self-loops are rejected.
+//
+#include <cstddef>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace compactroute {
+
+/// A directed half-edge as stored in the adjacency list.
+struct HalfEdge {
+  NodeId to = kInvalidNode;
+  Weight weight = 0;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::size_t n) : adjacency_(n) {}
+
+  std::size_t num_nodes() const { return adjacency_.size(); }
+  std::size_t num_edges() const { return num_edges_; }
+
+  /// Adds the undirected edge {u, v} with positive weight w. If the edge
+  /// already exists, keeps the smaller weight.
+  void add_edge(NodeId u, NodeId v, Weight w);
+
+  const std::vector<HalfEdge>& neighbors(NodeId u) const { return adjacency_[u]; }
+
+  std::size_t degree(NodeId u) const { return adjacency_[u].size(); }
+
+  /// Maximum degree over all nodes (0 for the empty graph).
+  std::size_t max_degree() const;
+
+  /// Weight of edge {u, v}; kInfiniteWeight if absent.
+  Weight edge_weight(NodeId u, NodeId v) const;
+
+  /// True if every node can reach every other node.
+  bool is_connected() const;
+
+ private:
+  std::vector<std::vector<HalfEdge>> adjacency_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace compactroute

@@ -1,0 +1,146 @@
+#include "graph/metric.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <thread>
+
+#include "core/check.hpp"
+#include "graph/dijkstra.hpp"
+
+namespace compactroute {
+
+namespace {
+
+// Runs fn(first, last) over [0, n) split across hardware threads. Each chunk
+// writes disjoint matrix rows, so no synchronization is needed.
+void parallel_rows(std::size_t n, const std::function<void(NodeId, NodeId)>& fn) {
+  const std::size_t workers =
+      std::max<std::size_t>(1, std::min<std::size_t>(
+                                   std::thread::hardware_concurrency(), 16));
+  if (workers == 1 || n < 64) {
+    fn(0, static_cast<NodeId>(n));
+    return;
+  }
+  std::vector<std::thread> threads;
+  const std::size_t chunk = (n + workers - 1) / workers;
+  for (std::size_t w = 0; w < workers; ++w) {
+    const NodeId first = static_cast<NodeId>(std::min(n, w * chunk));
+    const NodeId last = static_cast<NodeId>(std::min(n, (w + 1) * chunk));
+    if (first < last) threads.emplace_back(fn, first, last);
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+}  // namespace
+
+MetricSpace::MetricSpace(const Graph& graph) : graph_(graph), n_(graph.num_nodes()) {
+  CR_CHECK_MSG(n_ >= 2, "metric needs at least two nodes");
+  CR_CHECK_MSG(graph.is_connected(), "metric requires a connected graph");
+
+  dist_.resize(n_ * n_);
+  parent_.resize(n_ * n_);
+  order_.resize(n_ * n_);
+
+  // All-pairs shortest paths: one Dijkstra per root, rows computed in
+  // parallel (each thread owns a disjoint slice of the matrices).
+  parallel_rows(n_, [&](NodeId first, NodeId last) {
+    for (NodeId t = first; t < last; ++t) {
+      ShortestPathTree tree = dijkstra(graph_, t);
+      for (NodeId u = 0; u < n_; ++u) {
+        CR_CHECK(tree.dist[u] < kInfiniteWeight);
+        dist_[index(t, u)] = tree.dist[u];
+        parent_[index(t, u)] = tree.parent[u];
+      }
+    }
+  });
+
+  Weight min_dist = kInfiniteWeight;
+  Weight max_dist = 0;
+  for (NodeId t = 0; t < n_; ++t) {
+    for (NodeId u = 0; u < n_; ++u) {
+      if (u == t) continue;
+      min_dist = std::min(min_dist, dist_[index(t, u)]);
+      max_dist = std::max(max_dist, dist_[index(t, u)]);
+    }
+  }
+  CR_CHECK(min_dist > 0);
+
+  // Normalize so the minimum pairwise distance is 1 (paper, Section 2).
+  scale_ = min_dist;
+  for (Weight& d : dist_) d /= scale_;
+  delta_ = max_dist / scale_;
+
+  num_levels_ = 0;
+  while (std::ldexp(1.0, num_levels_) < delta_) ++num_levels_;
+
+  // Per-node orders by (distance, id), also parallel over rows.
+  parallel_rows(n_, [&](NodeId first, NodeId last) {
+    for (NodeId u = first; u < last; ++u) {
+      NodeId* row = order_.data() + index(u, 0);
+      for (NodeId v = 0; v < n_; ++v) row[v] = v;
+      const Weight* drow = dist_.data() + index(u, 0);
+      std::sort(row, row + n_, [&](NodeId a, NodeId b) {
+        if (drow[a] != drow[b]) return drow[a] < drow[b];
+        return a < b;
+      });
+    }
+  });
+}
+
+Weight MetricSpace::radius_of_count(NodeId u, std::size_t m) const {
+  CR_CHECK(m >= 1);
+  if (m > n_) m = n_;
+  return dist(u, order_[index(u, 0) + (m - 1)]);
+}
+
+std::vector<NodeId> MetricSpace::ball(NodeId u, Weight r) const {
+  std::vector<NodeId> result;
+  const NodeId* row = order_.data() + index(u, 0);
+  for (std::size_t k = 0; k < n_; ++k) {
+    if (dist(u, row[k]) > r) break;
+    result.push_back(row[k]);
+  }
+  return result;
+}
+
+std::size_t MetricSpace::ball_size(NodeId u, Weight r) const {
+  // Binary search over the sorted order: count of nodes with d(u, .) <= r.
+  const NodeId* row = order_.data() + index(u, 0);
+  std::size_t lo = 0, hi = n_;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (dist(u, row[mid]) <= r) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+Path MetricSpace::shortest_path(NodeId u, NodeId v) const {
+  Path path;
+  NodeId cur = u;
+  path.push_back(cur);
+  while (cur != v) {
+    cur = next_hop(cur, v);
+    CR_CHECK(cur != kInvalidNode);
+    path.push_back(cur);
+    CR_CHECK_MSG(path.size() <= n_, "next-hop cycle detected");
+  }
+  return path;
+}
+
+NodeId MetricSpace::nearest_in(NodeId u, std::span<const NodeId> candidates) const {
+  CR_CHECK(!candidates.empty());
+  NodeId best = candidates[0];
+  for (NodeId c : candidates.subspan(1)) {
+    const Weight dc = dist(u, c);
+    const Weight db = dist(u, best);
+    if (dc < db || (dc == db && c < best)) best = c;
+  }
+  return best;
+}
+
+}  // namespace compactroute

@@ -1,0 +1,87 @@
+#pragma once
+//
+// Shortest-path metric of a connected weighted graph (Section 2).
+//
+// Distances are normalized so the minimum pairwise distance is 1 — the
+// paper's w.l.o.g. — hence the normalized diameter is simply
+// Δ = max_{u,v} d(u, v). The metric precomputes all-pairs distances, canonical
+// next hops (parent of u in the shortest-path tree rooted at the target), and
+// per-node distance-sorted orders, which power the ball queries B_u(r) and the
+// size-radius function r_u(j) ("radius of the smallest ball around u holding
+// 2^j nodes") used by every scheme in the paper.
+//
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+#include "graph/graph.hpp"
+
+namespace compactroute {
+
+class MetricSpace {
+ public:
+  /// Builds the metric. Requires a connected graph with >= 2 nodes.
+  explicit MetricSpace(const Graph& graph);
+
+  std::size_t n() const { return n_; }
+  const Graph& graph() const { return graph_; }
+
+  /// Normalized distance d(u, v); d(u, u) == 0, min_{u != v} d(u, v) == 1.
+  Weight dist(NodeId u, NodeId v) const { return dist_[index(u, v)]; }
+
+  /// Factor by which original graph distances were divided.
+  Weight normalization_scale() const { return scale_; }
+
+  /// Normalized diameter Δ = max d(u, v).
+  Weight delta() const { return delta_; }
+
+  /// Smallest L with 2^L >= Δ. Net levels run i = 0..L (Section 2).
+  int num_levels() const { return num_levels_; }
+
+  /// Nodes ordered by (distance from u, id); position 0 is u itself.
+  std::span<const NodeId> sorted_by_distance(NodeId u) const {
+    return {order_.data() + static_cast<std::size_t>(u) * n_, n_};
+  }
+
+  /// Distance from u to the m-th nearest node counting u itself (m >= 1).
+  /// radius_of_count(u, 2^j) is the paper's r_u(j).
+  Weight radius_of_count(NodeId u, std::size_t m) const;
+
+  /// Nodes within distance r of u, ordered by (distance, id). This is the
+  /// ball B_u(r) of the paper.
+  std::vector<NodeId> ball(NodeId u, Weight r) const;
+
+  /// |B_u(r)|.
+  std::size_t ball_size(NodeId u, Weight r) const;
+
+  /// Neighbor of u on the canonical shortest path u -> target (target itself
+  /// if adjacent); kInvalidNode if u == target.
+  NodeId next_hop(NodeId u, NodeId target) const {
+    return parent_[index(target, u)];
+  }
+
+  /// Canonical shortest path from u to v, inclusive of both endpoints.
+  Path shortest_path(NodeId u, NodeId v) const;
+
+  /// The candidate nearest to u; ties broken toward the smaller id.
+  /// candidates must be non-empty.
+  NodeId nearest_in(NodeId u, std::span<const NodeId> candidates) const;
+
+ private:
+  std::size_t index(NodeId row, NodeId col) const {
+    return static_cast<std::size_t>(row) * n_ + col;
+  }
+
+  Graph graph_;
+  std::size_t n_ = 0;
+  Weight scale_ = 1;
+  Weight delta_ = 0;
+  int num_levels_ = 0;
+  std::vector<Weight> dist_;    // n*n, normalized
+  std::vector<NodeId> parent_;  // parent_[t*n + u] = next hop of u toward t
+  std::vector<NodeId> order_;   // order_[u*n + k] = k-th nearest node to u
+};
+
+}  // namespace compactroute

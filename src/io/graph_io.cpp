@@ -1,0 +1,86 @@
+#include "io/graph_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "core/check.hpp"
+
+namespace compactroute {
+
+namespace {
+
+// Consumes comments and whitespace; returns false at EOF.
+bool next_token(std::istream& in, std::string& token) {
+  while (in >> token) {
+    if (token[0] == '#') {
+      std::string rest;
+      std::getline(in, rest);
+      continue;
+    }
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t parse_count(const std::string& token) {
+  std::size_t pos = 0;
+  const std::uint64_t value = std::stoull(token, &pos);
+  CR_CHECK_MSG(pos == token.size(), "malformed integer in graph file");
+  return value;
+}
+
+double parse_weight(const std::string& token) {
+  std::size_t pos = 0;
+  const double value = std::stod(token, &pos);
+  CR_CHECK_MSG(pos == token.size(), "malformed weight in graph file");
+  return value;
+}
+
+}  // namespace
+
+void write_edge_list(std::ostream& out, const Graph& graph) {
+  out << "# compactroute edge list\n";
+  out << graph.num_nodes() << ' ' << graph.num_edges() << '\n';
+  out.precision(17);
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    for (const HalfEdge& half : graph.neighbors(u)) {
+      if (u < half.to) out << u << ' ' << half.to << ' ' << half.weight << '\n';
+    }
+  }
+}
+
+Graph read_edge_list(std::istream& in) {
+  std::string token;
+  CR_CHECK_MSG(next_token(in, token), "empty graph file");
+  const std::uint64_t n = parse_count(token);
+  CR_CHECK_MSG(next_token(in, token), "missing edge count");
+  const std::uint64_t m = parse_count(token);
+
+  Graph graph(n);
+  for (std::uint64_t e = 0; e < m; ++e) {
+    CR_CHECK_MSG(next_token(in, token), "truncated edge list");
+    const std::uint64_t u = parse_count(token);
+    CR_CHECK_MSG(next_token(in, token), "truncated edge list");
+    const std::uint64_t v = parse_count(token);
+    CR_CHECK_MSG(next_token(in, token), "truncated edge list");
+    const double w = parse_weight(token);
+    CR_CHECK_MSG(u < n && v < n, "edge endpoint out of range");
+    graph.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v), w);
+  }
+  return graph;
+}
+
+void save_graph(const std::string& path, const Graph& graph) {
+  std::ofstream out(path);
+  CR_CHECK_MSG(out.good(), "cannot open file for writing: " + path);
+  write_edge_list(out, graph);
+  CR_CHECK_MSG(out.good(), "write failed: " + path);
+}
+
+Graph load_graph(const std::string& path) {
+  std::ifstream in(path);
+  CR_CHECK_MSG(in.good(), "cannot open file for reading: " + path);
+  return read_edge_list(in);
+}
+
+}  // namespace compactroute

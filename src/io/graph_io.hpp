@@ -1,0 +1,25 @@
+#pragma once
+//
+// Plain-text graph serialization.
+//
+// Format (whitespace-separated, '#' comments allowed):
+//   n m
+//   u v w     (m lines, one undirected edge each)
+//
+// The format is deliberately trivial — it interoperates with DIMACS-style
+// tooling via one awk line and keeps generated instances diffable.
+//
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace compactroute {
+
+void write_edge_list(std::ostream& out, const Graph& graph);
+Graph read_edge_list(std::istream& in);
+
+void save_graph(const std::string& path, const Graph& graph);
+Graph load_graph(const std::string& path);
+
+}  // namespace compactroute

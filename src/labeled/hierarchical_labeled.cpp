@@ -1,0 +1,81 @@
+#include "labeled/hierarchical_labeled.hpp"
+
+#include "core/bits.hpp"
+#include "core/check.hpp"
+
+namespace compactroute {
+
+HierarchicalLabeledScheme::HierarchicalLabeledScheme(const MetricSpace& metric,
+                                                     const NetHierarchy& hierarchy,
+                                                     double epsilon)
+    : metric_(&metric), hierarchy_(&hierarchy), epsilon_(epsilon) {
+  CR_CHECK_MSG(epsilon > 0 && epsilon <= 0.5, "scheme requires ε ∈ (0, 1/2]");
+  const std::size_t n = metric.n();
+  const int top = hierarchy.top_level();
+  rings_.assign(n, std::vector<std::vector<RingEntry>>(top + 1));
+  for (NodeId u = 0; u < n; ++u) {
+    for (int i = 0; i <= top; ++i) {
+      const Weight reach = level_radius(i) / epsilon_;
+      for (NodeId x : hierarchy.net(i)) {
+        if (metric.dist(u, x) > reach) continue;
+        rings_[u][i].push_back(
+            {x, hierarchy.range(i, x), x == u ? u : metric.next_hop(u, x)});
+      }
+    }
+  }
+}
+
+std::pair<int, const HierarchicalLabeledScheme::RingEntry*>
+HierarchicalLabeledScheme::minimal_hit(NodeId u, NodeId dest_label) const {
+  for (int i = 0; i < static_cast<int>(rings_[u].size()); ++i) {
+    for (const RingEntry& entry : rings_[u][i]) {
+      if (entry.range.contains(dest_label)) return {i, &entry};
+    }
+  }
+  CR_CHECK_MSG(false, "top ring always holds the hierarchy root");
+  return {-1, nullptr};
+}
+
+RouteResult HierarchicalLabeledScheme::route(NodeId src,
+                                             std::uint64_t dest_label) const {
+  CR_CHECK(dest_label < metric_->n());
+  const NodeId target_label = static_cast<NodeId>(dest_label);
+  RouteResult result;
+  result.path.push_back(src);
+
+  NodeId pos = src;
+  while (hierarchy_->leaf_label(pos) != target_label) {
+    const auto [level, entry] = minimal_hit(pos, target_label);
+    (void)level;
+    CR_CHECK_MSG(entry->x != pos,
+                 "ring hit at own position implies level-0 self hit, i.e. delivery");
+    pos = entry->next_hop;
+    result.path.push_back(pos);
+    CR_CHECK_MSG(result.path.size() <= 8 * metric_->n(), "routing did not converge");
+  }
+  result.cost = path_cost(*metric_, result.path);
+  result.delivered = true;
+  return result;
+}
+
+std::size_t HierarchicalLabeledScheme::label_bits() const {
+  return static_cast<std::size_t>(id_bits(metric_->n()));
+}
+
+std::size_t HierarchicalLabeledScheme::storage_bits(NodeId u) const {
+  const std::size_t range_bits = 2 * label_bits();
+  const std::size_t port =
+      id_bits(std::max<std::size_t>(metric_->graph().degree(u), 2));
+  std::size_t bits = 0;
+  for (const auto& ring : rings_[u]) {
+    bits += ring.size() * (range_bits + port);
+  }
+  return bits;
+}
+
+std::size_t HierarchicalLabeledScheme::header_bits() const {
+  // The header carries only the destination label; all decisions are local.
+  return label_bits();
+}
+
+}  // namespace compactroute

@@ -1,0 +1,71 @@
+#pragma once
+//
+// Non-scale-free (1+ε)-stretch labeled routing (the effective underlying
+// scheme of Lemma 3.1, [2, Theorem 4] — reimplemented from its spec).
+//
+// Every node u stores, for *every* level i ∈ [0, log Δ], its ring
+// X_i(u) = B_u(2^i/ε) ∩ Y_i: per ring member x the DFS range Range(x, i) and
+// the next hop on the canonical shortest path u -> x. The routing label of v
+// is its ⌈log n⌉-bit DFS leaf number l(v) in the netting tree.
+//
+// Routing is greedy descent: at each node, find the minimal level i whose
+// ring holds a point x with l(v) ∈ Range(x, i) — necessarily x = v(i), the
+// level-i zooming ancestor of v — and step toward x. As the packet closes in,
+// ever-lower ancestors of v enter the local rings, and the level can never
+// increase along the walk (moving toward v(i) keeps v(i) in the ring), so the
+// packet converges to v(0) = v with (1 + O(ε)) total cost.
+//
+// Space is Θ(log Δ · log n · (1/ε)^O(α)) per node — compact only when Δ is
+// polynomial in n. The scale-free scheme of Theorem 1.2 removes the log Δ.
+//
+#include <string>
+#include <vector>
+
+#include "nets/rnet.hpp"
+#include "routing/scheme.hpp"
+
+namespace compactroute {
+
+class HierarchicalLabeledScheme final : public LabeledScheme {
+ public:
+  /// epsilon must be in (0, 1/2] (Lemma 3.1's precondition; also what makes
+  /// greedy descent monotone in the level).
+  HierarchicalLabeledScheme(const MetricSpace& metric, const NetHierarchy& hierarchy,
+                            double epsilon);
+
+  std::string name() const override { return "labeled/hierarchical"; }
+  std::uint64_t label(NodeId v) const override { return hierarchy_->leaf_label(v); }
+  std::size_t label_bits() const override;
+  RouteResult route(NodeId src, std::uint64_t dest_label) const override;
+  std::size_t storage_bits(NodeId u) const override;
+  std::size_t header_bits() const override;
+
+  double epsilon() const { return epsilon_; }
+  const NetHierarchy& hierarchy() const { return *hierarchy_; }
+
+  struct RingEntry {
+    NodeId x = kInvalidNode;
+    LeafRange range;
+    NodeId next_hop = kInvalidNode;
+  };
+
+  /// Ring tables of node u, one vector per level (X_i(u) with ranges and next
+  /// hops) — exposed for serialization and diagnostics.
+  const std::vector<std::vector<RingEntry>>& rings(NodeId u) const {
+    return rings_[u];
+  }
+
+ private:
+
+  /// Minimal level with a ring entry whose range holds `dest_label`;
+  /// returns (level, entry pointer). Always succeeds (top ring holds the
+  /// hierarchy root, whose range is all of V).
+  std::pair<int, const RingEntry*> minimal_hit(NodeId u, NodeId dest_label) const;
+
+  const MetricSpace* metric_;
+  const NetHierarchy* hierarchy_;
+  double epsilon_;
+  std::vector<std::vector<std::vector<RingEntry>>> rings_;  // [node][level]
+};
+
+}  // namespace compactroute

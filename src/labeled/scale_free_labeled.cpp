@@ -1,0 +1,366 @@
+#include "labeled/scale_free_labeled.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/bits.hpp"
+#include "core/check.hpp"
+#include "graph/dijkstra.hpp"
+
+namespace compactroute {
+
+ScaleFreeLabeledScheme::ScaleFreeLabeledScheme(const MetricSpace& metric,
+                                               const NetHierarchy& hierarchy,
+                                               double epsilon)
+    : ScaleFreeLabeledScheme(metric, hierarchy, epsilon, Options{}) {}
+
+ScaleFreeLabeledScheme::ScaleFreeLabeledScheme(const MetricSpace& metric,
+                                               const NetHierarchy& hierarchy,
+                                               double epsilon,
+                                               const Options& options)
+    : metric_(&metric),
+      hierarchy_(&hierarchy),
+      epsilon_(epsilon),
+      options_(options) {
+  CR_CHECK_MSG(epsilon > 0 && epsilon <= 0.5, "scheme requires ε ∈ (0, 1/2]");
+  CR_CHECK(options.ring_window > 0);
+  max_exponent_ = max_size_exponent(metric.n());
+  build_rings();
+  build_packings();
+}
+
+void ScaleFreeLabeledScheme::build_rings() {
+  const std::size_t n = metric_->n();
+  const int top = hierarchy_->top_level();
+
+  size_radius_.assign(max_exponent_ + 1, std::vector<Weight>(n, 0));
+  for (int j = 0; j <= max_exponent_; ++j) {
+    for (NodeId u = 0; u < n; ++u) {
+      size_radius_[j][u] = size_radius(*metric_, u, j);
+    }
+  }
+
+  // R(u) = { i : ∃j, (ε/6) r_u(j) <= 2^i <= r_u(j) } — the levels around each
+  // density scale of u — plus the top level (guard: line 2 of Algorithm 5
+  // must always find a candidate; the top ring holds the hierarchy root).
+  level_set_.assign(n, {});
+  rings_.assign(n, {});
+  for (NodeId u = 0; u < n; ++u) {
+    for (int i = 0; i <= top; ++i) {
+      const Weight radius = level_radius(i);
+      bool in_set = (i == top);
+      for (int j = 1; !in_set && j <= max_exponent_; ++j) {
+        const Weight rj = size_radius_[j][u];
+        if (rj > 0 && (epsilon_ / options_.ring_window) * rj <= radius &&
+            radius <= rj) {
+          in_set = true;
+        }
+      }
+      if (in_set) level_set_[u].push_back(i);
+    }
+  }
+
+  for (NodeId u = 0; u < n; ++u) {
+    rings_[u].resize(level_set_[u].size());
+    for (std::size_t k = 0; k < level_set_[u].size(); ++k) {
+      const int i = level_set_[u][k];
+      const Weight reach = level_radius(i) / epsilon_;
+      for (NodeId x : hierarchy_->net(i)) {
+        if (metric_->dist(u, x) > reach) continue;
+        rings_[u][k].push_back(
+            {x, hierarchy_->range(i, x), x == u ? u : metric_->next_hop(u, x)});
+      }
+    }
+  }
+}
+
+void ScaleFreeLabeledScheme::build_packings() {
+  const std::size_t n = metric_->n();
+  const std::size_t log_n = id_bits(n);
+  chain_bits_.assign(n, 0);
+  regions_.resize(max_exponent_ + 1);
+  region_of_.assign(max_exponent_ + 1, std::vector<int>(n, -1));
+
+  for (int j = 0; j <= max_exponent_; ++j) {
+    const BallPacking packing(*metric_, j);
+    std::vector<NodeId> centers;
+    centers.reserve(packing.balls().size());
+    for (const PackedBall& ball : packing.balls()) centers.push_back(ball.center);
+    const VoronoiDiagram voronoi = multi_source_dijkstra(metric_->graph(), centers);
+
+    std::vector<std::vector<NodeId>> cells(packing.balls().size());
+    std::vector<int> cell_of_center(n, -1);
+    for (std::size_t b = 0; b < centers.size(); ++b) cell_of_center[centers[b]] = static_cast<int>(b);
+    for (NodeId u = 0; u < n; ++u) {
+      const int b = cell_of_center[voronoi.owner[u]];
+      CR_CHECK(b >= 0);
+      cells[b].push_back(u);
+      region_of_[j][u] = b;
+    }
+
+    regions_[j].resize(packing.balls().size());
+    for (std::size_t b = 0; b < packing.balls().size(); ++b) {
+      Region& region = regions_[j][b];
+      region.center = centers[b];
+      region.tree = std::make_unique<RootedTree>(
+          cells[b], centers[b], [&](NodeId v) { return voronoi.parent[v]; },
+          [&](NodeId v) { return metric_->dist(v, voronoi.parent[v]); });
+      region.router = std::make_unique<CompactTreeRouter>(*region.tree);
+      max_region_label_bits_ =
+          std::max(max_region_label_bits_, region.router->max_label_bits());
+
+      // T'(c, r_c(j)) over the packed ball, holding (global label -> local
+      // label) for cell members within r_c(j+1) (all members at the top).
+      const PackedBall& ball = packing.balls()[b];
+      region.search = std::make_unique<SearchTree>(
+          *metric_, ball.center, ball.radius, epsilon_,
+          options_.capped_search_trees ? SearchTree::Variant::kCappedVoronoi
+                                       : SearchTree::Variant::kBasic);
+      const Weight reach = (j == max_exponent_)
+                               ? metric_->delta()
+                               : size_radius_[j + 1][ball.center];
+      std::vector<std::pair<SearchTree::Key, SearchTree::Data>> pairs;
+      for (NodeId v : cells[b]) {
+        if (metric_->dist(ball.center, v) <= reach) {
+          pairs.emplace_back(hierarchy_->leaf_label(v),
+                             static_cast<SearchTree::Data>(region.tree->local_id(v)));
+        }
+      }
+      region.search->store(std::move(pairs));
+
+      // Lemma 4.3 accounting: net-level virtual edges ride next-hop chains —
+      // every node on the canonical shortest path keeps one entry per
+      // direction; tail edges ride local tree routing — both endpoints keep a
+      // local label (~2 log n bits).
+      const RootedTree& stree = region.search->tree();
+      for (std::size_t local = 0; local < stree.size(); ++local) {
+        const int parent = stree.parent(static_cast<int>(local));
+        if (parent < 0) continue;
+        const NodeId a = stree.global_id(static_cast<int>(local));
+        const NodeId b2 = stree.global_id(parent);
+        if (region.search->is_tail(static_cast<int>(local))) {
+          chain_bits_[a] += 4 * log_n;
+          chain_bits_[b2] += 4 * log_n;
+        } else {
+          for (NodeId w : metric_->shortest_path(a, b2)) chain_bits_[w] += 2 * log_n;
+        }
+      }
+    }
+
+    // Top-level fallback links: centers of ℬ_{log n} know next hops to each
+    // other (a constant-size clique in practice; see header notes).
+    if (j == max_exponent_ && centers.size() > 1) {
+      for (NodeId a : centers) {
+        for (NodeId b : centers) {
+          if (a >= b) continue;
+          for (NodeId w : metric_->shortest_path(a, b)) chain_bits_[w] += 2 * log_n;
+        }
+      }
+    }
+  }
+}
+
+std::pair<int, const ScaleFreeLabeledScheme::RingEntry*>
+ScaleFreeLabeledScheme::minimal_hit(NodeId u, NodeId dest_label) const {
+  for (std::size_t k = 0; k < level_set_[u].size(); ++k) {
+    for (const RingEntry& entry : rings_[u][k]) {
+      if (entry.range.contains(dest_label)) return {level_set_[u][k], &entry};
+    }
+  }
+  CR_CHECK_MSG(false, "top ring always holds the hierarchy root");
+  return {-1, nullptr};
+}
+
+int ScaleFreeLabeledScheme::density_exponent(NodeId u, Weight radius) const {
+  int j = 0;
+  while (j + 1 <= max_exponent_ && size_radius_[j + 1][u] <= radius) ++j;
+  return j;
+}
+
+RouteResult ScaleFreeLabeledScheme::route(NodeId src, std::uint64_t dest_label) const {
+  return route_with_trace(src, dest_label, nullptr);
+}
+
+RouteResult ScaleFreeLabeledScheme::route_with_trace(NodeId src,
+                                                     std::uint64_t dest_label,
+                                                     Trace* trace) const {
+  CR_CHECK(dest_label < metric_->n());
+  const NodeId target_label = static_cast<NodeId>(dest_label);
+  Trace local_trace;
+  Trace& tr = trace ? *trace : local_trace;
+  tr = Trace{};
+
+  RouteResult result;
+  result.path.push_back(src);
+  const auto delivered = [&]() {
+    result.cost = path_cost(*metric_, result.path);
+    result.delivered = true;
+    return result;
+  };
+
+  NodeId pos = src;
+  if (hierarchy_->leaf_label(pos) == target_label) {
+    tr.direct_delivery = true;
+    return delivered();
+  }
+
+  // Walk phase (Algorithm 5 lines 1–6).
+  int prev_level = std::numeric_limits<int>::max();
+  int handoff_level = -1;
+  for (;;) {
+    const auto [level, entry] = minimal_hit(pos, target_label);
+    const Weight threshold =
+        level_radius(level) / (2 * epsilon_) - level_radius(level);
+    // entry->x == pos means u_k = v(i_k): no walking can help, hand off.
+    // (For ε < 1/2 the distance test already fails; at the ε = 1/2 boundary
+    // the threshold degenerates to 0 and needs this explicit guard.)
+    if (entry->x != pos && level <= prev_level &&
+        metric_->dist(pos, entry->x) >= threshold) {
+      pos = entry->next_hop;
+      result.path.push_back(pos);
+      prev_level = level;
+      ++tr.walk_hops;
+      CR_CHECK_MSG(result.path.size() <= 8 * metric_->n(), "walk did not converge");
+      if (hierarchy_->leaf_label(pos) == target_label) {
+        tr.direct_delivery = true;
+        tr.walk_cost = path_cost(*metric_, result.path);
+        return delivered();
+      }
+      continue;
+    }
+    handoff_level = level;
+    break;
+  }
+  tr.handoff_node = pos;
+  tr.handoff_level = handoff_level;
+  tr.walk_cost = path_cost(*metric_, result.path);
+
+  // Handoff phase (lines 7–10), with the documented escalation guard.
+  // Per the routing model (Section 1), every relay first checks whether the
+  // packet has reached its destination — so any segment that happens to pass
+  // through v ends the route there.
+  const NodeId target_node = hierarchy_->node_of_label(target_label);
+  const auto append_and_check = [&](NodeId node) {
+    result.path.push_back(node);
+    return node == target_node;
+  };
+  const auto append_locals = [&](const Region& region,
+                                 const std::vector<int>& locals) {
+    for (std::size_t s = 1; s < locals.size(); ++s) {
+      if (append_and_check(region.tree->global_id(locals[s]))) return true;
+    }
+    return false;
+  };
+
+  int j = density_exponent(pos, level_radius(handoff_level));
+  tr.packing_exponent = j;
+  for (; j <= max_exponent_; ++j) {
+    const Region& region = regions_[j][region_of_[j][pos]];
+    if (tr.region_center == kInvalidNode) tr.region_center = region.center;
+
+    const Weight before_center = path_cost(*metric_, result.path);
+    const bool hit_on_way_to_center = append_locals(
+        region, region.router->route(region.tree->local_id(pos),
+                                     region.router->label(region.tree->root_local())));
+    if (j == tr.packing_exponent) {
+      tr.to_center_cost = path_cost(*metric_, result.path) - before_center;
+    }
+    if (hit_on_way_to_center) return delivered();
+
+    const Weight before_search = path_cost(*metric_, result.path);
+    const SearchTree::LookupResult lookup = region.search->lookup(target_label);
+    bool hit_in_search = false;
+    for (std::size_t s = 1; s < lookup.trail.size() && !hit_in_search; ++s) {
+      hit_in_search = append_and_check(lookup.trail[s]);
+    }
+    if (j == tr.packing_exponent) {
+      tr.search_cost = path_cost(*metric_, result.path) - before_search;
+    }
+    if (hit_in_search) return delivered();
+
+    if (lookup.found) {
+      const Weight before_dest = path_cost(*metric_, result.path);
+      append_locals(region,
+                    region.router->route(
+                        region.tree->root_local(),
+                        region.router->label(static_cast<int>(lookup.data))));
+      tr.to_dest_cost = path_cost(*metric_, result.path) - before_dest;
+      CR_CHECK(result.path.back() == target_node);
+      return delivered();
+    }
+    ++tr.escalations;
+    pos = region.center;
+  }
+
+  // Final fallback: try the other top-level cells via center-to-center links.
+  for (const Region& region : regions_[max_exponent_]) {
+    if (region.center == pos) continue;
+    for (NodeId w : metric_->shortest_path(pos, region.center)) {
+      if (w != pos && append_and_check(w)) return delivered();
+    }
+    pos = region.center;
+    const SearchTree::LookupResult lookup = region.search->lookup(target_label);
+    for (std::size_t s = 1; s < lookup.trail.size(); ++s) {
+      if (append_and_check(lookup.trail[s])) return delivered();
+    }
+    ++tr.escalations;
+    if (lookup.found) {
+      append_locals(region,
+                    region.router->route(
+                        region.tree->root_local(),
+                        region.router->label(static_cast<int>(lookup.data))));
+      return delivered();
+    }
+  }
+  CR_CHECK_MSG(false, "top-level cells jointly index every node");
+  return result;
+}
+
+std::size_t ScaleFreeLabeledScheme::label_bits() const {
+  return static_cast<std::size_t>(id_bits(metric_->n()));
+}
+
+std::size_t ScaleFreeLabeledScheme::storage_bits(NodeId u) const {
+  const std::size_t log_n = label_bits();
+  const std::size_t level_bits = id_bits(hierarchy_->top_level() + 2);
+  const std::size_t port =
+      id_bits(std::max<std::size_t>(metric_->graph().degree(u), 2));
+
+  std::size_t bits = log_n;  // own label
+  // Rings: entries plus a run-length encoding of R(u).
+  std::size_t runs = 0;
+  for (std::size_t k = 0; k < level_set_[u].size(); ++k) {
+    if (k == 0 || level_set_[u][k] != level_set_[u][k - 1] + 1) ++runs;
+    bits += rings_[u][k].size() * (2 * log_n + port);
+  }
+  bits += runs * 2 * level_bits;
+
+  // Per packing level: the local label of the own region's center plus the
+  // region router's table.
+  for (int j = 0; j <= max_exponent_; ++j) {
+    const Region& region = regions_[j][region_of_[j][u]];
+    bits += log_n;
+    bits += region.router->table_bits(region.tree->local_id(u));
+    // Search-tree membership: the packed balls of ℬ_j are disjoint, so u is
+    // in at most one search tree per level.
+    for (const Region& candidate : regions_[j]) {
+      const int local = candidate.search->tree().local_id(u);
+      if (local < 0) continue;
+      bits += candidate.search->node_bits(local, log_n,
+                                          candidate.router->max_label_bits(),
+                                          /*link_bits=*/0);
+    }
+  }
+  bits += chain_bits_[u];
+  return bits;
+}
+
+std::size_t ScaleFreeLabeledScheme::header_bits() const {
+  // Destination label, previous level, packing exponent, phase tag, and the
+  // retrieved local tree label during the handoff phase.
+  return label_bits() + id_bits(hierarchy_->top_level() + 2) +
+         id_bits(max_exponent_ + 2) + 2 + max_region_label_bits_;
+}
+
+}  // namespace compactroute

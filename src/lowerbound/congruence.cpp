@@ -1,0 +1,162 @@
+#include "lowerbound/congruence.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "core/check.hpp"
+#include "core/types.hpp"
+
+namespace compactroute {
+
+namespace {
+
+// β-bit routing configuration of node v under a naming: a hash of the
+// name-dependent state a compact table could hold — here, v's own name and
+// the set of names v would publish under rendezvous hashing (the same
+// binding rule as HashLocationScheme). Truncated to beta bits, this is "some
+// deterministic function of the naming" exactly as Definition 5.2 requires.
+std::uint64_t configuration(const std::vector<int>& naming, NodeId v,
+                            std::size_t beta_bits) {
+  const std::size_t n = naming.size();
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL ^ static_cast<std::uint64_t>(naming[v]);
+  for (std::size_t name = 0; name < n; ++name) {
+    const std::uint64_t mixed = name * 0x9e3779b97f4a7c15ULL;
+    if (mixed % n == v) {
+      h ^= (name + 0x100) * 0xbf58476d1ce4e5b9ULL;
+      h = (h ^ (h >> 29)) * 0x94d049bb133111ebULL;
+    }
+  }
+  // Mix in which node holds each small name (local "who is near me" info).
+  h ^= static_cast<std::uint64_t>(naming[v]) << 32;
+  h = (h ^ (h >> 31)) * 0xff51afd7ed558ccdULL;
+  if (beta_bits >= 64) return h;
+  return h & ((std::uint64_t{1} << beta_bits) - 1);
+}
+
+}  // namespace
+
+CongruenceResult run_congruence_experiment(const Graph& graph,
+                                           const std::vector<int>& block_of,
+                                           std::size_t beta_bits) {
+  const std::size_t n = graph.num_nodes();
+  CR_CHECK_MSG(n >= 2 && n <= 9, "naming enumeration needs n <= 9");
+  CR_CHECK(block_of.size() == n);
+  const int num_blocks = *std::max_element(block_of.begin(), block_of.end()) + 1;
+
+  CongruenceResult result;
+  result.n = n;
+  result.beta_bits = beta_bits;
+  result.largest_family.assign(num_blocks, 0);
+  result.pigeonhole_bound.assign(num_blocks, 0);
+
+  // Nodes of each prefix V_0 ∪ ... ∪ V_i.
+  std::vector<std::vector<NodeId>> prefix(num_blocks);
+  for (int b = 0; b < num_blocks; ++b) {
+    if (b > 0) prefix[b] = prefix[b - 1];
+    for (NodeId v = 0; v < n; ++v) {
+      if (block_of[v] == b) prefix[b].push_back(v);
+    }
+  }
+
+  std::vector<int> naming(n);
+  std::iota(naming.begin(), naming.end(), 0);
+  // families[b]: configuration fingerprint over prefix[b] -> count.
+  std::vector<std::map<std::vector<std::uint64_t>, std::size_t>> families(num_blocks);
+  std::size_t total = 0;
+  do {
+    ++total;
+    for (int b = 0; b < num_blocks; ++b) {
+      std::vector<std::uint64_t> fingerprint;
+      fingerprint.reserve(prefix[b].size());
+      for (NodeId v : prefix[b]) {
+        fingerprint.push_back(configuration(naming, v, beta_bits));
+      }
+      ++families[b][fingerprint];
+    }
+  } while (std::next_permutation(naming.begin(), naming.end()));
+
+  result.total_namings = total;
+  for (int b = 0; b < num_blocks; ++b) {
+    for (const auto& [fingerprint, count] : families[b]) {
+      result.largest_family[b] = std::max(result.largest_family[b], count);
+    }
+    result.pigeonhole_bound[b] =
+        static_cast<double>(total) /
+        std::pow(2.0, static_cast<double>(beta_bits * prefix[b].size()));
+  }
+  return result;
+}
+
+namespace {
+
+struct Target {
+  Weight distance = 0;  // root -> adversarial far end of the subtree path
+  int index = -1;       // i*q + j
+};
+
+std::vector<Target> adversarial_targets(const LowerBoundTree& tree) {
+  std::vector<Target> targets;
+  const Weight path_edge = tree.path_edge_weight;
+  for (int i = 0; i < tree.p; ++i) {
+    for (int j = 0; j < tree.q; ++j) {
+      const std::size_t len = tree.paths[i][j].size();
+      // Middle node sits at position len/2; the far end is max(len/2,
+      // len-1-len/2) edges away.
+      const std::size_t half = len / 2;
+      const std::size_t reach_edges = std::max(half, len - 1 - half);
+      targets.push_back({tree.root_edge_weight(i, j) +
+                             static_cast<Weight>(reach_edges) * path_edge,
+                         i * tree.q + j});
+    }
+  }
+  std::sort(targets.begin(), targets.end(), [](const Target& a, const Target& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.index < b.index;
+  });
+  return targets;
+}
+
+}  // namespace
+
+ObliviousSearchResult evaluate_expanding_ring_search(const LowerBoundTree& tree) {
+  const std::vector<Target> targets = adversarial_targets(tree);
+  ObliviousSearchResult result;
+  for (const Target& target : targets) {
+    // Doubling radii starting at the cheapest subtree scale w_{0,0} = q.
+    Weight radius = static_cast<Weight>(tree.q);
+    Weight paid_searches = 2 * radius;
+    while (radius < target.distance) {
+      radius *= 2;
+      paid_searches += 2 * radius;
+    }
+    const Weight paid = paid_searches + target.distance;
+    const double stretch = paid / target.distance;
+    result.per_subtree_stretch.push_back(stretch);
+    if (stretch > result.worst_stretch) {
+      result.worst_stretch = stretch;
+      result.worst_subtree = target.index;
+    }
+  }
+  return result;
+}
+
+ObliviousSearchResult evaluate_probe_all_search(const LowerBoundTree& tree) {
+  const std::vector<Target> targets = adversarial_targets(tree);
+  ObliviousSearchResult result;
+  Weight sunk = 0;  // round trips paid on earlier misses
+  for (const Target& target : targets) {
+    const Weight paid = sunk + target.distance;
+    const double stretch = paid / target.distance;
+    result.per_subtree_stretch.push_back(stretch);
+    if (stretch > result.worst_stretch) {
+      result.worst_stretch = stretch;
+      result.worst_subtree = target.index;
+    }
+    sunk += 2 * target.distance;
+  }
+  return result;
+}
+
+}  // namespace compactroute

@@ -1,0 +1,274 @@
+#include "nameind/scale_free_nameind.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "core/bits.hpp"
+#include "core/check.hpp"
+
+namespace compactroute {
+
+namespace {
+
+/// r_c(j) with the paper's implicit clamp: exponents above log n denote the
+/// whole graph.
+Weight clamped_size_radius(const MetricSpace& metric, NodeId c, int exponent) {
+  if (exponent > max_size_exponent(metric.n())) return metric.delta();
+  return size_radius(metric, c, exponent);
+}
+
+}  // namespace
+
+ScaleFreeNameIndependentScheme::ScaleFreeNameIndependentScheme(
+    const MetricSpace& metric, const NetHierarchy& hierarchy, const Naming& naming,
+    const LabeledScheme& underlying, double epsilon)
+    : ScaleFreeNameIndependentScheme(metric, hierarchy, naming, underlying, epsilon,
+                                     Options{}) {}
+
+ScaleFreeNameIndependentScheme::ScaleFreeNameIndependentScheme(
+    const MetricSpace& metric, const NetHierarchy& hierarchy, const Naming& naming,
+    const LabeledScheme& underlying, double epsilon, const Options& options)
+    : metric_(&metric),
+      hierarchy_(&hierarchy),
+      naming_(&naming),
+      underlying_(&underlying),
+      epsilon_(epsilon) {
+  CR_CHECK_MSG(epsilon > 0 && epsilon < 1, "Theorem 1.1 requires ε ∈ (0, 1)");
+  max_exponent_ = max_size_exponent(metric.n());
+
+  // Type-1 structures: one search tree per packed ball, holding the pairs of
+  // the 4x-size ball B_c(r_c(j+2)).
+  packings_.resize(max_exponent_ + 1);
+  ball_trees_.resize(max_exponent_ + 1);
+  for (int j = 0; j <= max_exponent_; ++j) {
+    packings_[j] = std::make_unique<BallPacking>(metric, j);
+    for (const PackedBall& ball : packings_[j]->balls()) {
+      auto tree = std::make_unique<SearchTree>(metric, ball.center, ball.radius,
+                                               epsilon_, SearchTree::Variant::kBasic);
+      const Weight reach = clamped_size_radius(metric, ball.center, j + 2);
+      std::vector<std::pair<SearchTree::Key, SearchTree::Data>> pairs;
+      for (NodeId v : metric.ball(ball.center, reach)) {
+        pairs.emplace_back(naming.name_of(v), underlying.label(v));
+      }
+      tree->store(std::move(pairs));
+      ball_trees_[j].push_back(std::move(tree));
+    }
+  }
+
+  // Type-2 structures: per net membership, either an own tree or the H(u, i)
+  // link into the packing hierarchy (minimal j, then minimal d(u, c)).
+  const int top = hierarchy.top_level();
+  memberships_.resize(top + 1);
+  for (int i = 0; i <= top; ++i) {
+    const std::vector<NodeId>& net = hierarchy.net(i);
+    memberships_[i].resize(net.size());
+    const Weight own_radius = level_radius(i) / epsilon_;
+    const Weight outer_radius = level_radius(i) * (1 / epsilon_ + 1);
+    for (std::size_t k = 0; k < net.size(); ++k) {
+      const NodeId u = net[k];
+      Membership& info = memberships_[i][k];
+      for (int j = 0;
+           options.subsume_with_packings && j <= max_exponent_ && info.h_ball < 0;
+           ++j) {
+        Weight best_dist = 0;
+        for (std::size_t b = 0; b < packings_[j]->balls().size(); ++b) {
+          const PackedBall& ball = packings_[j]->balls()[b];
+          const Weight duc = metric.dist(u, ball.center);
+          const bool ball_inside = duc + ball.radius <= outer_radius;
+          const bool we_are_covered =
+              duc + own_radius <= clamped_size_radius(metric, ball.center, j + 2);
+          if (!ball_inside || !we_are_covered) continue;
+          if (info.h_ball < 0 || duc < best_dist) {
+            info.h_exponent = j;
+            info.h_ball = static_cast<int>(b);
+            best_dist = duc;
+          }
+        }
+      }
+      if (info.h_ball < 0) {
+        info.own_tree = std::make_unique<SearchTree>(metric, u, own_radius, epsilon_,
+                                                     SearchTree::Variant::kBasic);
+        std::vector<std::pair<SearchTree::Key, SearchTree::Data>> pairs;
+        for (NodeId v : metric.ball(u, own_radius)) {
+          pairs.emplace_back(naming.name_of(v), underlying.label(v));
+        }
+        info.own_tree->store(std::move(pairs));
+      }
+    }
+  }
+}
+
+const ScaleFreeNameIndependentScheme::Membership&
+ScaleFreeNameIndependentScheme::membership(int level, NodeId u) const {
+  const std::vector<NodeId>& net = hierarchy_->net(level);
+  const auto it = std::lower_bound(net.begin(), net.end(), u);
+  CR_CHECK(it != net.end() && *it == u);
+  return memberships_[level][it - net.begin()];
+}
+
+NodeId ScaleFreeNameIndependentScheme::ride_underlying(Path& path, NodeId from,
+                                                       NodeId to) const {
+  if (from == to) return to;
+  const RouteResult leg = underlying_->route(from, underlying_->label(to));
+  CR_CHECK(leg.delivered && leg.path.front() == from && leg.path.back() == to);
+  path.insert(path.end(), leg.path.begin() + 1, leg.path.end());
+  return to;
+}
+
+RouteResult ScaleFreeNameIndependentScheme::route(NodeId src, Name dest_name) const {
+  return route_with_trace(src, dest_name, nullptr);
+}
+
+RouteResult ScaleFreeNameIndependentScheme::route_with_trace(NodeId src,
+                                                             Name dest_name,
+                                                             Trace* trace) const {
+  Trace local_trace;
+  Trace& tr = trace ? *trace : local_trace;
+  tr = Trace{};
+
+  RouteResult result;
+  result.path.push_back(src);
+  if (naming_->name_of(src) == dest_name) {
+    result.delivered = true;
+    return result;
+  }
+
+  NodeId pos = src;
+  for (int i = 0; i <= hierarchy_->top_level(); ++i) {
+    const NodeId anchor = hierarchy_->zoom(i, src);
+    const Weight before_climb = path_cost(*metric_, result.path);
+    pos = ride_underlying(result.path, pos, anchor);
+    tr.climb_cost += path_cost(*metric_, result.path) - before_climb;
+
+    // Search(id, u(i), i) — Algorithm 4.
+    const Membership& info = membership(i, anchor);
+    const SearchTree* tree = info.own_tree.get();
+    NodeId tree_root = anchor;
+    if (!tree) {
+      ++tr.delegated_searches;
+      tree = ball_trees_[info.h_exponent][info.h_ball].get();
+      tree_root = packings_[info.h_exponent]->balls()[info.h_ball].center;
+    }
+
+    const Weight before_search = path_cost(*metric_, result.path);
+    pos = ride_underlying(result.path, pos, tree_root);  // "go to c from u"
+    const SearchTree::LookupResult lookup = tree->lookup(dest_name);
+    for (std::size_t s = 1; s < lookup.trail.size(); ++s) {
+      pos = ride_underlying(result.path, pos, lookup.trail[s]);
+    }
+    pos = ride_underlying(result.path, pos, anchor);  // "go back from c to u"
+    tr.search_cost += path_cost(*metric_, result.path) - before_search;
+
+    if (lookup.found) {
+      tr.found_level = i;
+      const Weight before_final = path_cost(*metric_, result.path);
+      const RouteResult leg = underlying_->route(anchor, lookup.data);
+      CR_CHECK(leg.delivered && leg.path.front() == anchor);
+      result.path.insert(result.path.end(), leg.path.begin() + 1, leg.path.end());
+      tr.final_cost = path_cost(*metric_, result.path) - before_final;
+      CR_CHECK(naming_->name_of(result.path.back()) == dest_name);
+      result.cost = path_cost(*metric_, result.path);
+      result.delivered = true;
+      return result;
+    }
+  }
+  CR_CHECK_MSG(false, "the top-level search ball covers the whole graph");
+  return result;
+}
+
+const SearchTree& ScaleFreeNameIndependentScheme::search_structure(
+    int level, NodeId anchor, NodeId* root) const {
+  const Membership& info = membership(level, anchor);
+  if (info.own_tree) {
+    if (root) *root = anchor;
+    return *info.own_tree;
+  }
+  if (root) *root = packings_[info.h_exponent]->balls()[info.h_ball].center;
+  return *ball_trees_[info.h_exponent][info.h_ball];
+}
+
+std::size_t ScaleFreeNameIndependentScheme::distinct_delegations(NodeId u) const {
+  std::set<std::pair<int, int>> balls;
+  for (int i = 0; i <= hierarchy_->top_level(); ++i) {
+    if (!hierarchy_->in_net(i, u)) continue;
+    const Membership& info = membership(i, u);
+    if (!info.own_tree) balls.emplace(info.h_exponent, info.h_ball);
+  }
+  return balls.size();
+}
+
+std::size_t ScaleFreeNameIndependentScheme::trees_containing(NodeId v) const {
+  std::size_t count = 0;
+  for (int j = 0; j <= max_exponent_; ++j) {
+    for (const auto& tree : ball_trees_[j]) {
+      if (tree->tree().contains(v)) ++count;
+    }
+  }
+  for (const auto& level : memberships_) {
+    for (const Membership& info : level) {
+      if (info.own_tree && info.own_tree->tree().contains(v)) ++count;
+    }
+  }
+  return count;
+}
+
+std::size_t ScaleFreeNameIndependentScheme::subsumed_levels(NodeId u) const {
+  std::size_t count = 0;
+  for (int i = 0; i <= hierarchy_->top_level(); ++i) {
+    if (!hierarchy_->in_net(i, u)) continue;
+    if (!membership(i, u).own_tree) ++count;
+  }
+  return count;
+}
+
+std::size_t ScaleFreeNameIndependentScheme::storage_bits(NodeId u) const {
+  const std::size_t name_bits = id_bits(metric_->n());
+  const std::size_t label = underlying_->label_bits();
+  const std::size_t level_bits = id_bits(hierarchy_->top_level() + 2);
+
+  std::size_t bits = underlying_->storage_bits(u);
+  bits += label;  // netting-tree parent label
+
+  // H(u, i) links, charged per run of consecutive levels sharing one ball.
+  int prev_exponent = -2, prev_ball = -2;
+  for (int i = 0; i <= hierarchy_->top_level(); ++i) {
+    if (!hierarchy_->in_net(i, u)) continue;
+    const Membership& info = membership(i, u);
+    if (!info.own_tree) {
+      if (info.h_exponent != prev_exponent || info.h_ball != prev_ball) {
+        bits += 2 * level_bits + label + id_bits(max_exponent_ + 2);
+      }
+      prev_exponent = info.h_exponent;
+      prev_ball = info.h_ball;
+    } else {
+      prev_exponent = prev_ball = -2;
+    }
+  }
+
+  // Type-1 trees: at most one per exponent (packed balls are disjoint).
+  for (int j = 0; j <= max_exponent_; ++j) {
+    const int b = packings_[j]->ball_containing(u);
+    if (b < 0) continue;
+    const int local = ball_trees_[j][b]->tree().local_id(u);
+    CR_CHECK(local >= 0);
+    bits += ball_trees_[j][b]->node_bits(local, name_bits, label, label);
+  }
+
+  // Type-2 trees that contain u (Lemma 3.5 bounds their number).
+  for (int i = 0; i <= hierarchy_->top_level(); ++i) {
+    for (const Membership& info : memberships_[i]) {
+      if (!info.own_tree) continue;
+      const int local = info.own_tree->tree().local_id(u);
+      if (local < 0) continue;
+      bits += info.own_tree->node_bits(local, name_bits, label, label);
+    }
+  }
+  return bits;
+}
+
+std::size_t ScaleFreeNameIndependentScheme::header_bits() const {
+  return id_bits(metric_->n()) + id_bits(hierarchy_->top_level() + 2) +
+         underlying_->header_bits();
+}
+
+}  // namespace compactroute

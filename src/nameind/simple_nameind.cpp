@@ -1,0 +1,135 @@
+#include "nameind/simple_nameind.hpp"
+
+#include <algorithm>
+
+#include "core/bits.hpp"
+#include "core/check.hpp"
+
+namespace compactroute {
+
+SimpleNameIndependentScheme::SimpleNameIndependentScheme(
+    const MetricSpace& metric, const NetHierarchy& hierarchy, const Naming& naming,
+    const LabeledScheme& underlying, double epsilon)
+    : metric_(&metric),
+      hierarchy_(&hierarchy),
+      naming_(&naming),
+      underlying_(&underlying),
+      epsilon_(epsilon) {
+  CR_CHECK_MSG(epsilon > 0 && epsilon < 1, "Theorem 1.4 requires ε ∈ (0, 1)");
+  const int top = hierarchy.top_level();
+  trees_.resize(top + 1);
+  for (int i = 0; i <= top; ++i) {
+    const std::vector<NodeId>& net = hierarchy.net(i);
+    trees_[i].reserve(net.size());
+    const Weight radius = level_radius(i) / epsilon_;
+    for (NodeId u : net) {
+      auto tree = std::make_unique<SearchTree>(metric, u, radius, epsilon_,
+                                               SearchTree::Variant::kBasic);
+      std::vector<std::pair<SearchTree::Key, SearchTree::Data>> pairs;
+      for (NodeId v : metric.ball(u, radius)) {
+        pairs.emplace_back(naming.name_of(v), underlying.label(v));
+      }
+      tree->store(std::move(pairs));
+      trees_[i].push_back(std::move(tree));
+    }
+  }
+}
+
+const SearchTree& SimpleNameIndependentScheme::level_tree(int level,
+                                                          NodeId anchor) const {
+  const std::vector<NodeId>& net = hierarchy_->net(level);
+  const auto it = std::lower_bound(net.begin(), net.end(), anchor);
+  CR_CHECK(it != net.end() && *it == anchor);
+  return *trees_[level][it - net.begin()];
+}
+
+NodeId SimpleNameIndependentScheme::ride_underlying(Path& path, NodeId from,
+                                                    NodeId to) const {
+  if (from == to) return to;
+  const RouteResult leg = underlying_->route(from, underlying_->label(to));
+  CR_CHECK(leg.delivered && leg.path.front() == from && leg.path.back() == to);
+  path.insert(path.end(), leg.path.begin() + 1, leg.path.end());
+  return to;
+}
+
+RouteResult SimpleNameIndependentScheme::route(NodeId src, Name dest_name) const {
+  return route_with_trace(src, dest_name, nullptr);
+}
+
+RouteResult SimpleNameIndependentScheme::route_with_trace(NodeId src, Name dest_name,
+                                                          Trace* trace) const {
+  Trace local_trace;
+  Trace& tr = trace ? *trace : local_trace;
+  tr = Trace{};
+
+  RouteResult result;
+  result.path.push_back(src);
+  if (naming_->name_of(src) == dest_name) {
+    result.delivered = true;
+    return result;
+  }
+
+  NodeId pos = src;
+  for (int i = 0; i <= hierarchy_->top_level(); ++i) {
+    // Climb to u(i) — the netting-tree parent chain, whose labels are stored
+    // along the chain itself (Section 3.1.2).
+    const NodeId anchor = hierarchy_->zoom(i, src);
+    const Weight before_climb = path_cost(*metric_, result.path);
+    pos = ride_underlying(result.path, pos, anchor);
+    tr.climb_cost += path_cost(*metric_, result.path) - before_climb;
+
+    // Local search (Algorithm 3 line 4): traverse the trail edge by edge via
+    // the underlying labeled scheme (endpoints hold each other's labels).
+    const std::vector<NodeId>& net = hierarchy_->net(i);
+    const auto it = std::lower_bound(net.begin(), net.end(), anchor);
+    CR_CHECK(it != net.end() && *it == anchor);
+    const SearchTree& tree = *trees_[i][it - net.begin()];
+
+    const Weight before_search = path_cost(*metric_, result.path);
+    const SearchTree::LookupResult lookup = tree.lookup(dest_name);
+    for (std::size_t s = 1; s < lookup.trail.size(); ++s) {
+      pos = ride_underlying(result.path, pos, lookup.trail[s]);
+    }
+    tr.search_cost += path_cost(*metric_, result.path) - before_search;
+    CR_CHECK(pos == anchor);  // the trail reports back to the root
+
+    if (lookup.found) {
+      tr.found_level = i;
+      const Weight before_final = path_cost(*metric_, result.path);
+      const RouteResult leg = underlying_->route(anchor, lookup.data);
+      CR_CHECK(leg.delivered && leg.path.front() == anchor);
+      result.path.insert(result.path.end(), leg.path.begin() + 1, leg.path.end());
+      tr.final_cost = path_cost(*metric_, result.path) - before_final;
+      CR_CHECK(naming_->name_of(result.path.back()) == dest_name);
+      result.cost = path_cost(*metric_, result.path);
+      result.delivered = true;
+      return result;
+    }
+  }
+  CR_CHECK_MSG(false, "the top ball B_root(2^L/ε) covers the whole graph");
+  return result;
+}
+
+std::size_t SimpleNameIndependentScheme::storage_bits(NodeId u) const {
+  const std::size_t name_bits = id_bits(metric_->n());
+  const std::size_t label = underlying_->label_bits();
+
+  std::size_t bits = underlying_->storage_bits(u);
+  bits += label;  // netting-tree parent label (at most one; Section 3.1.2)
+  for (int i = 0; i <= hierarchy_->top_level(); ++i) {
+    for (const auto& tree : trees_[i]) {
+      const int local = tree->tree().local_id(u);
+      if (local < 0) continue;
+      bits += tree->node_bits(local, name_bits, label, label);
+    }
+  }
+  return bits;
+}
+
+std::size_t SimpleNameIndependentScheme::header_bits() const {
+  // Destination name, current level, and the underlying scheme's header.
+  return id_bits(metric_->n()) + id_bits(hierarchy_->top_level() + 2) +
+         underlying_->header_bits();
+}
+
+}  // namespace compactroute

@@ -1,0 +1,65 @@
+#include "nets/ball_packing.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/bits.hpp"
+#include "core/check.hpp"
+
+namespace compactroute {
+
+Weight size_radius(const MetricSpace& metric, NodeId u, int size_exponent) {
+  CR_CHECK(size_exponent >= 0);
+  const std::size_t target = std::size_t{1} << size_exponent;
+  return metric.radius_of_count(u, target);
+}
+
+int max_size_exponent(std::size_t n) { return floor_log2(n); }
+
+BallPacking::BallPacking(const MetricSpace& metric, int size_exponent)
+    : j_(size_exponent) {
+  const std::size_t n = metric.n();
+  CR_CHECK(size_exponent >= 0 && size_exponent <= max_size_exponent(n));
+  ball_of_.assign(n, -1);
+
+  // Candidate balls ordered by (radius, center id) — the greedy order of the
+  // Packing Lemma's proof.
+  std::vector<std::pair<Weight, NodeId>> order;
+  order.reserve(n);
+  for (NodeId u = 0; u < n; ++u) order.emplace_back(size_radius(metric, u, j_), u);
+  std::sort(order.begin(), order.end());
+
+  for (const auto& [radius, center] : order) {
+    std::vector<NodeId> members = metric.ball(center, radius);
+    bool disjoint = true;
+    for (NodeId v : members) {
+      if (ball_of_[v] >= 0) {
+        disjoint = false;
+        break;
+      }
+    }
+    if (!disjoint) continue;
+    const int index = static_cast<int>(balls_.size());
+    for (NodeId v : members) ball_of_[v] = index;
+    balls_.push_back({center, radius, std::move(members)});
+  }
+  CR_CHECK_MSG(!balls_.empty(), "greedy packing always selects at least one ball");
+}
+
+int BallPacking::covering_ball(const MetricSpace& metric, NodeId u) const {
+  const Weight ru = size_radius(metric, u, j_);
+  int best = -1;
+  for (NodeId v : metric.ball(u, ru)) {
+    const int b = ball_of_[v];
+    if (b < 0) continue;
+    if (best < 0 || balls_[b].radius < balls_[best].radius ||
+        (balls_[b].radius == balls_[best].radius &&
+         balls_[b].center < balls_[best].center)) {
+      best = b;
+    }
+  }
+  CR_CHECK_MSG(best >= 0, "packing maximality guarantees an intersecting ball");
+  return best;
+}
+
+}  // namespace compactroute

@@ -1,0 +1,59 @@
+#pragma once
+//
+// Ball packings (Packing Lemma 2.3).
+//
+// For each size exponent j, consider the balls B_u(r_u(j)) of size 2^j around
+// every node u, where r_u(j) is the smallest radius capturing 2^j nodes.
+// Selecting them greedily by increasing radius yields a maximal set of
+// pairwise-disjoint balls ℬ_j with the covering guarantee: every node u has a
+// packed ball B(c) with r_c(j) <= r_u(j) and d(u, c) <= 2 r_u(j). Packings are
+// the combinatorial counterweight to the geometric r-net hierarchy: they let
+// the schemes of Sections 3.3 and 4 replace the log Δ level count with log n,
+// making them scale-free.
+//
+#include <cstddef>
+#include <vector>
+
+#include "core/types.hpp"
+#include "graph/metric.hpp"
+
+namespace compactroute {
+
+struct PackedBall {
+  NodeId center = kInvalidNode;
+  Weight radius = 0;
+  /// Members of the ball, ordered by (distance to center, id).
+  std::vector<NodeId> nodes;
+};
+
+class BallPacking {
+ public:
+  /// Builds ℬ_j for the given size exponent (ball size target 2^j). With
+  /// ties in the metric, a ball of radius r_u(j) may hold slightly more than
+  /// 2^j nodes; the packing properties hold with "size >= 2^j".
+  BallPacking(const MetricSpace& metric, int size_exponent);
+
+  int size_exponent() const { return j_; }
+  const std::vector<PackedBall>& balls() const { return balls_; }
+
+  /// Index of the packed ball containing u, or -1 if u is in no packed ball.
+  int ball_containing(NodeId u) const { return ball_of_[u]; }
+
+  /// A packed ball B(c) with r_c(j) <= r_u(j) and d(u, c) <= 2 r_u(j)
+  /// (Lemma 2.3 property 2); the smallest-radius (then least center id)
+  /// packed ball intersecting B_u(r_u(j)).
+  int covering_ball(const MetricSpace& metric, NodeId u) const;
+
+ private:
+  int j_ = 0;
+  std::vector<PackedBall> balls_;
+  std::vector<int> ball_of_;
+};
+
+/// r_u(j): smallest radius whose ball around u holds 2^j nodes (u included).
+Weight size_radius(const MetricSpace& metric, NodeId u, int size_exponent);
+
+/// Largest j with 2^j <= n, i.e. the top of the packing hierarchy.
+int max_size_exponent(std::size_t n);
+
+}  // namespace compactroute

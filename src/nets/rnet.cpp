@@ -1,0 +1,137 @@
+#include "nets/rnet.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "core/check.hpp"
+
+namespace compactroute {
+
+Weight level_radius(int i) { return std::ldexp(1.0, i); }
+
+std::vector<NodeId> build_rnet(const MetricSpace& metric,
+                               const std::vector<NodeId>& candidates, Weight r,
+                               const std::vector<NodeId>& seed) {
+  std::vector<NodeId> net = seed;
+  for (NodeId u : candidates) {
+    bool far_enough = true;
+    for (NodeId y : net) {
+      // dist(u, u) == 0, so seed members are never duplicated.
+      if (metric.dist(u, y) < r) {
+        far_enough = false;
+        break;
+      }
+    }
+    if (far_enough) net.push_back(u);
+  }
+  std::sort(net.begin(), net.end());
+  return net;
+}
+
+NetHierarchy::NetHierarchy(const MetricSpace& metric) : metric_(&metric) {
+  top_level_ = metric.num_levels();
+  build_nets();
+  build_zoom();
+  build_dfs_labels();
+}
+
+void NetHierarchy::build_nets() {
+  const std::size_t n = metric_->n();
+  nets_.assign(top_level_ + 1, {});
+  membership_.assign(top_level_ + 1, std::vector<char>(n, 0));
+
+  // Y_L: singleton — the paper allows an arbitrary node; we fix node 0 for
+  // determinism.
+  nets_[top_level_] = {NodeId{0}};
+  membership_[top_level_][0] = 1;
+
+  std::vector<NodeId> all(n);
+  for (NodeId u = 0; u < n; ++u) all[u] = u;
+
+  // Greedily expand Y_{i+1} into a 2^i-net Y_i, scanning nodes in id order.
+  for (int level = top_level_ - 1; level >= 0; --level) {
+    nets_[level] = build_rnet(*metric_, all, level_radius(level), nets_[level + 1]);
+    for (NodeId y : nets_[level]) membership_[level][y] = 1;
+  }
+  CR_CHECK_MSG(nets_[0].size() == n, "Y_0 must equal V (min pairwise distance is 1)");
+}
+
+void NetHierarchy::build_zoom() {
+  const std::size_t n = metric_->n();
+  zoom_.assign(top_level_ + 1, std::vector<NodeId>(n));
+  parent_.assign(top_level_ + 1, std::vector<NodeId>(n, kInvalidNode));
+
+  for (NodeId u = 0; u < n; ++u) zoom_[0][u] = u;
+  for (int level = 1; level <= top_level_; ++level) {
+    // Netting-tree parents: nearest point of Y_level to each point of
+    // Y_{level-1} (least-id tie-break via nearest_in).
+    for (NodeId x : nets_[level - 1]) {
+      parent_[level - 1][x] = metric_->nearest_in(x, nets_[level]);
+    }
+    // Zooming sequences follow the netting-tree parent chain: u(level) is the
+    // parent of u(level-1), which lies in Y_{level-1}.
+    for (NodeId u = 0; u < n; ++u) {
+      zoom_[level][u] = parent_[level - 1][zoom_[level - 1][u]];
+    }
+  }
+}
+
+NodeId NetHierarchy::netting_parent(int level, NodeId x) const {
+  CR_CHECK(in_net(level, x));
+  if (level == top_level_) return x;
+  return parent_[level][x];
+}
+
+void NetHierarchy::build_dfs_labels() {
+  const std::size_t n = metric_->n();
+  leaf_label_.assign(n, kInvalidNode);
+  label_to_node_.assign(n, kInvalidNode);
+  ranges_.assign(top_level_ + 1, std::vector<LeafRange>(n));
+
+  // children[level][x] = points z of Y_level whose netting parent is x
+  // (x ∈ Y_{level+1}); sorted by id because nets_ is sorted.
+  std::vector<std::vector<std::vector<NodeId>>> children(top_level_);
+  for (int level = 0; level < top_level_; ++level) {
+    children[level].assign(n, {});
+    for (NodeId z : nets_[level]) {
+      children[level][parent_[level][z]].push_back(z);
+    }
+  }
+
+  NodeId next_label = 0;
+  const std::function<LeafRange(int, NodeId)> dfs = [&](int level, NodeId x) {
+    if (level == 0) {
+      leaf_label_[x] = next_label;
+      label_to_node_[next_label] = x;
+      ranges_[0][x] = {next_label, next_label};
+      ++next_label;
+      return ranges_[0][x];
+    }
+    LeafRange range{next_label, next_label};
+    bool first = true;
+    for (NodeId child : children[level - 1][x]) {
+      const LeafRange sub = dfs(level - 1, child);
+      if (first) {
+        range = sub;
+        first = false;
+      } else {
+        range.hi = sub.hi;
+      }
+    }
+    CR_CHECK_MSG(!first, "net point with no children (every x ∈ Y_i is in Y_{i-1})");
+    ranges_[level][x] = range;
+    return range;
+  };
+
+  const NodeId root = nets_[top_level_].front();
+  const LeafRange whole = dfs(top_level_, root);
+  CR_CHECK(whole.lo == 0 && whole.hi + 1 == n && next_label == n);
+}
+
+LeafRange NetHierarchy::range(int level, NodeId x) const {
+  CR_CHECK(in_net(level, x));
+  return ranges_[level][x];
+}
+
+}  // namespace compactroute

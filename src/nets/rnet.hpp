@@ -1,0 +1,88 @@
+#pragma once
+//
+// r-nets and the hierarchical net structure of Section 2.
+//
+// An r-net of (V, d) is a subset Y such that every point of V is within r of
+// Y and net points are pairwise >= r apart (Definition 2.1). The hierarchy
+// consists of nested 2^i-nets Y_L ⊆ ... ⊆ Y_1 ⊆ Y_0 = V built greedily top
+// down (Eqn (1)); the *netting tree* T({Y_i}) links each net point at level i
+// to its nearest net point at level i+1, and a node's *zooming sequence*
+// u(0), u(1), ..., u(L) is its leaf-to-root path. DFS enumeration of the
+// netting tree's leaves yields the ⌈log n⌉-bit routing labels l(v) and the
+// contiguous ranges Range(x, i) of Section 4.1 with the key property
+// l(u) ∈ Range(x, i)  ⟺  x = u(i).
+//
+#include <cstddef>
+#include <vector>
+
+#include "core/types.hpp"
+#include "graph/metric.hpp"
+
+namespace compactroute {
+
+/// Radius of hierarchy level i, i.e. 2^i.
+Weight level_radius(int i);
+
+/// Builds a single r-net of `candidates` greedily in id order, optionally
+/// seeded with `seed` points (which must be pairwise >= r apart and are all
+/// kept). Used both for the global hierarchy and the per-ball search trees.
+std::vector<NodeId> build_rnet(const MetricSpace& metric,
+                               const std::vector<NodeId>& candidates, Weight r,
+                               const std::vector<NodeId>& seed = {});
+
+/// Closed integer interval of DFS leaf labels.
+struct LeafRange {
+  NodeId lo = 1;
+  NodeId hi = 0;  // empty by default
+
+  bool contains(NodeId label) const { return lo <= label && label <= hi; }
+};
+
+class NetHierarchy {
+ public:
+  explicit NetHierarchy(const MetricSpace& metric);
+
+  const MetricSpace& metric() const { return *metric_; }
+
+  /// Number of levels L = ceil(log2 Δ); valid level indices are 0..L.
+  int top_level() const { return top_level_; }
+
+  /// Y_i, sorted by node id.
+  const std::vector<NodeId>& net(int level) const { return nets_[level]; }
+
+  bool in_net(int level, NodeId u) const { return membership_[level][u] != 0; }
+
+  /// u(i): the i-th element of u's zooming sequence (u(0) == u).
+  NodeId zoom(int level, NodeId u) const { return zoom_[level][u]; }
+
+  /// Parent of net point x ∈ Y_i in the netting tree (a point of Y_{i+1});
+  /// for i == top_level() returns x itself.
+  NodeId netting_parent(int level, NodeId x) const;
+
+  /// DFS leaf label l(v) ∈ [0, n) (Section 4.1).
+  NodeId leaf_label(NodeId v) const { return leaf_label_[v]; }
+
+  /// Node with DFS leaf label `label`.
+  NodeId node_of_label(NodeId label) const { return label_to_node_[label]; }
+
+  /// Range(x, i): leaf labels of the subtree of (x, i) in the netting tree.
+  /// Requires x ∈ Y_i.
+  LeafRange range(int level, NodeId x) const;
+
+ private:
+  void build_nets();
+  void build_zoom();
+  void build_dfs_labels();
+
+  const MetricSpace* metric_;
+  int top_level_ = 0;
+  std::vector<std::vector<NodeId>> nets_;        // per level, sorted by id
+  std::vector<std::vector<char>> membership_;    // [level][node]
+  std::vector<std::vector<NodeId>> zoom_;        // [level][node] = u(level)
+  std::vector<std::vector<NodeId>> parent_;      // [level][node] (valid if in net)
+  std::vector<NodeId> leaf_label_;               // [node] -> label
+  std::vector<NodeId> label_to_node_;            // [label] -> node
+  std::vector<std::vector<LeafRange>> ranges_;   // [level][node] (valid if in net)
+};
+
+}  // namespace compactroute

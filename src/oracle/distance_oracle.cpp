@@ -1,0 +1,56 @@
+#include "oracle/distance_oracle.hpp"
+
+#include <algorithm>
+
+#include "core/bits.hpp"
+#include "core/check.hpp"
+
+namespace compactroute {
+
+DistanceOracle::DistanceOracle(const MetricSpace& metric,
+                               const NetHierarchy& hierarchy, double epsilon)
+    : metric_(&metric), hierarchy_(&hierarchy), epsilon_(epsilon) {
+  CR_CHECK_MSG(epsilon > 0 && epsilon < 0.5, "oracle requires ε ∈ (0, 1/2)");
+  const std::size_t n = metric.n();
+  const int top = hierarchy.top_level();
+  rings_.assign(n, std::vector<std::vector<Entry>>(top + 1));
+  for (NodeId u = 0; u < n; ++u) {
+    for (int i = 0; i <= top; ++i) {
+      const Weight reach = level_radius(i) / epsilon_;
+      for (NodeId x : hierarchy.net(i)) {
+        if (metric.dist(u, x) > reach) continue;
+        rings_[u][i].push_back({hierarchy.range(i, x), metric.dist(u, x)});
+      }
+    }
+  }
+}
+
+DistanceOracle::Estimate DistanceOracle::estimate(NodeId u,
+                                                  NodeId label_of_v) const {
+  CR_CHECK(label_of_v < metric_->n());
+  for (int i = 0; i <= hierarchy_->top_level(); ++i) {
+    for (const Entry& entry : rings_[u][i]) {
+      if (!entry.range.contains(label_of_v)) continue;
+      Estimate result;
+      result.level = i;
+      result.distance = entry.distance;
+      // d(v, v(i)) < 2^{i+1} (Eqn 2); level 0 answers exactly.
+      const Weight slack = i == 0 ? 0 : level_radius(i + 1);
+      result.lower = std::max<Weight>(0, entry.distance - slack);
+      result.upper = entry.distance + slack;
+      return result;
+    }
+  }
+  CR_CHECK_MSG(false, "the top ring holds the hierarchy root");
+  return {};
+}
+
+std::size_t DistanceOracle::storage_bits(NodeId u) const {
+  const std::size_t range_bits = 2 * id_bits(metric_->n());
+  std::size_t entries = 0;
+  for (const auto& ring : rings_[u]) entries += ring.size();
+  // Range plus a stored distance (double precision).
+  return entries * (range_bits + 64);
+}
+
+}  // namespace compactroute

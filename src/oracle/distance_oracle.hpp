@@ -1,0 +1,67 @@
+#pragma once
+//
+// Approximate distance oracle from the ring hierarchy.
+//
+// A by-product of the labeled routing structures (and the "distance
+// estimation" application line of Slivkins [24] the paper cites): store, per
+// node u and level i, the ring X_i(u) = B_u(2^i/ε) ∩ Y_i with Range(x, i) and
+// d(u, x). To estimate d(u, v) given v's ⌈log n⌉-bit label, find the minimal
+// level i whose ring holds v's ancestor x = v(i) and answer d(u, x).
+//
+// Guarantee: d(v, v(i)) < 2^{i+1} (Eqn 2) while minimality forces
+// d(u, v) > 2^{i-1}/ε − 2^i (the level-(i−1) ring missed), so for i >= 1
+//
+//     |d̂ − d(u, v)| <= 2^{i+1} <= (4ε / (1 − 2ε)) · d(u, v),
+//
+// i.e. a multiplicative (1 ± O(ε)) estimate; at level 0 the answer is exact.
+// Storage is the ring budget: (1/ε)^{O(α)} log Δ log n bits per node (use the
+// scale-free ring set R(u) to drop the log Δ, at the cost of a coarser
+// estimate on pruned levels — not implemented here).
+//
+#include <cstddef>
+#include <vector>
+
+#include "core/types.hpp"
+#include "graph/metric.hpp"
+#include "nets/rnet.hpp"
+
+namespace compactroute {
+
+class DistanceOracle {
+ public:
+  /// epsilon in (0, 1/2).
+  DistanceOracle(const MetricSpace& metric, const NetHierarchy& hierarchy,
+                 double epsilon);
+
+  /// The query key for node v (the netting-tree leaf label).
+  NodeId label(NodeId v) const { return hierarchy_->leaf_label(v); }
+
+  struct Estimate {
+    Weight distance = 0;  // d̂
+    int level = 0;        // the ring level that answered
+    /// Certified interval: true distance lies in [lower, upper].
+    Weight lower = 0;
+    Weight upper = 0;
+  };
+
+  /// Estimates d(u, v) from u's rings and v's label only.
+  Estimate estimate(NodeId u, NodeId label_of_v) const;
+
+  /// Worst-case multiplicative error factor at this ε: 4ε / (1 − 2ε).
+  double error_factor() const { return 4 * epsilon_ / (1 - 2 * epsilon_); }
+
+  std::size_t storage_bits(NodeId u) const;
+
+ private:
+  struct Entry {
+    LeafRange range;
+    Weight distance = 0;
+  };
+
+  const MetricSpace* metric_;
+  const NetHierarchy* hierarchy_;
+  double epsilon_;
+  std::vector<std::vector<std::vector<Entry>>> rings_;  // [node][level]
+};
+
+}  // namespace compactroute

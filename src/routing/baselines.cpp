@@ -1,0 +1,71 @@
+#include "routing/baselines.hpp"
+
+#include "core/bits.hpp"
+#include "core/check.hpp"
+
+namespace compactroute {
+
+std::size_t ShortestPathScheme::label_bits() const {
+  return static_cast<std::size_t>(id_bits(metric_->n()));
+}
+
+RouteResult ShortestPathScheme::route(NodeId src, std::uint64_t dest_label) const {
+  const NodeId dst = static_cast<NodeId>(dest_label);
+  CR_CHECK(dst < metric_->n());
+  RouteResult result;
+  result.path = metric_->shortest_path(src, dst);
+  result.cost = path_cost(*metric_, result.path);
+  result.delivered = true;
+  return result;
+}
+
+std::size_t ShortestPathScheme::storage_bits(NodeId u) const {
+  // One next-hop port per destination.
+  const std::size_t port = id_bits(std::max<std::size_t>(metric_->graph().degree(u), 2));
+  return (metric_->n() - 1) * (label_bits() + port);
+}
+
+std::size_t ShortestPathScheme::header_bits() const { return label_bits(); }
+
+HashLocationScheme::HashLocationScheme(const MetricSpace& metric, const Naming& naming)
+    : metric_(&metric), naming_(&naming), bindings_(metric.n()) {
+  for (NodeId v = 0; v < metric.n(); ++v) {
+    bindings_[hash_node(naming.name_of(v))].push_back(naming.name_of(v));
+  }
+}
+
+NodeId HashLocationScheme::hash_node(Name name) const {
+  // Fibonacci hashing: spreads arbitrary names uniformly over nodes.
+  const std::uint64_t mixed = name * 0x9e3779b97f4a7c15ULL;
+  return static_cast<NodeId>(mixed % metric_->n());
+}
+
+RouteResult HashLocationScheme::route(NodeId src, Name dest_name) const {
+  const NodeId rendezvous = hash_node(dest_name);
+  const NodeId dst = naming_->node_of(dest_name);
+  RouteResult result;
+  if (dst == kInvalidNode) return result;
+
+  result.path = metric_->shortest_path(src, rendezvous);
+  const Path second_leg = metric_->shortest_path(rendezvous, dst);
+  result.path.insert(result.path.end(), second_leg.begin() + 1, second_leg.end());
+  result.cost = path_cost(*metric_, result.path);
+  result.delivered = true;
+  return result;
+}
+
+std::size_t HashLocationScheme::storage_bits(NodeId u) const {
+  // Published bindings plus the stretch-1 substrate's next hops (this
+  // baseline deliberately piggybacks on shortest-path routing; its point is
+  // the stretch behaviour of rendezvous routing, not table size).
+  const std::size_t name_bits = id_bits(metric_->n());
+  const std::size_t port = id_bits(std::max<std::size_t>(metric_->graph().degree(u), 2));
+  return bindings_[u].size() * 2 * name_bits +
+         (metric_->n() - 1) * (name_bits + port);
+}
+
+std::size_t HashLocationScheme::header_bits() const {
+  return 2 * id_bits(metric_->n());
+}
+
+}  // namespace compactroute

@@ -1,0 +1,58 @@
+#pragma once
+//
+// Baseline schemes for the comparison tables.
+//
+// * ShortestPathScheme — the stretch-1 oracle: every node stores a next hop
+//   for every destination (Θ(n log n) bits per node). The "no compactness"
+//   end of the space/stretch trade-off that motivates the paper.
+//
+// * HashLocationScheme — a DHT-flavored name-independent baseline: the
+//   (name -> label) binding of v is published at the node h(name) (a hash),
+//   and routing goes source -> h(name) -> v along shortest paths. Tables are
+//   tiny but the detour through the hash node costs up to Θ(Δ / d(u, v))
+//   stretch — the behaviour the paper's locality-aware search hierarchy is
+//   designed to avoid.
+//
+#include <string>
+#include <vector>
+
+#include "routing/naming.hpp"
+#include "routing/scheme.hpp"
+
+namespace compactroute {
+
+class ShortestPathScheme final : public LabeledScheme {
+ public:
+  explicit ShortestPathScheme(const MetricSpace& metric) : metric_(&metric) {}
+
+  std::string name() const override { return "shortest-path-oracle"; }
+  std::uint64_t label(NodeId v) const override { return v; }
+  std::size_t label_bits() const override;
+  RouteResult route(NodeId src, std::uint64_t dest_label) const override;
+  std::size_t storage_bits(NodeId u) const override;
+  std::size_t header_bits() const override;
+
+ private:
+  const MetricSpace* metric_;
+};
+
+class HashLocationScheme final : public NameIndependentScheme {
+ public:
+  HashLocationScheme(const MetricSpace& metric, const Naming& naming);
+
+  std::string name() const override { return "hash-location"; }
+  RouteResult route(NodeId src, Name dest_name) const override;
+  std::size_t storage_bits(NodeId u) const override;
+  std::size_t header_bits() const override;
+
+  /// The rendezvous node for a name.
+  NodeId hash_node(Name name) const;
+
+ private:
+  const MetricSpace* metric_;
+  const Naming* naming_;
+  /// bindings_[w] = names whose (name, node) binding node w publishes.
+  std::vector<std::vector<Name>> bindings_;
+};
+
+}  // namespace compactroute

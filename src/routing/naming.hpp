@@ -1,0 +1,63 @@
+#pragma once
+//
+// Arbitrary original node names (Section 1, name-independent model; and the
+// namings ℓ: V -> [n] of Section 5.1).
+//
+// A Naming is a bijection between node ids and names. Name-independent
+// schemes must work for every naming; tests exercise random permutations to
+// make sure no scheme accidentally exploits the identity naming.
+//
+#include <numeric>
+#include <unordered_map>
+#include <vector>
+
+#include "core/check.hpp"
+#include "core/prng.hpp"
+#include "core/types.hpp"
+
+namespace compactroute {
+
+class Naming {
+ public:
+  /// Identity naming: node v is named v.
+  static Naming identity(std::size_t n) {
+    std::vector<std::uint64_t> names(n);
+    std::iota(names.begin(), names.end(), std::uint64_t{0});
+    return Naming(std::move(names));
+  }
+
+  /// Uniformly random permutation naming.
+  static Naming random(std::size_t n, std::uint64_t seed) {
+    Prng prng(seed);
+    std::vector<std::uint64_t> names(n);
+    std::iota(names.begin(), names.end(), std::uint64_t{0});
+    for (std::size_t i = n; i > 1; --i) {
+      std::swap(names[i - 1], names[prng.next_below(i)]);
+    }
+    return Naming(std::move(names));
+  }
+
+  explicit Naming(std::vector<std::uint64_t> names) : name_of_(std::move(names)) {
+    node_of_.reserve(name_of_.size());
+    for (std::size_t v = 0; v < name_of_.size(); ++v) {
+      const bool inserted =
+          node_of_.emplace(name_of_[v], static_cast<NodeId>(v)).second;
+      CR_CHECK_MSG(inserted, "names must be unique");
+    }
+  }
+
+  std::size_t n() const { return name_of_.size(); }
+  std::uint64_t name_of(NodeId v) const { return name_of_[v]; }
+
+  /// Node carrying `name`; kInvalidNode if no such name exists.
+  NodeId node_of(std::uint64_t name) const {
+    const auto it = node_of_.find(name);
+    return it == node_of_.end() ? kInvalidNode : it->second;
+  }
+
+ private:
+  std::vector<std::uint64_t> name_of_;
+  std::unordered_map<std::uint64_t, NodeId> node_of_;
+};
+
+}  // namespace compactroute

@@ -1,0 +1,78 @@
+#include "routing/simulator.hpp"
+
+#include <algorithm>
+
+#include "core/check.hpp"
+
+namespace compactroute {
+
+Weight path_cost(const MetricSpace& metric, const Path& path) {
+  Weight cost = 0;
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    cost += metric.dist(path[i - 1], path[i]);
+  }
+  return cost;
+}
+
+void StretchStats::record(double stretch) {
+  max_stretch = std::max(max_stretch, stretch);
+  avg_stretch = (avg_stretch * static_cast<double>(pairs) + stretch) /
+                static_cast<double>(pairs + 1);
+  ++pairs;
+}
+
+StretchStats evaluate_pairs(
+    const MetricSpace& metric, std::size_t samples, Prng& prng,
+    const std::function<RouteResult(NodeId src, NodeId dst)>& route) {
+  const std::size_t n = metric.n();
+  const std::size_t all = n * (n - 1);
+  StretchStats stats;
+
+  const auto run_one = [&](NodeId src, NodeId dst) {
+    const RouteResult result = route(src, dst);
+    const bool ok = result.delivered && !result.path.empty() &&
+                    result.path.front() == src && result.path.back() == dst;
+    if (!ok) {
+      ++stats.failures;
+      return;
+    }
+    const Weight optimal = metric.dist(src, dst);
+    CR_CHECK(optimal > 0);
+    // Recompute the cost from the walk so schemes cannot under-report.
+    const Weight cost = path_cost(metric, result.path);
+    stats.record(cost / optimal);
+  };
+
+  if (samples == 0 || samples >= all) {
+    for (NodeId src = 0; src < n; ++src) {
+      for (NodeId dst = 0; dst < n; ++dst) {
+        if (src != dst) run_one(src, dst);
+      }
+    }
+  } else {
+    for (std::size_t s = 0; s < samples; ++s) {
+      const NodeId src = static_cast<NodeId>(prng.next_below(n));
+      NodeId dst = static_cast<NodeId>(prng.next_below(n - 1));
+      if (dst >= src) ++dst;
+      run_one(src, dst);
+    }
+  }
+  return stats;
+}
+
+StretchStats evaluate_labeled(const LabeledScheme& scheme, const MetricSpace& metric,
+                              std::size_t samples, Prng& prng) {
+  return evaluate_pairs(metric, samples, prng, [&](NodeId src, NodeId dst) {
+    return scheme.route(src, scheme.label(dst));
+  });
+}
+
+StretchStats evaluate_name_independent(const NameIndependentScheme& scheme,
+                                       const MetricSpace& metric, const Naming& naming,
+                                       std::size_t samples, Prng& prng) {
+  return evaluate_pairs(metric, samples, prng, [&](NodeId src, NodeId dst) {
+    return scheme.route(src, naming.name_of(dst));
+  });
+}
+
+}  // namespace compactroute

@@ -1,0 +1,42 @@
+#pragma once
+//
+// Route evaluation: runs a scheme over sampled (or all) source–destination
+// pairs, verifies delivery, and aggregates stretch statistics — the measured
+// counterpart of the paper's stretch bounds (Lemmas 3.4 and 4.7).
+//
+#include <cstddef>
+#include <functional>
+
+#include "core/prng.hpp"
+#include "core/types.hpp"
+#include "graph/metric.hpp"
+#include "routing/naming.hpp"
+#include "routing/scheme.hpp"
+
+namespace compactroute {
+
+struct StretchStats {
+  double max_stretch = 0;
+  double avg_stretch = 0;
+  std::size_t pairs = 0;
+  std::size_t failures = 0;  // undelivered or mis-delivered routes
+
+  void record(double stretch);
+};
+
+/// Evaluates a labeled scheme on `samples` random ordered pairs (all ordered
+/// pairs if samples == 0 or exceeds n(n-1)).
+StretchStats evaluate_labeled(const LabeledScheme& scheme, const MetricSpace& metric,
+                              std::size_t samples, Prng& prng);
+
+/// Evaluates a name-independent scheme under the given naming.
+StretchStats evaluate_name_independent(const NameIndependentScheme& scheme,
+                                       const MetricSpace& metric, const Naming& naming,
+                                       std::size_t samples, Prng& prng);
+
+/// Shared driver: calls route(src, dst) for each sampled pair.
+StretchStats evaluate_pairs(
+    const MetricSpace& metric, std::size_t samples, Prng& prng,
+    const std::function<RouteResult(NodeId src, NodeId dst)>& route);
+
+}  // namespace compactroute

@@ -1,0 +1,28 @@
+#include "runtime/hop_hierarchical.hpp"
+
+#include "core/check.hpp"
+
+namespace compactroute {
+
+HopScheme::Decision HierarchicalHopScheme::step(NodeId at,
+                                                const HopHeader& header) const {
+  Decision decision;
+  decision.header = header;
+  if (scheme_->hierarchy().leaf_label(at) == header.dest) {
+    decision.deliver = true;
+    return decision;
+  }
+  // Minimal ring hit at this node; move one edge toward x = v(i).
+  for (int level = 0;; ++level) {
+    CR_CHECK(level <= scheme_->hierarchy().top_level());
+    for (const auto& entry : scheme_->rings(at)[level]) {
+      if (entry.range.contains(static_cast<NodeId>(header.dest))) {
+        CR_CHECK(entry.x != at);
+        decision.next = entry.next_hop;
+        return decision;
+      }
+    }
+  }
+}
+
+}  // namespace compactroute

@@ -1,0 +1,32 @@
+#pragma once
+//
+// Hop-by-hop adapter for the hierarchical labeled scheme: the simplest
+// possible compact-routing FSM. The header carries nothing but the
+// destination label; every step is "find the minimal ring hit, forward one
+// edge toward it" — stateless greedy descent.
+//
+#include "labeled/hierarchical_labeled.hpp"
+#include "runtime/hop_scheme.hpp"
+
+namespace compactroute {
+
+class HierarchicalHopScheme final : public HopScheme {
+ public:
+  explicit HierarchicalHopScheme(const HierarchicalLabeledScheme& scheme)
+      : scheme_(&scheme) {}
+
+  std::string name() const override { return "hop/labeled-hierarchical"; }
+
+  HopHeader make_header(NodeId /*src*/, std::uint64_t dest_key) const override {
+    HopHeader header;
+    header.dest = dest_key;
+    return header;
+  }
+
+  Decision step(NodeId at, const HopHeader& header) const override;
+
+ private:
+  const HierarchicalLabeledScheme* scheme_;
+};
+
+}  // namespace compactroute

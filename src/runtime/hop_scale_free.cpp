@@ -1,0 +1,182 @@
+#include "runtime/hop_scale_free.hpp"
+
+#include <limits>
+
+#include "core/check.hpp"
+#include "nets/rnet.hpp"
+
+namespace compactroute {
+
+namespace {
+constexpr std::int16_t kNoPrevLevel = std::numeric_limits<std::int16_t>::max();
+}
+
+HopHeader ScaleFreeHopScheme::make_header(NodeId /*src*/,
+                                          std::uint64_t dest_key) const {
+  HopHeader header;
+  header.dest = dest_key;
+  header.phase = kWalk;
+  header.level = kNoPrevLevel;
+  return header;
+}
+
+HopScheme::Decision ScaleFreeHopScheme::step(NodeId at,
+                                             const HopHeader& in) const {
+  const MetricSpace& metric = scheme_->hierarchy().metric();
+  const NodeId dest_label = static_cast<NodeId>(in.dest);
+  Decision decision;
+  decision.header = in;
+  HopHeader& h = decision.header;
+
+  // Per the routing model (Section 1), every relay first checks delivery —
+  // chains through the handoff structures can pass the destination itself.
+  if (scheme_->hierarchy().leaf_label(at) == dest_label) {
+    decision.deliver = true;
+    return decision;
+  }
+
+  // Phase transitions that do not move the packet loop here; every exit is
+  // either delivery or one edge of movement. Escalations can chain several
+  // transitions at one node, so the budget scales with the packing depth.
+  const int settle_budget = 8 * (scheme_->max_exponent() + 4) + 64;
+  for (int guard = 0; guard < settle_budget; ++guard) {
+    switch (static_cast<Phase>(h.phase)) {
+      case kWalk: {
+        if (scheme_->hierarchy().leaf_label(at) == dest_label) {
+          decision.deliver = true;
+          return decision;
+        }
+        const auto [level, entry] = scheme_->minimal_hit(at, dest_label);
+        const Weight threshold =
+            level_radius(level) / (2 * scheme_->epsilon()) - level_radius(level);
+        if (entry->x != at && level <= h.level &&
+            metric.dist(at, entry->x) >= threshold) {
+          h.level = static_cast<std::int16_t>(level);
+          decision.next = entry->next_hop;
+          return decision;
+        }
+        // Handoff (Algorithm 5 line 7).
+        h.exponent = static_cast<std::int16_t>(
+            scheme_->density_exponent(at, level_radius(level)));
+        h.phase = kToCenter;
+        break;
+      }
+
+      case kToCenter: {
+        const auto& region = scheme_->region_of(h.exponent, at);
+        if (at == region.center) {
+          h.aux = region.center;   // search anchor
+          h.target = region.center;  // search cursor starts at the root
+          h.phase = kSearch;
+          break;
+        }
+        const int local = region.tree->local_id(at);
+        CR_CHECK(local >= 0);
+        decision.next = region.tree->global_id(region.tree->parent(local));
+        return decision;
+      }
+
+      case kSearch: {
+        if (at != h.target) {
+          // Riding the next-hop chain of a virtual search-tree edge
+          // (Lemma 4.3).
+          decision.next = metric.next_hop(at, h.target);
+          return decision;
+        }
+        const auto& region = scheme_->region_of(h.exponent, h.aux);
+        const SearchTree& search = *region.search;
+        const int local = search.tree().local_id(at);
+        CR_CHECK(local >= 0);
+        const int child = search.child_containing(local, in.dest);
+        if (child >= 0) {
+          h.target = search.tree().global_id(child);
+          break;  // next loop iteration emits the chain hop
+        }
+        SearchTree::Data data = 0;
+        if (search.holds(local, in.dest, &data)) {
+          // The stored datum IS the local routing label l(v; c, j): copy it
+          // into the header for the final tree leg.
+          const TreeLabel& label = region.router->label(static_cast<int>(data));
+          h.tree_dfs = label.dfs;
+          h.light.assign(label.light_edges.begin(), label.light_edges.end());
+          h.inner_phase = 1;
+        } else {
+          h.inner_phase = 0;
+        }
+        h.phase = kReturn;
+        // Return target: parent search node (or self if already the root).
+        const int parent = search.tree().parent(local);
+        h.target = parent < 0 ? at : search.tree().global_id(parent);
+        break;
+      }
+
+      case kReturn: {
+        if (at != h.target) {
+          decision.next = metric.next_hop(at, h.target);
+          return decision;
+        }
+        const auto& region = scheme_->region_of(h.exponent, h.aux);
+        if (at != region.search->tree().root_global()) {
+          const int local = region.search->tree().local_id(at);
+          CR_CHECK(local >= 0);
+          const int parent = region.search->tree().parent(local);
+          CR_CHECK(parent >= 0);
+          h.target = region.search->tree().global_id(parent);
+          break;
+        }
+        // Back at the center (search root).
+        if (h.inner_phase == 1) {
+          h.phase = kToDest;
+          break;
+        }
+        if (h.exponent < scheme_->max_exponent()) {
+          // Escalation guard: retry one packing level coarser.
+          h.exponent = static_cast<std::int16_t>(h.exponent + 1);
+          h.phase = kToCenter;
+          break;
+        }
+        // Final fallback: visit the other top-level centers in order.
+        const auto& peers = scheme_->regions(scheme_->max_exponent());
+        std::size_t k = static_cast<std::size_t>(h.inner);
+        while (k < peers.size() && peers[k].center == at) ++k;
+        CR_CHECK_MSG(k < peers.size(),
+                     "top-level cells jointly index every node");
+        h.inner = k + 1;
+        h.aux = peers[k].center;
+        h.target = peers[k].center;
+        h.phase = kFallbackMove;
+        break;
+      }
+
+      case kFallbackMove: {
+        if (at != h.target) {
+          decision.next = metric.next_hop(at, h.target);
+          return decision;
+        }
+        h.phase = kSearch;  // target == aux == this center (the search root)
+        break;
+      }
+
+      case kToDest: {
+        const auto& region = scheme_->region_of(h.exponent, h.aux);
+        const int local = region.tree->local_id(at);
+        CR_CHECK(local >= 0);
+        TreeLabel label;
+        label.dfs = h.tree_dfs;
+        label.light_edges.assign(h.light.begin(), h.light.end());
+        const int next_local = region.router->step(local, label);
+        if (next_local == local) {
+          CR_CHECK(scheme_->hierarchy().leaf_label(at) == dest_label);
+          decision.deliver = true;
+          return decision;
+        }
+        decision.next = region.tree->global_id(next_local);
+        return decision;
+      }
+    }
+  }
+  CR_CHECK_MSG(false, "phase machine did not settle");
+  return decision;
+}
+
+}  // namespace compactroute

@@ -1,0 +1,48 @@
+#pragma once
+//
+// Hop-by-hop adapter for the scale-free labeled scheme (Algorithm 5 as a
+// finite-state machine in the packet header).
+//
+// Header anatomy (all polylog bits):
+//   dest      — destination label l(v)
+//   phase     — WALK / TO_CENTER / SEARCH / RETURN / FALLBACK_MOVE / TO_DEST
+//   level     — previous walk level i_{k-1}
+//   exponent  — packing exponent j
+//   aux       — anchor center c of the current search
+//   target    — movement goal: the next search-tree node (virtual-edge
+//               traversal rides the Lemma 4.3 next-hop chains) or a center
+//   tree_dfs + light — the retrieved local tree label l(v; c, j), copied into
+//               the header by the search-tree holder (Algorithm 5 line 9)
+//
+// Every decision uses only node-local tables: ring hits, region-tree parent
+// pointers, search-tree child ranges/chunks, and compact-tree-router state.
+//
+#include "labeled/scale_free_labeled.hpp"
+#include "runtime/hop_scheme.hpp"
+
+namespace compactroute {
+
+class ScaleFreeHopScheme final : public HopScheme {
+ public:
+  explicit ScaleFreeHopScheme(const ScaleFreeLabeledScheme& scheme)
+      : scheme_(&scheme) {}
+
+  std::string name() const override { return "hop/labeled-scale-free"; }
+
+  HopHeader make_header(NodeId src, std::uint64_t dest_key) const override;
+  Decision step(NodeId at, const HopHeader& header) const override;
+
+ private:
+  enum Phase : std::uint8_t {
+    kWalk = 0,
+    kToCenter = 1,
+    kSearch = 2,
+    kReturn = 3,
+    kFallbackMove = 4,
+    kToDest = 5,
+  };
+
+  const ScaleFreeLabeledScheme* scheme_;
+};
+
+}  // namespace compactroute

@@ -1,0 +1,137 @@
+#include "runtime/hop_scale_free_ni.hpp"
+
+#include "core/check.hpp"
+
+namespace compactroute {
+
+HopHeader ScaleFreeNameIndependentHopScheme::make_header(
+    NodeId src, std::uint64_t dest_key) const {
+  HopHeader header;
+  header.dest = dest_key;
+  header.level = 0;
+  header.aux = src;  // u(0)
+  header.inner_phase = kAtAnchor;
+  return header;
+}
+
+void ScaleFreeNameIndependentHopScheme::start_ride(HopHeader& header, NodeId at,
+                                                   NodeId label,
+                                                   Continuation continuation) const {
+  (void)at;
+  header.inner_phase = continuation;
+  header.nested = std::make_unique<HopHeader>(inner_.make_header(at, label));
+}
+
+HopScheme::Decision ScaleFreeNameIndependentHopScheme::step(
+    NodeId at, const HopHeader& in) const {
+  const NetHierarchy& hierarchy = scheme_->hierarchy();
+  Decision decision;
+  decision.header = in;
+  HopHeader& h = decision.header;
+
+  const int settle_budget = 8 * (hierarchy.top_level() + 4) + 64;
+  for (int guard = 0; guard < settle_budget; ++guard) {
+    // A ride of the inner labeled machine is in progress.
+    if (h.nested) {
+      if (hierarchy.leaf_label(at) == static_cast<NodeId>(h.nested->dest)) {
+        h.nested.reset();  // arrived; fall through to the continuation
+      } else {
+        Decision inner_decision = inner_.step(at, *h.nested);
+        CR_CHECK_MSG(!inner_decision.deliver, "arrival is checked before stepping");
+        *h.nested = std::move(inner_decision.header);
+        decision.next = inner_decision.next;
+        return decision;
+      }
+    }
+
+    switch (static_cast<Continuation>(h.inner_phase)) {
+      case kDeliver: {
+        CR_CHECK(scheme_->naming().name_of(at) == h.dest);
+        decision.deliver = true;
+        return decision;
+      }
+
+      case kAtAnchor: {
+        if (scheme_->naming().name_of(at) == h.dest) {
+          decision.deliver = true;
+          return decision;
+        }
+        NodeId root = kInvalidNode;
+        scheme_->search_structure(h.level, h.aux, &root);
+        h.extra = root;
+        // Algorithm 4: "go to c from u" when the level is delegated.
+        start_ride(h, at, underlying_->label(root), kAtRoot);
+        break;
+      }
+
+      case kAtRoot: {
+        h.target = at;  // the search cursor starts at the root
+        h.inner_phase = kSearchNode;
+        break;
+      }
+
+      case kSearchNode: {
+        const SearchTree& tree =
+            scheme_->search_structure(h.level, h.aux, nullptr);
+        const int local = tree.tree().local_id(at);
+        CR_CHECK(local >= 0);
+        const int child = tree.child_containing(local, h.dest);
+        if (child >= 0) {
+          const NodeId next_node = tree.tree().global_id(child);
+          h.target = next_node;
+          start_ride(h, at, underlying_->label(next_node), kSearchNode);
+          break;
+        }
+        SearchTree::Data found_label = 0;
+        if (tree.holds(local, h.dest, &found_label)) {
+          h.tree_dfs = static_cast<NodeId>(found_label);
+          h.exponent = 1;
+        } else {
+          h.exponent = 0;
+        }
+        const int parent = tree.tree().parent(local);
+        const NodeId up = parent < 0 ? at : tree.tree().global_id(parent);
+        h.target = up;
+        start_ride(h, at, underlying_->label(up), kSearchBack);
+        break;
+      }
+
+      case kSearchBack: {
+        if (at != h.extra) {
+          const SearchTree& tree =
+              scheme_->search_structure(h.level, h.aux, nullptr);
+          const int local = tree.tree().local_id(at);
+          CR_CHECK(local >= 0);
+          const int parent = tree.tree().parent(local);
+          CR_CHECK(parent >= 0);
+          const NodeId up = tree.tree().global_id(parent);
+          h.target = up;
+          start_ride(h, at, underlying_->label(up), kSearchBack);
+          break;
+        }
+        // At the structure root: go back from c to u (Algorithm 4 line 7).
+        start_ride(h, at, underlying_->label(h.aux), kBackAtAnchor);
+        break;
+      }
+
+      case kBackAtAnchor: {
+        if (h.exponent == 1) {
+          h.inner = h.tree_dfs;
+          start_ride(h, at, h.tree_dfs, kDeliver);
+          break;
+        }
+        CR_CHECK_MSG(h.level < hierarchy.top_level(),
+                     "the top search ball covers the whole graph");
+        const NodeId up = hierarchy.netting_parent(h.level, at);
+        h.level = static_cast<std::int16_t>(h.level + 1);
+        h.aux = up;
+        start_ride(h, at, underlying_->label(up), kAtAnchor);
+        break;
+      }
+    }
+  }
+  CR_CHECK_MSG(false, "phase machine did not settle");
+  return decision;
+}
+
+}  // namespace compactroute

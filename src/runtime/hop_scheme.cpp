@@ -1,0 +1,75 @@
+#include "runtime/hop_scheme.hpp"
+
+#include <algorithm>
+
+#include "core/bits.hpp"
+#include "core/check.hpp"
+
+namespace compactroute {
+
+HopHeader::HopHeader(const HopHeader& other)
+    : dest(other.dest),
+      phase(other.phase),
+      level(other.level),
+      exponent(other.exponent),
+      target(other.target),
+      aux(other.aux),
+      inner(other.inner),
+      inner_phase(other.inner_phase),
+      tree_dfs(other.tree_dfs),
+      light(other.light),
+      extra(other.extra) {
+  if (other.nested) nested = std::make_unique<HopHeader>(*other.nested);
+}
+
+HopHeader& HopHeader::operator=(const HopHeader& other) {
+  if (this == &other) return *this;
+  HopHeader copy(other);
+  *this = std::move(copy);
+  return *this;
+}
+
+std::size_t HopHeader::encoded_bits(std::size_t n, int num_levels) const {
+  const std::size_t id = id_bits(n);
+  const std::size_t level = id_bits(static_cast<std::size_t>(num_levels) + 2);
+  // dest + phase + level + exponent + three ids + nested key + nested phase
+  // + carried tree label (dfs + light-edge list with a small count)
+  // + recursively, the nested header.
+  return id + 3 + level + id_bits(id + 2) + 3 * (id + 1) + id + 3 + (id + 6) +
+         light.size() * 2 * id + 1 +
+         (nested ? nested->encoded_bits(n, num_levels) : 0);
+}
+
+HopRun execute_hops(const MetricSpace& metric, const HopScheme& scheme, NodeId src,
+                    std::uint64_t dest_key, std::size_t max_hops) {
+  if (max_hops == 0) max_hops = 64 * metric.n() + 1024;
+  HopRun run;
+  run.path.push_back(src);
+
+  HopHeader header = scheme.make_header(src, dest_key);
+  run.max_header_bits = header.encoded_bits(metric.n(), metric.num_levels());
+
+  NodeId at = src;
+  for (std::size_t hop = 0; hop <= max_hops; ++hop) {
+    const HopScheme::Decision decision = scheme.step(at, header);
+    if (decision.deliver) {
+      run.delivered = true;
+      return run;
+    }
+    // The forwarding model: the next node must be a physical neighbor.
+    const Weight edge = metric.graph().edge_weight(at, decision.next);
+    CR_CHECK_MSG(edge < kInfiniteWeight,
+                 "scheme forwarded to a non-neighbor — locality violation");
+    run.cost += edge / metric.normalization_scale();
+    at = decision.next;
+    run.path.push_back(at);
+    header = decision.header;
+    run.max_header_bits =
+        std::max(run.max_header_bits,
+                 header.encoded_bits(metric.n(), metric.num_levels()));
+  }
+  CR_CHECK_MSG(false, "hop budget exhausted — scheme did not converge");
+  return run;
+}
+
+}  // namespace compactroute

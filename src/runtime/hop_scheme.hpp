@@ -1,0 +1,88 @@
+#pragma once
+//
+// Strict hop-by-hop packet runtime.
+//
+// The RouteResult-returning schemes compute a whole walk at once (using only
+// per-node tables, but implicitly). This runtime makes the locality claim
+// mechanical: a scheme is expressed as a pure *step function*
+//     (current node, packet header)  ->  (deliver | next neighbor, header')
+// and the executor physically forwards the packet, CHECKING that every next
+// hop is a graph neighbor of the current node and metering the true header size.
+// This is the routing-algorithm model of Section 1 of the paper, executable.
+//
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/types.hpp"
+#include "graph/metric.hpp"
+
+namespace compactroute {
+
+/// Generic bounded packet header. Schemes assign meaning to the fields; all
+/// of them are polylog-sized (ids, levels, phases). encoded_bits() is the
+/// exact wire size for the given universe.
+struct HopHeader {
+  std::uint64_t dest = 0;          // destination key (label or name)
+  std::uint8_t phase = 0;          // scheme-specific FSM state
+  std::int16_t level = 0;          // hierarchy level / prev walk level
+  std::int16_t exponent = 0;       // packing exponent j
+  NodeId target = kInvalidNode;    // current intermediate goal (global id)
+  NodeId aux = kInvalidNode;       // secondary goal (e.g. search anchor)
+  std::uint64_t inner = 0;         // nested (underlying-scheme) state
+  std::uint8_t inner_phase = 0;
+  // A carried compact tree-routing label (Lemma 4.1): DFS index plus light
+  // edges — O(log² n) bits, within the paper's header budget.
+  NodeId tree_dfs = 0;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> light;
+  NodeId extra = kInvalidNode;  // one more scheme-specific id slot
+
+  /// Nested header of an underlying scheme (layered routing: the outer
+  /// machine "rides" the inner one; header sizes add).
+  std::unique_ptr<HopHeader> nested;
+
+  HopHeader() = default;
+  HopHeader(const HopHeader& other);
+  HopHeader& operator=(const HopHeader& other);
+  HopHeader(HopHeader&&) = default;
+  HopHeader& operator=(HopHeader&&) = default;
+
+  std::size_t encoded_bits(std::size_t n, int num_levels) const;
+};
+
+class HopScheme {
+ public:
+  virtual ~HopScheme() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Header the source attaches for destination key `dest_key`.
+  virtual HopHeader make_header(NodeId src, std::uint64_t dest_key) const = 0;
+
+  struct Decision {
+    bool deliver = false;
+    NodeId next = kInvalidNode;
+    HopHeader header;
+  };
+
+  /// One forwarding decision, a pure function of (at, header) and the tables
+  /// of node `at`.
+  virtual Decision step(NodeId at, const HopHeader& header) const = 0;
+};
+
+struct HopRun {
+  bool delivered = false;
+  Path path;        // every consecutive pair is a graph edge
+  Weight cost = 0;  // sum of traversed edge weights (normalized)
+  std::size_t max_header_bits = 0;
+};
+
+/// Executes the scheme hop by hop from src. Throws InvariantError if the
+/// scheme ever forwards to a non-neighbor or exceeds max_hops.
+HopRun execute_hops(const MetricSpace& metric, const HopScheme& scheme, NodeId src,
+                    std::uint64_t dest_key, std::size_t max_hops = 0);
+
+}  // namespace compactroute

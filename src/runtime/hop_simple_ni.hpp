@@ -1,0 +1,52 @@
+#pragma once
+//
+// Hop-by-hop adapter for the simple name-independent scheme (Algorithm 3 as
+// a layered packet FSM).
+//
+// The header stacks two machines: the outer name-independent state (current
+// zoom level, search anchor, search cursor, continuation) and the inner
+// labeled-ride target — a destination label of the underlying hierarchical
+// scheme. Every physical hop is one greedy ring step of the underlying
+// scheme toward the inner target; when the ride arrives, the outer machine
+// advances (descend the search tree, report back, climb the zooming
+// sequence, or take the final leg). Header layout:
+//   dest        — the original destination name id(v)
+//   level / aux — zoom level i and anchor u(i)
+//   target      — search-tree cursor (global id)
+//   inner       — current ride target label
+//   inner_phase — continuation after the ride arrives
+//   tree_dfs    — the retrieved routing label l(v) (once found)
+//
+#include "labeled/hierarchical_labeled.hpp"
+#include "nameind/simple_nameind.hpp"
+#include "runtime/hop_scheme.hpp"
+
+namespace compactroute {
+
+class SimpleNameIndependentHopScheme final : public HopScheme {
+ public:
+  /// `underlying` must be the same scheme the NI scheme was built over.
+  SimpleNameIndependentHopScheme(const SimpleNameIndependentScheme& scheme,
+                                 const HierarchicalLabeledScheme& underlying)
+      : scheme_(&scheme), underlying_(&underlying) {}
+
+  std::string name() const override { return "hop/name-independent-simple"; }
+
+  HopHeader make_header(NodeId src, std::uint64_t dest_key) const override;
+  Decision step(NodeId at, const HopHeader& header) const override;
+
+ private:
+  // Continuations (inner_phase): what the outer machine does when the
+  // current labeled ride arrives.
+  enum Continuation : std::uint8_t {
+    kAtAnchor = 0,    // arrived at u(level): start the local search
+    kSearchNode = 1,  // arrived at the next search-tree node: descend
+    kSearchBack = 2,  // returning toward the root of the search tree
+    kDeliver = 3,     // final leg: arrived at the destination
+  };
+
+  const SimpleNameIndependentScheme* scheme_;
+  const HierarchicalLabeledScheme* underlying_;
+};
+
+}  // namespace compactroute

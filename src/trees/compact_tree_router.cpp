@@ -1,0 +1,139 @@
+#include "trees/compact_tree_router.hpp"
+
+#include <algorithm>
+
+#include "core/bits.hpp"
+#include "core/check.hpp"
+
+namespace compactroute {
+
+CompactTreeRouter::CompactTreeRouter(const RootedTree& tree) : tree_(&tree) {
+  const std::size_t m = tree.size();
+  dfs_in_.assign(m, 0);
+  dfs_out_.assign(m, 0);
+  node_of_dfs_.assign(m, -1);
+  heavy_child_.assign(m, -1);
+  labels_.assign(m, {});
+
+  // Heavy child: largest subtree, ties toward the smaller global id (the
+  // children list is already sorted by global id, so the first maximum wins).
+  std::vector<std::vector<int>> visit_order(m);
+  for (std::size_t u = 0; u < m; ++u) {
+    const auto& kids = tree.children(static_cast<int>(u));
+    if (kids.empty()) continue;
+    int heavy = kids[0];
+    for (int child : kids) {
+      if (tree.subtree_size(child) > tree.subtree_size(heavy)) heavy = child;
+    }
+    heavy_child_[u] = heavy;
+    visit_order[u].push_back(heavy);
+    for (int child : kids) {
+      if (child != heavy) visit_order[u].push_back(child);
+    }
+  }
+
+  // DFS with the heavy child first; build labels along the way. `trail` is
+  // the light-edge list accumulated on the current root path.
+  NodeId next = 0;
+  std::vector<std::pair<NodeId, NodeId>> trail;
+  std::vector<std::pair<int, std::size_t>> stack;  // (node, next visit index)
+  const auto enter = [&](int node) {
+    dfs_in_[node] = next;
+    node_of_dfs_[next] = node;
+    labels_[node].dfs = next;
+    labels_[node].light_edges = trail;
+    ++next;
+    stack.emplace_back(node, 0);
+  };
+  enter(tree.root_local());
+  while (!stack.empty()) {
+    auto& [node, visit_index] = stack.back();
+    const auto& order = visit_order[node];
+    if (visit_index < order.size()) {
+      const int child = order[visit_index++];
+      if (child != heavy_child_[node]) {
+        // Port of `child` at `node`: its index in the children list.
+        const auto& kids = tree.children(node);
+        const auto it = std::find(kids.begin(), kids.end(), child);
+        trail.emplace_back(dfs_in_[node],
+                           static_cast<NodeId>(it - kids.begin()));
+        enter(child);
+      } else {
+        enter(child);
+      }
+    } else {
+      dfs_out_[node] = next - 1;
+      stack.pop_back();
+      // If `node` was entered through a light edge, its trail entry ends here.
+      if (!stack.empty()) {
+        const int p = stack.back().first;
+        if (heavy_child_[p] != node) {
+          CR_CHECK(!trail.empty() && trail.back().first == dfs_in_[p]);
+          trail.pop_back();
+        }
+      }
+    }
+  }
+  CR_CHECK(next == m);
+}
+
+int CompactTreeRouter::step(int local, const TreeLabel& dest) const {
+  if (dest.dfs == dfs_in_[local]) return local;
+  if (dest.dfs < dfs_in_[local] || dest.dfs > dfs_out_[local]) {
+    const int up = tree_->parent(local);
+    CR_CHECK_MSG(up >= 0, "destination outside the tree");
+    return up;
+  }
+  const int heavy = heavy_child_[local];
+  if (heavy >= 0 && dest.dfs >= dfs_in_[heavy] && dest.dfs <= dfs_out_[heavy]) {
+    return heavy;
+  }
+  for (const auto& [anchor, port] : dest.light_edges) {
+    if (anchor == dfs_in_[local]) {
+      const auto& kids = tree_->children(local);
+      CR_CHECK(port < kids.size());
+      return kids[port];
+    }
+  }
+  CR_CHECK_MSG(false, "label must record the light edge at every light ancestor");
+  return -1;
+}
+
+std::vector<int> CompactTreeRouter::route(int src_local, const TreeLabel& dest) const {
+  std::vector<int> path = {src_local};
+  while (dfs_in_[path.back()] != dest.dfs) {
+    path.push_back(step(path.back(), dest));
+    CR_CHECK(path.size() <= 2 * tree_->size());
+  }
+  return path;
+}
+
+std::size_t CompactTreeRouter::table_bits(int local) const {
+  const std::size_t label = id_bits(tree_->size());
+  const std::size_t port =
+      id_bits(std::max<std::size_t>(tree_->children(local).size() + 1, 2));
+  // dfs_in + dfs_out + heavy-child interval + parent port.
+  return 4 * label + port;
+}
+
+std::size_t CompactTreeRouter::label_bits(int local) const {
+  const std::size_t base = id_bits(tree_->size());
+  std::size_t bits = base;
+  for (const auto& [anchor, port] : labels_[local].light_edges) {
+    (void)port;
+    const int anchor_node = node_of_dfs_[anchor];
+    bits += base + id_bits(std::max<std::size_t>(
+                       tree_->children(anchor_node).size(), 2));
+  }
+  return bits;
+}
+
+std::size_t CompactTreeRouter::max_label_bits() const {
+  std::size_t best = 0;
+  for (std::size_t u = 0; u < tree_->size(); ++u) {
+    best = std::max(best, label_bits(static_cast<int>(u)));
+  }
+  return best;
+}
+
+}  // namespace compactroute

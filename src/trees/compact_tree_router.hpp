@@ -1,0 +1,69 @@
+#pragma once
+//
+// Compact labeled tree routing (Lemma 4.1, after Fraigniaud–Gavoille and
+// Thorup–Zwick).
+//
+// Heavy-path decomposition: at every node the child with the largest subtree
+// is "heavy" and is visited first in DFS. A node's label is its DFS index
+// plus, for each *light* edge (a -> b) on its root path, the pair
+// (DFS index of a, port of b at a). Since each light descent at least halves
+// the subtree, there are at most ⌊log2 m⌋ such entries, so labels carry
+// O(log² m) bits. Per-node tables shrink to O(log m) bits: own interval, the
+// heavy child's interval, and the parent port — a node never stores all its
+// children's intervals (that information travels in the destination label).
+//
+// Routing is exactly optimal on the tree: ascend while the destination is
+// outside the subtree, then descend via the heavy interval or the label's
+// light-edge entry.
+//
+#include <cstddef>
+#include <vector>
+
+#include "core/types.hpp"
+#include "trees/tree.hpp"
+
+namespace compactroute {
+
+/// Destination label for compact tree routing.
+struct TreeLabel {
+  NodeId dfs = 0;
+  /// (DFS index of light ancestor, port of the child to take there).
+  std::vector<std::pair<NodeId, NodeId>> light_edges;
+};
+
+class CompactTreeRouter {
+ public:
+  explicit CompactTreeRouter(const RootedTree& tree);
+
+  const RootedTree& tree() const { return *tree_; }
+
+  const TreeLabel& label(int local) const { return labels_[local]; }
+
+  /// Local index of the node with DFS index `dfs`.
+  int node_of_dfs(NodeId dfs) const { return node_of_dfs_[dfs]; }
+
+  /// One routing step toward `dest`; returns `local` itself when delivered.
+  int step(int local, const TreeLabel& dest) const;
+
+  /// Full path (local indices) from src to dest, inclusive.
+  std::vector<int> route(int src_local, const TreeLabel& dest) const;
+
+  /// Per-node table bits: own interval + heavy-child interval + parent port.
+  std::size_t table_bits(int local) const;
+
+  /// Encoded size of a node's label in bits.
+  std::size_t label_bits(int local) const;
+
+  /// Maximum label size over all nodes.
+  std::size_t max_label_bits() const;
+
+ private:
+  const RootedTree* tree_;
+  std::vector<NodeId> dfs_in_;
+  std::vector<NodeId> dfs_out_;
+  std::vector<int> node_of_dfs_;
+  std::vector<int> heavy_child_;  // -1 for leaves
+  std::vector<TreeLabel> labels_;
+};
+
+}  // namespace compactroute

@@ -1,0 +1,73 @@
+#include "trees/interval_router.hpp"
+
+#include "core/bits.hpp"
+#include "core/check.hpp"
+
+namespace compactroute {
+
+IntervalTreeRouter::IntervalTreeRouter(const RootedTree& tree) : tree_(&tree) {
+  const std::size_t m = tree.size();
+  dfs_in_.assign(m, 0);
+  dfs_out_.assign(m, 0);
+  node_of_label_.assign(m, -1);
+
+  // Iterative DFS, children in their stored (global-id) order.
+  NodeId next = 0;
+  std::vector<std::pair<int, std::size_t>> stack;  // (node, next child index)
+  stack.emplace_back(tree.root_local(), 0);
+  dfs_in_[tree.root_local()] = next;
+  node_of_label_[next] = tree.root_local();
+  ++next;
+  while (!stack.empty()) {
+    auto& [node, child_index] = stack.back();
+    const auto& kids = tree.children(node);
+    if (child_index < kids.size()) {
+      const int child = kids[child_index++];
+      dfs_in_[child] = next;
+      node_of_label_[next] = child;
+      ++next;
+      stack.emplace_back(child, 0);
+    } else {
+      dfs_out_[node] = next - 1;
+      stack.pop_back();
+    }
+  }
+  CR_CHECK(next == m);
+}
+
+int IntervalTreeRouter::step(int local, NodeId dest) const {
+  CR_CHECK(dest < tree_->size());
+  if (dfs_in_[local] == dest) return local;
+  if (dest < dfs_in_[local] || dest > dfs_out_[local]) {
+    const int up = tree_->parent(local);
+    CR_CHECK_MSG(up >= 0, "destination label outside the tree");
+    return up;
+  }
+  for (int child : tree_->children(local)) {
+    if (dest >= dfs_in_[child] && dest <= dfs_out_[child]) return child;
+  }
+  CR_CHECK_MSG(false, "DFS intervals of children must cover the subtree");
+  return -1;
+}
+
+std::vector<int> IntervalTreeRouter::route(int src_local, NodeId dest) const {
+  std::vector<int> path = {src_local};
+  while (dfs_in_[path.back()] != dest) {
+    path.push_back(step(path.back(), dest));
+    CR_CHECK(path.size() <= 2 * tree_->size());
+  }
+  return path;
+}
+
+std::size_t IntervalTreeRouter::table_bits(int local) const {
+  const std::size_t label = label_bits();
+  // Own interval (2 labels), parent port (1 id), and per child: interval +
+  // port.
+  return 2 * label + label + tree_->children(local).size() * 3 * label;
+}
+
+std::size_t IntervalTreeRouter::label_bits() const {
+  return static_cast<std::size_t>(id_bits(tree_->size()));
+}
+
+}  // namespace compactroute

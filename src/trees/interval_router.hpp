@@ -1,0 +1,52 @@
+#pragma once
+//
+// Interval (DFS) tree routing.
+//
+// The classic optimal labeled routing scheme on trees: label every node with
+// its DFS index, store at each node its DFS interval and its children's
+// intervals, and route by interval containment. Routing is exactly along the
+// unique tree path. Labels are one ⌈log m⌉-bit integer; per-node tables are
+// O(deg · log m) bits — compact except at very high-degree nodes, which is
+// what CompactTreeRouter (heavy-path scheme, Lemma 4.1) addresses.
+//
+#include <cstddef>
+#include <vector>
+
+#include "core/types.hpp"
+#include "trees/tree.hpp"
+
+namespace compactroute {
+
+class IntervalTreeRouter {
+ public:
+  explicit IntervalTreeRouter(const RootedTree& tree);
+
+  const RootedTree& tree() const { return *tree_; }
+
+  /// Label of a node, by local index: its DFS-in number.
+  NodeId label(int local) const { return dfs_in_[local]; }
+
+  /// Local index of the labeled node.
+  int node_of_label(NodeId label) const { return node_of_label_[label]; }
+
+  /// One routing step: the local index of the next node on the path from
+  /// `local` toward the node labeled `dest`; `local` itself if delivered.
+  int step(int local, NodeId dest) const;
+
+  /// Full path (local indices) from src to the node labeled dest, inclusive.
+  std::vector<int> route(int src_local, NodeId dest) const;
+
+  /// Routing-table bits at a node: own interval + child intervals + ports.
+  std::size_t table_bits(int local) const;
+
+  /// Bits per label: ceil(log2 m).
+  std::size_t label_bits() const;
+
+ private:
+  const RootedTree* tree_;
+  std::vector<NodeId> dfs_in_;
+  std::vector<NodeId> dfs_out_;  // inclusive: max DFS-in within the subtree
+  std::vector<int> node_of_label_;
+};
+
+}  // namespace compactroute

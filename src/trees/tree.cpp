@@ -1,0 +1,73 @@
+#include "trees/tree.hpp"
+
+#include <algorithm>
+
+#include "core/check.hpp"
+
+namespace compactroute {
+
+void RootedTree::init_nodes(const std::vector<NodeId>& nodes, NodeId root) {
+  CR_CHECK(!nodes.empty());
+  global_ = nodes;
+  local_.reserve(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const bool inserted = local_.emplace(nodes[i], static_cast<int>(i)).second;
+    CR_CHECK_MSG(inserted, "duplicate node in tree");
+  }
+  const auto it = local_.find(root);
+  CR_CHECK_MSG(it != local_.end(), "root must be among the tree nodes");
+  root_ = it->second;
+}
+
+void RootedTree::finish(const std::vector<NodeId>& parents,
+                        const std::vector<Weight>& weights) {
+  const std::size_t m = global_.size();
+  parent_.assign(m, -1);
+  parent_weight_.assign(m, 0);
+  children_.assign(m, {});
+  for (std::size_t i = 0; i < m; ++i) {
+    if (static_cast<int>(i) == root_) continue;
+    const int p = local_id(parents[i]);
+    CR_CHECK_MSG(p >= 0, "parent must be a tree node");
+    CR_CHECK_MSG(weights[i] >= 0, "edge weights must be non-negative");
+    parent_[i] = p;
+    parent_weight_[i] = weights[i];
+    children_[p].push_back(static_cast<int>(i));
+  }
+  for (auto& kids : children_) {
+    std::sort(kids.begin(), kids.end(),
+              [&](int a, int b) { return global_[a] < global_[b]; });
+  }
+
+  // Subtree sizes and depths via one topological pass (children after
+  // parents). Detects cycles: every node must be reachable from the root.
+  std::vector<int> order;
+  order.reserve(m);
+  order.push_back(root_);
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    for (int child : children_[order[head]]) order.push_back(child);
+  }
+  CR_CHECK_MSG(order.size() == m, "parent pointers do not form a tree rooted at root");
+
+  subtree_size_.assign(m, 1);
+  depth_.assign(m, 0);
+  for (int local : order) {
+    if (local != root_) depth_[local] = depth_[parent_[local]] + parent_weight_[local];
+  }
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if (*it != root_) subtree_size_[parent_[*it]] += subtree_size_[*it];
+  }
+}
+
+int RootedTree::local_id(NodeId global) const {
+  const auto it = local_.find(global);
+  return it == local_.end() ? -1 : it->second;
+}
+
+Weight RootedTree::height() const {
+  Weight h = 0;
+  for (Weight d : depth_) h = std::max(h, d);
+  return h;
+}
+
+}  // namespace compactroute

@@ -1,0 +1,78 @@
+#pragma once
+//
+// Rooted weighted trees.
+//
+// Trees appear in three roles in the paper: the netting tree (Section 2), the
+// Voronoi shortest-path trees T_c(j) (Section 4.1), and the virtual search
+// trees (Definitions 3.2 / 4.2). This class gives them one representation:
+// local indices 0..m-1 with a mapping to global node ids, parent pointers,
+// edge weights, and the derived orders (children, subtree sizes) that tree
+// routing needs. Tree edges may be real graph edges (Voronoi trees) or
+// virtual edges whose weight is a metric distance (search trees).
+//
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace compactroute {
+
+class RootedTree {
+ public:
+  /// Builds a tree over `nodes` (global ids; must include `root`). parent_of
+  /// maps each non-root global node to its parent's global id (which must be
+  /// in `nodes`); weight_of gives the corresponding edge weight.
+  template <typename ParentFn, typename WeightFn>
+  RootedTree(const std::vector<NodeId>& nodes, NodeId root, ParentFn&& parent_of,
+             WeightFn&& weight_of) {
+    init_nodes(nodes, root);
+    std::vector<NodeId> parents(nodes.size(), kInvalidNode);
+    std::vector<Weight> weights(nodes.size(), 0);
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (nodes[i] == root) continue;
+      parents[i] = parent_of(nodes[i]);
+      weights[i] = weight_of(nodes[i]);
+    }
+    finish(parents, weights);
+  }
+
+  std::size_t size() const { return global_.size(); }
+  int root_local() const { return root_; }
+  NodeId root_global() const { return global_[root_]; }
+
+  NodeId global_id(int local) const { return global_[local]; }
+  /// Local index of a global id; -1 if not in the tree.
+  int local_id(NodeId global) const;
+  bool contains(NodeId global) const { return local_id(global) >= 0; }
+
+  /// Parent local index; -1 for the root.
+  int parent(int local) const { return parent_[local]; }
+  Weight parent_edge_weight(int local) const { return parent_weight_[local]; }
+
+  /// Children in increasing global-id order.
+  const std::vector<int>& children(int local) const { return children_[local]; }
+
+  std::size_t subtree_size(int local) const { return subtree_size_[local]; }
+
+  /// Sum of edge weights from the root to `local`.
+  Weight depth(int local) const { return depth_[local]; }
+
+  /// Maximum depth over all nodes (the height used in Eqn (3)).
+  Weight height() const;
+
+ private:
+  void init_nodes(const std::vector<NodeId>& nodes, NodeId root);
+  void finish(const std::vector<NodeId>& parents, const std::vector<Weight>& weights);
+
+  int root_ = -1;
+  std::vector<NodeId> global_;
+  std::unordered_map<NodeId, int> local_;
+  std::vector<int> parent_;
+  std::vector<Weight> parent_weight_;
+  std::vector<std::vector<int>> children_;
+  std::vector<std::size_t> subtree_size_;
+  std::vector<Weight> depth_;
+};
+
+}  // namespace compactroute

@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "codec/bitstream.hpp"
+#include "codec/packed_router.hpp"
+#include "codec/table_codec.hpp"
+#include "core/prng.hpp"
+#include "gen/generators.hpp"
+#include "graph/metric.hpp"
+#include "labeled/hierarchical_labeled.hpp"
+#include "nets/rnet.hpp"
+#include "trees/compact_tree_router.hpp"
+#include "trees/tree.hpp"
+
+namespace compactroute {
+namespace {
+
+TEST(BitStream, SingleValues) {
+  BitWriter w;
+  w.write(0b101, 3);
+  w.write(0, 0);
+  w.write(0xffff, 16);
+  w.write(1, 1);
+  EXPECT_EQ(w.bit_count(), 20u);
+  BitReader r(w.bytes());
+  EXPECT_EQ(r.read(3), 0b101u);
+  EXPECT_EQ(r.read(0), 0u);
+  EXPECT_EQ(r.read(16), 0xffffu);
+  EXPECT_EQ(r.read(1), 1u);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BitStream, RejectsOverflowAndUnderflow) {
+  BitWriter w;
+  EXPECT_THROW(w.write(4, 2), InvariantError);  // 4 needs 3 bits
+  w.write(3, 2);
+  BitReader r(w.bytes());
+  r.read(2);
+  EXPECT_THROW(r.read(16), InvariantError);
+}
+
+TEST(BitStream, RandomRoundTrip) {
+  Prng prng(99);
+  std::vector<std::pair<std::uint64_t, int>> values;
+  BitWriter w;
+  for (int i = 0; i < 2000; ++i) {
+    const int width = 1 + static_cast<int>(prng.next_below(64));
+    const std::uint64_t value =
+        width == 64 ? prng.next_u64() : prng.next_u64() & ((1ULL << width) - 1);
+    values.emplace_back(value, width);
+    w.write(value, width);
+  }
+  BitReader r(w.bytes());
+  for (const auto& [value, width] : values) {
+    EXPECT_EQ(r.read(width), value);
+  }
+}
+
+TEST(BitStream, VarintRoundTrip) {
+  BitWriter w;
+  const std::uint64_t samples[] = {0,    1,       127,        128,
+                                   300,  1 << 20, 0xffffffff, ~std::uint64_t{0}};
+  for (std::uint64_t v : samples) w.write_varint(v);
+  BitReader r(w.bytes());
+  for (std::uint64_t v : samples) EXPECT_EQ(r.read_varint(), v);
+}
+
+TEST(BitStream, VarintSizes) {
+  BitWriter small, large;
+  small.write_varint(5);
+  large.write_varint(1ULL << 40);
+  EXPECT_EQ(small.bit_count(), 8u);
+  EXPECT_EQ(large.bit_count(), 48u);  // 6 byte-groups
+}
+
+TEST(TableCodec, RangeRoundTrip) {
+  const RangeCodec codec(1000);
+  BitWriter w;
+  codec.encode(w, {17, 941});
+  codec.encode(w, {0, 0});
+  BitReader r(w.bytes());
+  const LeafRange a = codec.decode(r);
+  const LeafRange b = codec.decode(r);
+  EXPECT_EQ(a.lo, 17u);
+  EXPECT_EQ(a.hi, 941u);
+  EXPECT_TRUE(b.contains(0));
+  EXPECT_FALSE(b.contains(1));
+}
+
+TEST(TableCodec, TreeLabelRoundTrip) {
+  TreeLabel label;
+  label.dfs = 42;
+  label.light_edges = {{3, 1}, {17, 0}, {40, 7}};
+  const TreeLabelCodec codec(64, 8);
+  BitWriter w;
+  codec.encode(w, label);
+  BitReader r(w.bytes());
+  const TreeLabel back = codec.decode(r);
+  EXPECT_EQ(back.dfs, label.dfs);
+  ASSERT_EQ(back.light_edges.size(), 3u);
+  EXPECT_EQ(back.light_edges[2], (std::pair<NodeId, NodeId>{40, 7}));
+}
+
+TEST(TableCodec, TreeLabelsOfRealRouterRoundTrip) {
+  const Graph g = make_random_tree(120, 3, 5);
+  const MetricSpace metric(g);
+  std::vector<NodeId> nodes(metric.n());
+  for (NodeId u = 0; u < metric.n(); ++u) nodes[u] = u;
+  const RootedTree tree(
+      nodes, 0, [&](NodeId v) { return metric.next_hop(v, 0); },
+      [&](NodeId v) { return metric.dist(v, metric.next_hop(v, 0)); });
+  const CompactTreeRouter router(tree);
+  const TreeLabelCodec codec(tree.size(), g.max_degree() + 1);
+
+  BitWriter w;
+  for (std::size_t v = 0; v < tree.size(); ++v) {
+    codec.encode(w, router.label(static_cast<int>(v)));
+  }
+  BitReader r(w.bytes());
+  for (std::size_t v = 0; v < tree.size(); ++v) {
+    const TreeLabel back = codec.decode(r);
+    const TreeLabel& original = router.label(static_cast<int>(v));
+    EXPECT_EQ(back.dfs, original.dfs);
+    EXPECT_EQ(back.light_edges, original.light_edges);
+  }
+  // Encoded size agrees with the router's own label_bits accounting up to
+  // the varint count byte and the codec's uniform (vs per-anchor) port width.
+  std::size_t accounted = 0;
+  for (std::size_t v = 0; v < tree.size(); ++v) {
+    accounted += router.label_bits(static_cast<int>(v));
+  }
+  EXPECT_LE(w.bit_count(), accounted + 16 * tree.size() + 64);
+  EXPECT_GE(w.bit_count() + 64, accounted);
+}
+
+TEST(TableCodec, HierarchicalTableRoundTrip) {
+  const Graph g = make_random_geometric(90, 2, 4, 44);
+  const MetricSpace metric(g);
+  const NetHierarchy hierarchy(metric);
+  const HierarchicalLabeledScheme scheme(metric, hierarchy, 0.5);
+
+  for (NodeId u = 0; u < metric.n(); u += 7) {
+    std::size_t bits = 0;
+    const std::vector<std::uint8_t> blob =
+        encode_hierarchical_table(scheme, metric, u, &bits);
+    EXPECT_GT(bits, 0u);
+    EXPECT_LE(blob.size() * 8, bits + 7);
+
+    const auto rings = decode_hierarchical_table(blob, metric, u,
+                                                 hierarchy.top_level() + 1);
+    ASSERT_EQ(rings.size(), scheme.rings(u).size());
+    for (std::size_t level = 0; level < rings.size(); ++level) {
+      ASSERT_EQ(rings[level].size(), scheme.rings(u)[level].size());
+      for (std::size_t k = 0; k < rings[level].size(); ++k) {
+        const auto& original = scheme.rings(u)[level][k];
+        const auto& decoded = rings[level][k];
+        EXPECT_EQ(decoded.range.lo, original.range.lo);
+        EXPECT_EQ(decoded.range.hi, original.range.hi);
+        // The decoded port resolves to the original next hop.
+        if (original.next_hop == u) {
+          EXPECT_EQ(decoded.port, metric.graph().degree(u));
+        } else {
+          ASSERT_LT(decoded.port, metric.graph().degree(u));
+          EXPECT_EQ(metric.graph().neighbors(u)[decoded.port].to,
+                    original.next_hop);
+        }
+      }
+    }
+  }
+}
+
+TEST(PackedRouter, RoutesIdenticallyFromBlobsAlone) {
+  // The serialized tables alone must reproduce the scheme's walks exactly.
+  const Graph g = make_random_geometric(100, 2, 4, 77);
+  const MetricSpace metric(g);
+  const NetHierarchy hierarchy(metric);
+  const HierarchicalLabeledScheme scheme(metric, hierarchy, 0.5);
+  const PackedHierarchicalRouter packed(scheme, metric);
+
+  Prng prng(13);
+  for (int trial = 0; trial < 300; ++trial) {
+    const NodeId u = static_cast<NodeId>(prng.next_below(metric.n()));
+    const NodeId v = static_cast<NodeId>(prng.next_below(metric.n()));
+    const RouteResult reference = scheme.route(u, scheme.label(v));
+    const RouteResult from_blobs =
+        packed.route(u, static_cast<NodeId>(scheme.label(v)));
+    ASSERT_TRUE(from_blobs.delivered);
+    EXPECT_EQ(from_blobs.path, reference.path);
+  }
+}
+
+TEST(PackedRouter, BlobSizesMatchAccounting) {
+  const Graph g = make_grid(8, 8);
+  const MetricSpace metric(g);
+  const NetHierarchy hierarchy(metric);
+  const HierarchicalLabeledScheme scheme(metric, hierarchy, 0.5);
+  const PackedHierarchicalRouter packed(scheme, metric);
+  for (NodeId u = 0; u < metric.n(); ++u) {
+    EXPECT_GT(packed.blob_bits(u), 0u);
+    EXPECT_LE(packed.blob(u).size() * 8, packed.blob_bits(u) + 7);
+    // Within a small factor of the scheme's own accounting.
+    EXPECT_LE(packed.blob_bits(u), 2 * scheme.storage_bits(u) + 512);
+  }
+}
+
+TEST(PackedRouter, WorksOnDeepSpider) {
+  const Graph g = make_exponential_spider(12, 4);
+  const MetricSpace metric(g);
+  const NetHierarchy hierarchy(metric);
+  const HierarchicalLabeledScheme scheme(metric, hierarchy, 0.5);
+  const PackedHierarchicalRouter packed(scheme, metric);
+  for (NodeId u = 0; u < metric.n(); u += 3) {
+    for (NodeId v = 0; v < metric.n(); v += 5) {
+      const RouteResult r = packed.route(u, static_cast<NodeId>(scheme.label(v)));
+      ASSERT_TRUE(r.delivered);
+      EXPECT_EQ(r.path.back(), v);
+    }
+  }
+}
+
+TEST(TableCodec, EncodedSizeTracksAccountedSize) {
+  // The packed table must be in the same ballpark as (and not wildly larger
+  // than) the storage_bits() accounting for the ring component.
+  const Graph g = make_grid(9, 9);
+  const MetricSpace metric(g);
+  const NetHierarchy hierarchy(metric);
+  const HierarchicalLabeledScheme scheme(metric, hierarchy, 0.5);
+  for (NodeId u = 0; u < metric.n(); u += 11) {
+    std::size_t bits = 0;
+    encode_hierarchical_table(scheme, metric, u, &bits);
+    const std::size_t accounted = scheme.storage_bits(u);
+    EXPECT_LE(bits, 2 * accounted + 256);
+    EXPECT_GE(4 * bits + 256, accounted);
+  }
+}
+
+}  // namespace
+}  // namespace compactroute

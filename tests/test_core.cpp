@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "core/bits.hpp"
+#include "core/check.hpp"
+#include "core/prng.hpp"
+
+namespace compactroute {
+namespace {
+
+TEST(Bits, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(4), 2);
+  EXPECT_EQ(ceil_log2(5), 3);
+  EXPECT_EQ(ceil_log2(1024), 10);
+  EXPECT_EQ(ceil_log2(1025), 11);
+  EXPECT_EQ(ceil_log2(std::uint64_t{1} << 40), 40);
+}
+
+TEST(Bits, FloorLog2) {
+  EXPECT_EQ(floor_log2(1), 0);
+  EXPECT_EQ(floor_log2(2), 1);
+  EXPECT_EQ(floor_log2(3), 1);
+  EXPECT_EQ(floor_log2(4), 2);
+  EXPECT_EQ(floor_log2(1023), 9);
+  EXPECT_EQ(floor_log2(1024), 10);
+}
+
+TEST(Bits, CeilFloorConsistency) {
+  for (std::uint64_t x = 1; x < 5000; ++x) {
+    EXPECT_LE(floor_log2(x), ceil_log2(x));
+    EXPECT_LE(ceil_log2(x) - floor_log2(x), 1);
+    EXPECT_LE(std::uint64_t{1} << floor_log2(x), x);
+    EXPECT_GE(std::uint64_t{1} << ceil_log2(x), x);
+  }
+}
+
+TEST(Bits, IdBits) {
+  EXPECT_EQ(id_bits(1), 1);
+  EXPECT_EQ(id_bits(2), 1);
+  EXPECT_EQ(id_bits(3), 2);
+  EXPECT_EQ(id_bits(256), 8);
+  EXPECT_EQ(id_bits(257), 9);
+}
+
+TEST(Bits, LedgerAccumulates) {
+  BitLedger ledger;
+  ledger.add("rings", 100);
+  ledger.add("trees", 50);
+  ledger.add("rings", 25);
+  EXPECT_EQ(ledger.total(), 175u);
+  ASSERT_EQ(ledger.breakdown().size(), 2u);
+  EXPECT_EQ(ledger.breakdown()[0].second, 125u);
+  EXPECT_EQ(ledger.breakdown()[1].second, 50u);
+}
+
+TEST(Bits, SummarizeStorage) {
+  const StorageStats stats = summarize_storage({10, 20, 30});
+  EXPECT_EQ(stats.max_bits, 30u);
+  EXPECT_DOUBLE_EQ(stats.avg_bits, 20.0);
+  EXPECT_EQ(stats.total_bits, 60u);
+  const StorageStats empty = summarize_storage({});
+  EXPECT_EQ(empty.max_bits, 0u);
+}
+
+TEST(Prng, DeterministicAcrossInstances) {
+  Prng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Prng, DifferentSeedsDiffer) {
+  Prng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Prng, NextBelowInRange) {
+  Prng prng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = prng.next_below(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all residues hit over 1000 draws
+}
+
+TEST(Prng, NextDoubleInUnitInterval) {
+  Prng prng(3);
+  double lo = 1, hi = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = prng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_LT(lo, 0.1);
+  EXPECT_GT(hi, 0.9);
+}
+
+TEST(Check, ThrowsInvariantError) {
+  EXPECT_THROW([] { CR_CHECK_MSG(false, "boom"); }(), InvariantError);
+  EXPECT_NO_THROW([] { CR_CHECK(true); }());
+}
+
+}  // namespace
+}  // namespace compactroute

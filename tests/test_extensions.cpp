@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "core/prng.hpp"
+#include "gen/generators.hpp"
+#include "graph/metric.hpp"
+#include "io/graph_io.hpp"
+#include "labeled/scale_free_labeled.hpp"
+#include "nameind/scale_free_nameind.hpp"
+#include "nets/rnet.hpp"
+#include "oracle/distance_oracle.hpp"
+#include "routing/naming.hpp"
+#include "routing/simulator.hpp"
+#include "test_util.hpp"
+
+namespace compactroute {
+namespace {
+
+// ---------------------------------------------------------------- generators
+
+TEST(ExtraGenerators, TorusStructure) {
+  const Graph g = make_torus(6, 5);
+  EXPECT_EQ(g.num_nodes(), 30u);
+  EXPECT_EQ(g.num_edges(), 2u * 30);  // every node adds a right and down edge
+  for (NodeId u = 0; u < g.num_nodes(); ++u) EXPECT_EQ(g.degree(u), 4u);
+  const MetricSpace metric(g);
+  EXPECT_DOUBLE_EQ(metric.delta(), 3 + 2);  // wrap-around halves distances
+}
+
+TEST(ExtraGenerators, RingOfCliques) {
+  const Graph g = make_ring_of_cliques(8, 5, 10);
+  EXPECT_EQ(g.num_nodes(), 40u);
+  EXPECT_TRUE(g.is_connected());
+  const MetricSpace metric(g);
+  // Within a clique: distance 1; across the ring: multiples of the bridge.
+  EXPECT_DOUBLE_EQ(metric.dist(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(metric.dist(0, 5), 10.0);
+}
+
+TEST(ExtraGenerators, SchemesWorkOnNewFamilies) {
+  for (Graph g : {make_torus(6, 6), make_ring_of_cliques(6, 5, 12)}) {
+    const MetricSpace metric(g);
+    const NetHierarchy hierarchy(metric);
+    const Naming naming = Naming::random(metric.n(), 77);
+    const ScaleFreeLabeledScheme labeled(metric, hierarchy, 0.5);
+    const ScaleFreeNameIndependentScheme scheme(metric, hierarchy, naming, labeled,
+                                                0.5);
+    Prng prng(1);
+    const StretchStats stats =
+        evaluate_name_independent(scheme, metric, naming, 400, prng);
+    EXPECT_EQ(stats.failures, 0u);
+  }
+}
+
+// ------------------------------------------------------------------ graph IO
+
+TEST(GraphIO, StreamRoundTrip) {
+  const Graph original = make_random_geometric(60, 2, 4, 5);
+  std::stringstream buffer;
+  write_edge_list(buffer, original);
+  const Graph loaded = read_edge_list(buffer);
+  ASSERT_EQ(loaded.num_nodes(), original.num_nodes());
+  ASSERT_EQ(loaded.num_edges(), original.num_edges());
+  for (NodeId u = 0; u < original.num_nodes(); ++u) {
+    for (const HalfEdge& half : original.neighbors(u)) {
+      EXPECT_DOUBLE_EQ(loaded.edge_weight(u, half.to), half.weight);
+    }
+  }
+}
+
+TEST(GraphIO, RoundTripPreservesMetric) {
+  const Graph original = make_cluster_hierarchy(3, 4, 8, 3);
+  std::stringstream buffer;
+  write_edge_list(buffer, original);
+  const Graph loaded = read_edge_list(buffer);
+  const MetricSpace m1(original), m2(loaded);
+  EXPECT_DOUBLE_EQ(m1.delta(), m2.delta());
+  for (NodeId u = 0; u < m1.n(); u += 7) {
+    for (NodeId v = 0; v < m1.n(); v += 5) {
+      EXPECT_DOUBLE_EQ(m1.dist(u, v), m2.dist(u, v));
+    }
+  }
+}
+
+TEST(GraphIO, CommentsAndErrors) {
+  std::stringstream good("# header\n3 2\n0 1 1.5\n# middle\n1 2 2.5\n");
+  const Graph g = read_edge_list(good);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_DOUBLE_EQ(g.edge_weight(1, 2), 2.5);
+
+  std::stringstream truncated("3 2\n0 1 1.0\n");
+  EXPECT_THROW(read_edge_list(truncated), InvariantError);
+  std::stringstream out_of_range("2 1\n0 5 1.0\n");
+  EXPECT_THROW(read_edge_list(out_of_range), InvariantError);
+  std::stringstream empty("");
+  EXPECT_THROW(read_edge_list(empty), InvariantError);
+}
+
+TEST(GraphIO, FileRoundTrip) {
+  const std::string path = "/tmp/compactroute_io_test.graph";
+  const Graph original = make_grid(5, 5);
+  save_graph(path, original);
+  const Graph loaded = load_graph(path);
+  EXPECT_EQ(loaded.num_nodes(), original.num_nodes());
+  EXPECT_EQ(loaded.num_edges(), original.num_edges());
+  std::remove(path.c_str());
+  EXPECT_THROW(load_graph("/nonexistent/nope.graph"), InvariantError);
+}
+
+// ----------------------------------------------------------- distance oracle
+
+class OracleZooTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(OracleZooTest, IntervalAlwaysContainsTruth) {
+  const auto zoo = testing::small_graph_zoo();
+  const auto& [name, graph] = zoo[GetParam()];
+  SCOPED_TRACE(name);
+  const MetricSpace metric(graph);
+  const NetHierarchy hierarchy(metric);
+  const DistanceOracle oracle(metric, hierarchy, 0.25);
+  for (NodeId u = 0; u < metric.n(); u += 3) {
+    for (NodeId v = 0; v < metric.n(); v += 5) {
+      const auto est = oracle.estimate(u, oracle.label(v));
+      const Weight truth = metric.dist(u, v);
+      EXPECT_LE(est.lower, truth + 1e-9);
+      EXPECT_GE(est.upper + 1e-9, truth);
+    }
+  }
+}
+
+TEST_P(OracleZooTest, MultiplicativeErrorBound) {
+  const auto zoo = testing::small_graph_zoo();
+  const auto& [name, graph] = zoo[GetParam()];
+  SCOPED_TRACE(name);
+  const MetricSpace metric(graph);
+  const NetHierarchy hierarchy(metric);
+  const double eps = 0.2;
+  const DistanceOracle oracle(metric, hierarchy, eps);
+  const double factor = oracle.error_factor() + 1e-9;
+  for (NodeId u = 0; u < metric.n(); u += 2) {
+    for (NodeId v = 0; v < metric.n(); v += 3) {
+      if (u == v) continue;
+      const auto est = oracle.estimate(u, oracle.label(v));
+      const Weight truth = metric.dist(u, v);
+      EXPECT_LE(std::abs(est.distance - truth), factor * truth + 1e-9)
+          << "u=" << u << " v=" << v << " level=" << est.level;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, OracleZooTest, ::testing::Range(0, 12),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return testing::small_graph_zoo()[info.param].name;
+                         });
+
+TEST(DistanceOracle, SelfDistanceIsZeroAndExact) {
+  const MetricSpace metric(make_grid(6, 6));
+  const NetHierarchy hierarchy(metric);
+  const DistanceOracle oracle(metric, hierarchy, 0.25);
+  for (NodeId u = 0; u < metric.n(); ++u) {
+    const auto est = oracle.estimate(u, oracle.label(u));
+    EXPECT_DOUBLE_EQ(est.distance, 0.0);
+    EXPECT_EQ(est.level, 0);
+  }
+}
+
+TEST(DistanceOracle, StorageIsPolylogOnModerateDelta) {
+  const MetricSpace metric(make_random_geometric(120, 2, 4, 9));
+  const NetHierarchy hierarchy(metric);
+  const DistanceOracle oracle(metric, hierarchy, 0.25);
+  for (NodeId u = 0; u < metric.n(); u += 11) {
+    EXPECT_LT(oracle.storage_bits(u), metric.n() * 100);
+    EXPECT_GT(oracle.storage_bits(u), 0u);
+  }
+}
+
+TEST(DistanceOracle, RejectsBadEpsilon) {
+  const MetricSpace metric(make_path(8));
+  const NetHierarchy hierarchy(metric);
+  EXPECT_THROW(DistanceOracle(metric, hierarchy, 0.5), InvariantError);
+  EXPECT_THROW(DistanceOracle(metric, hierarchy, 0.0), InvariantError);
+}
+
+// ----------------------------------------------------------------- ablations
+
+TEST(Ablation, DisablingSubsumptionIncreasesStorageOnDeepGraphs) {
+  const Graph g = make_exponential_spider(18, 4);
+  const MetricSpace metric(g);
+  const NetHierarchy hierarchy(metric);
+  const Naming naming = Naming::random(metric.n(), 9);
+  const ScaleFreeLabeledScheme labeled(metric, hierarchy, 0.5);
+  const ScaleFreeNameIndependentScheme with(metric, hierarchy, naming, labeled, 0.5,
+                                            {.subsume_with_packings = true});
+  const ScaleFreeNameIndependentScheme without(metric, hierarchy, naming, labeled,
+                                               0.5,
+                                               {.subsume_with_packings = false});
+  std::size_t with_total = 0, without_total = 0;
+  for (NodeId u = 0; u < metric.n(); ++u) {
+    with_total += with.storage_bits(u);
+    without_total += without.storage_bits(u);
+  }
+  EXPECT_GT(without_total, with_total);
+  // Both variants still route correctly.
+  Prng prng(2);
+  EXPECT_EQ(evaluate_name_independent(without, metric, naming, 300, prng).failures,
+            0u);
+}
+
+TEST(Ablation, RingWindowControlsLevelSetSize) {
+  const Graph g = make_exponential_spider(16, 4);
+  const MetricSpace metric(g);
+  const NetHierarchy hierarchy(metric);
+  const ScaleFreeLabeledScheme narrow(metric, hierarchy, 0.5, {.ring_window = 2.0});
+  const ScaleFreeLabeledScheme wide(metric, hierarchy, 0.5, {.ring_window = 12.0});
+  std::size_t narrow_levels = 0, wide_levels = 0;
+  for (NodeId u = 0; u < metric.n(); ++u) {
+    narrow_levels += narrow.level_set(u).size();
+    wide_levels += wide.level_set(u).size();
+  }
+  EXPECT_LT(narrow_levels, wide_levels);
+  // Both deliver everywhere.
+  Prng prng(3);
+  EXPECT_EQ(evaluate_labeled(narrow, metric, 400, prng).failures, 0u);
+  EXPECT_EQ(evaluate_labeled(wide, metric, 400, prng).failures, 0u);
+}
+
+TEST(Ablation, BasicSearchTreesStillRouteCorrectly) {
+  const Graph g = make_exponential_spider(14, 4);
+  const MetricSpace metric(g);
+  const NetHierarchy hierarchy(metric);
+  const ScaleFreeLabeledScheme basic(metric, hierarchy, 0.5,
+                                     {.capped_search_trees = false});
+  Prng prng(4);
+  const StretchStats stats = evaluate_labeled(basic, metric, 500, prng);
+  EXPECT_EQ(stats.failures, 0u);
+}
+
+}  // namespace
+}  // namespace compactroute

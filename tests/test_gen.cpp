@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/prng.hpp"
+#include "gen/generators.hpp"
+#include "gen/lower_bound_tree.hpp"
+#include "graph/doubling.hpp"
+#include "graph/metric.hpp"
+#include "test_util.hpp"
+
+namespace compactroute {
+namespace {
+
+TEST(Generators, ZooIsConnectedAndSized) {
+  for (const auto& [name, graph] : testing::small_graph_zoo()) {
+    SCOPED_TRACE(name);
+    EXPECT_TRUE(graph.is_connected());
+    EXPECT_GE(graph.num_nodes(), 2u);
+  }
+}
+
+TEST(Generators, GridStructure) {
+  const Graph g = make_grid(5, 4);
+  EXPECT_EQ(g.num_nodes(), 20u);
+  EXPECT_EQ(g.num_edges(), 4u * 4 + 5u * 3);  // horizontal + vertical
+  const MetricSpace metric(g);
+  EXPECT_DOUBLE_EQ(metric.delta(), 4 + 3);  // Manhattan corner-to-corner
+}
+
+TEST(Generators, GridWithHolesStaysConnected) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Graph g = make_grid_with_holes(12, 12, 6, 3, seed);
+    EXPECT_TRUE(g.is_connected());
+    EXPECT_LT(g.num_nodes(), 12u * 12);
+    EXPECT_GT(g.num_nodes(), 40u);
+  }
+}
+
+TEST(Generators, GeometricIsConnectedAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Graph g = make_random_geometric(60, 2, 3, seed);
+    EXPECT_EQ(g.num_nodes(), 60u);
+    EXPECT_TRUE(g.is_connected());
+  }
+}
+
+TEST(Generators, GeometricDimensionTracksEmbedding) {
+  const Graph g1 = make_random_geometric(100, 1, 3, 7);
+  const Graph g2 = make_random_geometric(100, 2, 4, 7);
+  const MetricSpace m1(g1), m2(g2);
+  Prng prng(1);
+  const double d1 = estimate_doubling_dimension(m1, 8, prng).dimension;
+  const double d2 = estimate_doubling_dimension(m2, 8, prng).dimension;
+  EXPECT_LE(d1, d2 + 1.0);  // 1-d points should not look higher-dimensional
+}
+
+TEST(Generators, PathCycleStar) {
+  EXPECT_EQ(make_path(10).num_edges(), 9u);
+  EXPECT_EQ(make_cycle(10).num_edges(), 10u);
+  EXPECT_EQ(make_star(10).num_nodes(), 11u);
+  const MetricSpace metric(make_cycle(10));
+  EXPECT_DOUBLE_EQ(metric.delta(), 5);
+}
+
+TEST(Generators, RandomTreeIsTree) {
+  const Graph g = make_random_tree(50, 4, 3);
+  EXPECT_EQ(g.num_edges(), 49u);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(Generators, BalancedTreeCount) {
+  const Graph g = make_balanced_tree(2, 3);
+  EXPECT_EQ(g.num_nodes(), 15u);  // 1+2+4+8
+  EXPECT_EQ(g.num_edges(), 14u);
+}
+
+TEST(Generators, SpiderDiameterGrowsExponentially) {
+  const Graph small = make_exponential_spider(3, 5);
+  const Graph big = make_exponential_spider(8, 5);
+  const MetricSpace ms(small), mb(big);
+  // Adding arms multiplies the heaviest arm weight by growth^extra.
+  EXPECT_GT(mb.delta() / ms.delta(), 16.0);
+  EXPECT_EQ(big.num_nodes(), 1u + 8 * 5);
+}
+
+TEST(Generators, ClusterHierarchySizes) {
+  const Graph g = make_cluster_hierarchy(3, 4, 8, 1);
+  EXPECT_EQ(g.num_nodes(), 64u);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(LowerBoundTree, ParametersMatchPaper) {
+  const LowerBoundTree tree = make_lower_bound_tree(4.0, 800);
+  EXPECT_EQ(tree.p, static_cast<int>(std::ceil(72.0 / 4)) + 6);
+  EXPECT_EQ(tree.q, static_cast<int>(std::ceil(48.0 / 4)) - 4);
+  EXPECT_EQ(tree.paths.size(), static_cast<std::size_t>(tree.p));
+  EXPECT_EQ(tree.paths[0].size(), static_cast<std::size_t>(tree.q));
+  EXPECT_TRUE(tree.graph.is_connected());
+  // Every path non-empty; total node count = paths + root.
+  std::size_t total = 1;
+  for (const auto& row : tree.paths) {
+    for (const auto& path : row) {
+      EXPECT_GE(path.size(), 1u);
+      total += path.size();
+    }
+  }
+  EXPECT_EQ(total, tree.graph.num_nodes());
+}
+
+TEST(LowerBoundTree, RootEdgeWeights) {
+  const LowerBoundTree tree = make_lower_bound_tree(6.0, 600);
+  for (int i = 0; i < tree.p; ++i) {
+    for (int j = 0; j < tree.q; ++j) {
+      EXPECT_DOUBLE_EQ(tree.root_edge_weight(i, j),
+                       std::ldexp(1.0, i) * (tree.q + j));
+      EXPECT_DOUBLE_EQ(tree.graph.edge_weight(tree.root, tree.middle[i][j]),
+                       tree.root_edge_weight(i, j));
+    }
+  }
+  // w_{i,q} == w_{i+1,0} (the paper's wrap-around identity).
+  EXPECT_DOUBLE_EQ(std::ldexp(1.0, 0) * (tree.q + tree.q),
+                   tree.root_edge_weight(1, 0));
+}
+
+TEST(LowerBoundTree, DoublingDimensionBound) {
+  // Lemma 5.8: α <= 6 - log ε. Greedy cover estimation adds slack, so test
+  // against the bound plus a small margin.
+  const double eps = 6.0;
+  const LowerBoundTree tree = make_lower_bound_tree(eps, 600);
+  const MetricSpace metric(tree.graph);
+  Prng prng(11);
+  const DoublingEstimate est = estimate_doubling_dimension(metric, 6, prng);
+  EXPECT_LE(est.dimension, (6.0 - std::log2(eps)) + 2.0);
+}
+
+TEST(LowerBoundTree, NormalizedDiameterBound) {
+  const double eps = 6.0;
+  const std::size_t n = 600;
+  const LowerBoundTree tree = make_lower_bound_tree(eps, n);
+  const MetricSpace metric(tree.graph);
+  // Δ <= 2 w_{p-1,q-1} / (1/n) = 2^{Θ(1/ε)} n (the paper's O(2^{1/ε} n) with
+  // the exponent's constant spelled out: w_max ~ 2^{p-1}·2q, p = ⌈72/ε⌉+6).
+  const double w_max = std::ldexp(1.0, tree.p - 1) * (2.0 * tree.q - 1);
+  EXPECT_LE(metric.delta(),
+            2.0 * w_max * static_cast<double>(tree.graph.num_nodes()) * 1.01);
+  EXPECT_GE(metric.delta(), static_cast<double>(tree.graph.num_nodes()));
+}
+
+TEST(LowerBoundTree, RejectsBadEpsilon) {
+  EXPECT_THROW(make_lower_bound_tree(0.0, 1000), InvariantError);
+  EXPECT_THROW(make_lower_bound_tree(8.0, 1000), InvariantError);
+  EXPECT_THROW(make_lower_bound_tree(9.5, 1000), InvariantError);
+}
+
+}  // namespace
+}  // namespace compactroute

@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/prng.hpp"
+#include "gen/generators.hpp"
+#include "graph/dijkstra.hpp"
+#include "graph/doubling.hpp"
+#include "graph/graph.hpp"
+#include "graph/metric.hpp"
+#include "test_util.hpp"
+
+namespace compactroute {
+namespace {
+
+using testing::small_graph_zoo;
+
+// Reference all-pairs shortest paths via Floyd–Warshall.
+std::vector<std::vector<Weight>> floyd_warshall(const Graph& g) {
+  const std::size_t n = g.num_nodes();
+  std::vector<std::vector<Weight>> d(n, std::vector<Weight>(n, kInfiniteWeight));
+  for (NodeId u = 0; u < n; ++u) {
+    d[u][u] = 0;
+    for (const HalfEdge& e : g.neighbors(u)) d[u][e.to] = e.weight;
+  }
+  for (NodeId k = 0; k < n; ++k) {
+    for (NodeId i = 0; i < n; ++i) {
+      for (NodeId j = 0; j < n; ++j) {
+        if (d[i][k] + d[k][j] < d[i][j]) d[i][j] = d[i][k] + d[k][j];
+      }
+    }
+  }
+  return d;
+}
+
+TEST(Graph, AddEdgeBasics) {
+  Graph g(4);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(1, 2, 3.0);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(g.edge_weight(1, 0), 2.0);
+  EXPECT_EQ(g.edge_weight(0, 3), kInfiniteWeight);
+}
+
+TEST(Graph, ParallelEdgeKeepsLighter) {
+  Graph g(2);
+  g.add_edge(0, 1, 5.0);
+  g.add_edge(0, 1, 3.0);
+  g.add_edge(1, 0, 7.0);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(g.edge_weight(1, 0), 3.0);
+}
+
+TEST(Graph, RejectsSelfLoopAndBadWeight) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(1, 1, 1.0), InvariantError);
+  EXPECT_THROW(g.add_edge(0, 1, 0.0), InvariantError);
+  EXPECT_THROW(g.add_edge(0, 1, -2.0), InvariantError);
+}
+
+TEST(Graph, Connectivity) {
+  Graph g(4);
+  g.add_edge(0, 1, 1);
+  g.add_edge(2, 3, 1);
+  EXPECT_FALSE(g.is_connected());
+  g.add_edge(1, 2, 1);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(Graph, MaxDegree) {
+  const Graph g = make_star(5);
+  EXPECT_EQ(g.max_degree(), 5u);
+}
+
+TEST(Dijkstra, MatchesFloydWarshallOnZoo) {
+  for (const auto& [name, graph] : small_graph_zoo()) {
+    SCOPED_TRACE(name);
+    const auto reference = floyd_warshall(graph);
+    for (NodeId src = 0; src < graph.num_nodes(); src += 7) {
+      const ShortestPathTree tree = dijkstra(graph, src);
+      for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+        EXPECT_NEAR(tree.dist[v], reference[src][v], 1e-9);
+      }
+    }
+  }
+}
+
+TEST(Dijkstra, ParentPointersFormShortestPaths) {
+  const Graph g = make_random_geometric(60, 2, 4, 5);
+  const ShortestPathTree tree = dijkstra(g, 0);
+  for (NodeId v = 1; v < g.num_nodes(); ++v) {
+    const Path path = tree.path_to_source(v);
+    EXPECT_EQ(path.front(), v);
+    EXPECT_EQ(path.back(), 0u);
+    Weight cost = 0;
+    for (std::size_t i = 1; i < path.size(); ++i) {
+      const Weight w = g.edge_weight(path[i - 1], path[i]);
+      ASSERT_LT(w, kInfiniteWeight) << "path must use real edges";
+      cost += w;
+    }
+    EXPECT_NEAR(cost, tree.dist[v], 1e-9);
+  }
+}
+
+TEST(Dijkstra, DeterministicTieBreaking) {
+  // A 4-cycle with equal weights: from node 0 both neighbors give d=1 to the
+  // opposite node 2; the canonical parent must prefer the smaller id.
+  Graph g(4);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 1);
+  g.add_edge(2, 3, 1);
+  g.add_edge(3, 0, 1);
+  const ShortestPathTree tree = dijkstra(g, 0);
+  EXPECT_EQ(tree.parent[2], 1u);  // 1 < 3
+}
+
+TEST(MultiSourceDijkstra, PartitionsByNearestSource) {
+  const Graph g = make_grid(10, 10);
+  const std::vector<NodeId> sources = {0, 99};
+  const VoronoiDiagram voronoi = multi_source_dijkstra(g, sources);
+  const MetricSpace metric(g);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const Weight d0 = metric.dist(u, 0);
+    const Weight d99 = metric.dist(u, 99);
+    EXPECT_NEAR(voronoi.dist[u], std::min(d0, d99), 1e-9);
+    if (d0 < d99) {
+      EXPECT_EQ(voronoi.owner[u], 0u);
+    }
+    if (d99 < d0) {
+      EXPECT_EQ(voronoi.owner[u], 99u);
+    }
+    if (d0 == d99) {
+      EXPECT_EQ(voronoi.owner[u], 0u);  // least-id tie-break
+    }
+  }
+}
+
+TEST(MultiSourceDijkstra, ParentStaysInOwnRegion) {
+  for (const auto& [name, graph] : small_graph_zoo()) {
+    SCOPED_TRACE(name);
+    std::vector<NodeId> sources;
+    for (NodeId u = 0; u < graph.num_nodes(); u += 9) sources.push_back(u);
+    const VoronoiDiagram voronoi = multi_source_dijkstra(graph, sources);
+    for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+      if (voronoi.parent[u] == kInvalidNode) continue;
+      EXPECT_EQ(voronoi.owner[u], voronoi.owner[voronoi.parent[u]])
+          << "Voronoi cells must be parent-closed (they form region trees)";
+    }
+  }
+}
+
+TEST(Metric, NormalizesMinDistanceToOne) {
+  Graph g(3);
+  g.add_edge(0, 1, 0.25);
+  g.add_edge(1, 2, 0.5);
+  const MetricSpace metric(g);
+  EXPECT_DOUBLE_EQ(metric.dist(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(metric.dist(1, 2), 2.0);
+  EXPECT_DOUBLE_EQ(metric.dist(0, 2), 3.0);
+  EXPECT_DOUBLE_EQ(metric.delta(), 3.0);
+  EXPECT_DOUBLE_EQ(metric.normalization_scale(), 0.25);
+  EXPECT_EQ(metric.num_levels(), 2);  // 2^2 = 4 >= 3
+}
+
+TEST(Metric, RequiresConnectedGraph) {
+  Graph g(3);
+  g.add_edge(0, 1, 1);
+  EXPECT_THROW(MetricSpace{g}, InvariantError);
+}
+
+TEST(Metric, SortedOrderAndBalls) {
+  const Graph g = make_path(10);
+  const MetricSpace metric(g);
+  const auto order = metric.sorted_by_distance(3);
+  EXPECT_EQ(order[0], 3u);
+  EXPECT_EQ(order[1], 2u);  // d=1 tie with node 4; least id first
+  EXPECT_EQ(order[2], 4u);
+  EXPECT_EQ(metric.ball_size(3, 2.0), 5u);  // {1,2,3,4,5}
+  const auto ball = metric.ball(3, 2.0);
+  EXPECT_EQ(ball.size(), 5u);
+  EXPECT_EQ(ball.front(), 3u);
+}
+
+TEST(Metric, RadiusOfCount) {
+  const Graph g = make_path(10);
+  const MetricSpace metric(g);
+  EXPECT_DOUBLE_EQ(metric.radius_of_count(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(metric.radius_of_count(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(metric.radius_of_count(0, 5), 4.0);
+  EXPECT_DOUBLE_EQ(metric.radius_of_count(0, 100), 9.0);  // clamped to n
+}
+
+TEST(Metric, BallSizeMatchesBallOnZoo) {
+  for (const auto& [name, graph] : small_graph_zoo()) {
+    SCOPED_TRACE(name);
+    const MetricSpace metric(graph);
+    Prng prng(99);
+    for (int trial = 0; trial < 20; ++trial) {
+      const NodeId u = static_cast<NodeId>(prng.next_below(metric.n()));
+      const Weight r = prng.next_double(0, metric.delta());
+      EXPECT_EQ(metric.ball(u, r).size(), metric.ball_size(u, r));
+    }
+  }
+}
+
+TEST(Metric, NextHopWalksShortestPath) {
+  for (const auto& [name, graph] : small_graph_zoo()) {
+    SCOPED_TRACE(name);
+    const MetricSpace metric(graph);
+    Prng prng(5);
+    for (int trial = 0; trial < 30; ++trial) {
+      const NodeId u = static_cast<NodeId>(prng.next_below(metric.n()));
+      const NodeId v = static_cast<NodeId>(prng.next_below(metric.n()));
+      if (u == v) continue;
+      const Path path = metric.shortest_path(u, v);
+      Weight cost = 0;
+      for (std::size_t i = 1; i < path.size(); ++i) {
+        ASSERT_LT(graph.edge_weight(path[i - 1], path[i]), kInfiniteWeight);
+        cost += graph.edge_weight(path[i - 1], path[i]);
+      }
+      EXPECT_NEAR(cost / metric.normalization_scale(), metric.dist(u, v), 1e-9);
+    }
+  }
+}
+
+TEST(Metric, NearestInPrefersSmallerIdOnTies) {
+  const Graph g = make_path(5);
+  const MetricSpace metric(g);
+  const std::vector<NodeId> candidates = {1, 3};
+  EXPECT_EQ(metric.nearest_in(2, candidates), 1u);  // both at distance 1
+}
+
+TEST(Doubling, GridHasLowDimension) {
+  const Graph g = make_grid(12, 12);
+  const MetricSpace metric(g);
+  Prng prng(1);
+  const DoublingEstimate est = estimate_doubling_dimension(metric, 10, prng);
+  // 2D grid (L1-ish metric): true doubling dimension ~2; greedy slack allows
+  // a bit more.
+  EXPECT_LE(est.dimension, 4.0);
+  EXPECT_GE(est.dimension, 1.0);
+}
+
+TEST(Doubling, PathHasDimensionAboutOne) {
+  const Graph g = make_path(100);
+  const MetricSpace metric(g);
+  Prng prng(2);
+  const DoublingEstimate est = estimate_doubling_dimension(metric, 10, prng);
+  EXPECT_LE(est.dimension, 2.0);
+}
+
+TEST(Doubling, StarDimensionGrowsWithUniformPoints) {
+  // A star's leaves are pairwise distance 2 while the radius-2 ball holds all
+  // of them: doubling dimension grows like log(leaves).
+  const Graph g = make_star(32);
+  const MetricSpace metric(g);
+  Prng prng(3);
+  const DoublingEstimate est = estimate_doubling_dimension(metric, 40, prng);
+  EXPECT_GE(est.dimension, 4.0);
+}
+
+}  // namespace
+}  // namespace compactroute

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/prng.hpp"
+#include "gen/generators.hpp"
+#include "gen/lower_bound_tree.hpp"
+#include "graph/metric.hpp"
+#include "labeled/hierarchical_labeled.hpp"
+#include "labeled/scale_free_labeled.hpp"
+#include "nameind/scale_free_nameind.hpp"
+#include "nameind/simple_nameind.hpp"
+#include "nets/rnet.hpp"
+#include "routing/simulator.hpp"
+
+namespace compactroute {
+namespace {
+
+// End-to-end: the full Theorem 1.1 stack (scale-free name-independent over
+// scale-free labeled over packings over nets) on a mid-sized instance.
+TEST(Integration, FullScaleFreeStackOnGeometricGraph) {
+  const Graph g = make_random_geometric(150, 2, 5, 97);
+  const MetricSpace metric(g);
+  const NetHierarchy hierarchy(metric);
+  const Naming naming = Naming::random(metric.n(), 555);
+  const ScaleFreeLabeledScheme labeled(metric, hierarchy, 0.25);
+  const ScaleFreeNameIndependentScheme scheme(metric, hierarchy, naming, labeled,
+                                              0.25);
+  Prng prng(1);
+  const StretchStats labeled_stats = evaluate_labeled(labeled, metric, 2000, prng);
+  EXPECT_EQ(labeled_stats.failures, 0u);
+  EXPECT_LE(labeled_stats.max_stretch, 1.0 + 40 * 0.25);
+
+  const StretchStats ni_stats =
+      evaluate_name_independent(scheme, metric, naming, 1000, prng);
+  EXPECT_EQ(ni_stats.failures, 0u);
+  EXPECT_LE(ni_stats.max_stretch, 25.0);
+  // The name-independent detour costs something: averages must exceed the
+  // labeled scheme's.
+  EXPECT_GE(ni_stats.avg_stretch, labeled_stats.avg_stretch);
+}
+
+// The PODC'06 stack (Theorem 1.4) on the same instance for comparison.
+TEST(Integration, FullSimpleStackOnGeometricGraph) {
+  const Graph g = make_random_geometric(150, 2, 5, 97);
+  const MetricSpace metric(g);
+  const NetHierarchy hierarchy(metric);
+  const Naming naming = Naming::random(metric.n(), 556);
+  const HierarchicalLabeledScheme labeled(metric, hierarchy, 0.25);
+  const SimpleNameIndependentScheme scheme(metric, hierarchy, naming, labeled, 0.25);
+  Prng prng(2);
+  const StretchStats stats =
+      evaluate_name_independent(scheme, metric, naming, 1000, prng);
+  EXPECT_EQ(stats.failures, 0u);
+  EXPECT_LE(stats.max_stretch, 18.0);
+}
+
+// Both schemes must deliver on the adversarial lower-bound topology too —
+// their stretch there should sit below their upper bounds but visibly above
+// easy instances (this is the hard instance by design).
+TEST(Integration, SchemesSurviveLowerBoundTree) {
+  const LowerBoundTree tree = make_lower_bound_tree(6.0, 700);
+  const MetricSpace metric(tree.graph);
+  const NetHierarchy hierarchy(metric);
+  const Naming naming = Naming::random(metric.n(), 777);
+  const ScaleFreeLabeledScheme labeled(metric, hierarchy, 0.5);
+  const ScaleFreeNameIndependentScheme scheme(metric, hierarchy, naming, labeled,
+                                              0.5);
+  Prng prng(3);
+  const StretchStats labeled_stats = evaluate_labeled(labeled, metric, 800, prng);
+  EXPECT_EQ(labeled_stats.failures, 0u);
+  const StretchStats ni_stats =
+      evaluate_name_independent(scheme, metric, naming, 400, prng);
+  EXPECT_EQ(ni_stats.failures, 0u);
+}
+
+// Cross-check the two labeled schemes against each other: identical labels,
+// both deliver, scale-free never much worse than hierarchical on stretch.
+TEST(Integration, LabeledSchemesAgreeOnDelivery) {
+  const Graph g = make_grid_with_holes(12, 12, 5, 3, 3);
+  const MetricSpace metric(g);
+  const NetHierarchy hierarchy(metric);
+  const HierarchicalLabeledScheme hier(metric, hierarchy, 0.25);
+  const ScaleFreeLabeledScheme sf(metric, hierarchy, 0.25);
+  Prng prng(4);
+  for (int trial = 0; trial < 300; ++trial) {
+    const NodeId u = static_cast<NodeId>(prng.next_below(metric.n()));
+    const NodeId v = static_cast<NodeId>(prng.next_below(metric.n()));
+    if (u == v) continue;
+    const RouteResult a = hier.route(u, hier.label(v));
+    const RouteResult b = sf.route(u, sf.label(v));
+    ASSERT_TRUE(a.delivered && b.delivered);
+    EXPECT_EQ(a.path.back(), b.path.back());
+  }
+}
+
+// Storage sanity across the whole stack: every component reports nonzero,
+// finite, and deterministic numbers.
+TEST(Integration, StorageAccountingIsDeterministic) {
+  const Graph g = make_cluster_hierarchy(3, 4, 8, 9);
+  const MetricSpace metric(g);
+  const NetHierarchy hierarchy(metric);
+  const Naming naming = Naming::random(metric.n(), 888);
+  const ScaleFreeLabeledScheme labeled(metric, hierarchy, 0.5);
+  const ScaleFreeNameIndependentScheme scheme(metric, hierarchy, naming, labeled,
+                                              0.5);
+  for (NodeId u = 0; u < metric.n(); u += 5) {
+    const std::size_t a = scheme.storage_bits(u);
+    const std::size_t b = scheme.storage_bits(u);
+    EXPECT_EQ(a, b);
+    EXPECT_GT(a, 0u);
+    EXPECT_GT(a, labeled.storage_bits(u)) << "NI adds structures on top";
+  }
+}
+
+// Rebuilding the entire stack from the same inputs yields identical routing
+// behaviour (full determinism, the foundation for reproducible benches).
+TEST(Integration, EndToEndDeterminism) {
+  const Graph g = make_random_geometric(60, 2, 4, 123);
+  const MetricSpace m1(g), m2(g);
+  const NetHierarchy h1(m1), h2(m2);
+  const Naming n1 = Naming::random(m1.n(), 9), n2 = Naming::random(m2.n(), 9);
+  const ScaleFreeLabeledScheme l1(m1, h1, 0.5), l2(m2, h2, 0.5);
+  const ScaleFreeNameIndependentScheme s1(m1, h1, n1, l1, 0.5);
+  const ScaleFreeNameIndependentScheme s2(m2, h2, n2, l2, 0.5);
+  for (NodeId u = 0; u < m1.n(); u += 3) {
+    for (NodeId v = 0; v < m1.n(); v += 7) {
+      if (u == v) continue;
+      const RouteResult a = s1.route(u, n1.name_of(v));
+      const RouteResult b = s2.route(u, n2.name_of(v));
+      EXPECT_EQ(a.path, b.path);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace compactroute

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/check.hpp"
+#include "gen/generators.hpp"
+#include "gen/lower_bound_tree.hpp"
+#include "lowerbound/congruence.hpp"
+
+namespace compactroute {
+namespace {
+
+TEST(Congruence, PigeonholeBoundHolds) {
+  // Lemma 5.4 on a 6-node star with partition sizes {1, 2, 3}: the largest
+  // congruent family must dominate n!/2^{β·prefix}.
+  const Graph g = make_star(5);
+  const std::vector<int> blocks = {0, 1, 1, 2, 2, 2};
+  for (std::size_t beta : {1u, 2u, 4u}) {
+    const CongruenceResult result = run_congruence_experiment(g, blocks, beta);
+    EXPECT_EQ(result.total_namings, 720u);
+    ASSERT_EQ(result.largest_family.size(), 3u);
+    for (std::size_t b = 0; b < result.largest_family.size(); ++b) {
+      EXPECT_GE(static_cast<double>(result.largest_family[b]),
+                result.pigeonhole_bound[b])
+          << "beta=" << beta << " block=" << b;
+    }
+    // Families shrink (weakly) as more nodes must agree.
+    EXPECT_GE(result.largest_family[0], result.largest_family[1]);
+    EXPECT_GE(result.largest_family[1], result.largest_family[2]);
+  }
+}
+
+TEST(Congruence, MoreBitsMeanSmallerFamilies) {
+  const Graph g = make_star(5);
+  const std::vector<int> blocks = {0, 1, 1, 2, 2, 2};
+  const CongruenceResult coarse = run_congruence_experiment(g, blocks, 1);
+  const CongruenceResult fine = run_congruence_experiment(g, blocks, 8);
+  EXPECT_GE(coarse.largest_family.back(), fine.largest_family.back());
+}
+
+TEST(Congruence, RejectsOversizedInstances) {
+  const Graph g = make_star(10);
+  EXPECT_THROW(run_congruence_experiment(g, std::vector<int>(11, 0), 2),
+               InvariantError);
+}
+
+TEST(ObliviousSearch, ExpandingRingStretchApproachesNine) {
+  // The Section 5.2 mechanism executed: doubling expanding-ring search pays
+  // 2Σ R_k + d; the Figure 3 weight grid 2^i(q+j) lets the adversary sit
+  // just beyond each radius, so the worst ratio is 9 − Θ(1/q) = 9 − Θ(ε) —
+  // approaching 9 from below as ε shrinks, never exceeding it.
+  const ObliviousSearchResult coarse =
+      evaluate_expanding_ring_search(make_lower_bound_tree(6.0, 800));
+  const ObliviousSearchResult fine =
+      evaluate_expanding_ring_search(make_lower_bound_tree(2.0, 4000));
+  EXPECT_GT(coarse.worst_stretch, 9.0 - 6.0);
+  EXPECT_GT(fine.worst_stretch, 9.0 - 2.0);
+  EXPECT_LT(coarse.worst_stretch, 9.0);
+  EXPECT_LT(fine.worst_stretch, 9.0);
+  EXPECT_GE(fine.worst_stretch, coarse.worst_stretch)
+      << "smaller ε must push the bound toward 9";
+}
+
+TEST(ObliviousSearch, ExpandingRingProfileStaysBelowNine) {
+  const LowerBoundTree tree = make_lower_bound_tree(4.0, 2000);
+  const ObliviousSearchResult result = evaluate_expanding_ring_search(tree);
+  ASSERT_EQ(result.per_subtree_stretch.size(),
+            static_cast<std::size_t>(tree.p * tree.q));
+  for (double s : result.per_subtree_stretch) {
+    EXPECT_GE(s, 1.0);
+    EXPECT_LT(s, 9.0);
+  }
+  EXPECT_GT(result.worst_stretch, 9.0 - 4.0);
+}
+
+TEST(ObliviousSearch, NaiveProbingIsMuchWorseThanNine) {
+  // Physically enumerating subtrees cheapest-first pays Θ(q) = Θ(1/ε)
+  // stretch — the reason the schemes aggregate bindings in search trees.
+  const LowerBoundTree tree = make_lower_bound_tree(2.0, 4000);
+  const ObliviousSearchResult naive = evaluate_probe_all_search(tree);
+  const ObliviousSearchResult smart = evaluate_expanding_ring_search(tree);
+  EXPECT_GT(naive.worst_stretch, 2.0 * smart.worst_stretch);
+  EXPECT_DOUBLE_EQ(naive.per_subtree_stretch.front(), 1.0);
+}
+
+}  // namespace
+}  // namespace compactroute

@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/prng.hpp"
+#include "gen/generators.hpp"
+#include "graph/metric.hpp"
+#include "nets/ball_packing.hpp"
+#include "nets/rnet.hpp"
+#include "test_util.hpp"
+
+namespace compactroute {
+namespace {
+
+using testing::small_graph_zoo;
+
+// An r-net must be r-covering and r-separated (Definition 2.1).
+void expect_valid_rnet(const MetricSpace& metric, const std::vector<NodeId>& candidates,
+                       const std::vector<NodeId>& net, Weight r) {
+  for (std::size_t a = 0; a < net.size(); ++a) {
+    for (std::size_t b = a + 1; b < net.size(); ++b) {
+      EXPECT_GE(metric.dist(net[a], net[b]), r) << "net points too close";
+    }
+  }
+  for (NodeId u : candidates) {
+    Weight best = kInfiniteWeight;
+    for (NodeId y : net) best = std::min(best, metric.dist(u, y));
+    EXPECT_LE(best, r) << "candidate " << u << " not covered";
+  }
+}
+
+TEST(RNet, GreedyNetIsValidAcrossZoo) {
+  for (const auto& [name, graph] : small_graph_zoo()) {
+    SCOPED_TRACE(name);
+    const MetricSpace metric(graph);
+    std::vector<NodeId> all(metric.n());
+    for (NodeId u = 0; u < metric.n(); ++u) all[u] = u;
+    for (int level = 0; level <= metric.num_levels(); level += 2) {
+      const Weight r = level_radius(level);
+      const auto net = build_rnet(metric, all, r);
+      expect_valid_rnet(metric, all, net, r);
+    }
+  }
+}
+
+TEST(RNet, SeedIsPreserved) {
+  const MetricSpace metric(make_path(32));
+  std::vector<NodeId> all(metric.n());
+  for (NodeId u = 0; u < metric.n(); ++u) all[u] = u;
+  const std::vector<NodeId> seed = {0, 16};
+  const auto net = build_rnet(metric, all, 4.0, seed);
+  EXPECT_TRUE(std::find(net.begin(), net.end(), 0u) != net.end());
+  EXPECT_TRUE(std::find(net.begin(), net.end(), 16u) != net.end());
+  expect_valid_rnet(metric, all, net, 4.0);
+}
+
+class HierarchyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HierarchyTest, NetsAreNestedAndValid) {
+  const auto zoo = small_graph_zoo();
+  const auto& [name, graph] = zoo[GetParam()];
+  SCOPED_TRACE(name);
+  const MetricSpace metric(graph);
+  const NetHierarchy hierarchy(metric);
+
+  EXPECT_EQ(hierarchy.net(0).size(), metric.n()) << "Y_0 = V";
+  EXPECT_EQ(hierarchy.net(hierarchy.top_level()).size(), 1u);
+
+  std::vector<NodeId> all(metric.n());
+  for (NodeId u = 0; u < metric.n(); ++u) all[u] = u;
+  for (int i = 0; i <= hierarchy.top_level(); ++i) {
+    expect_valid_rnet(metric, all, hierarchy.net(i), level_radius(i));
+    if (i > 0) {
+      // Eqn (1): Y_i ⊆ Y_{i-1}.
+      const std::set<NodeId> lower(hierarchy.net(i - 1).begin(),
+                                   hierarchy.net(i - 1).end());
+      for (NodeId x : hierarchy.net(i)) {
+        EXPECT_TRUE(lower.count(x));
+      }
+    }
+  }
+}
+
+TEST_P(HierarchyTest, ZoomingSequenceStepBound) {
+  const auto zoo = small_graph_zoo();
+  const auto& [name, graph] = zoo[GetParam()];
+  SCOPED_TRACE(name);
+  const MetricSpace metric(graph);
+  const NetHierarchy hierarchy(metric);
+
+  for (NodeId u = 0; u < metric.n(); ++u) {
+    EXPECT_EQ(hierarchy.zoom(0, u), u);
+    Weight walked = 0;
+    for (int i = 1; i <= hierarchy.top_level(); ++i) {
+      const NodeId prev = hierarchy.zoom(i - 1, u);
+      const NodeId cur = hierarchy.zoom(i, u);
+      EXPECT_TRUE(hierarchy.in_net(i, cur));
+      // Each zoom step is a nearest-net-point hop: d <= 2^i by covering.
+      EXPECT_LE(metric.dist(prev, cur), level_radius(i) + 1e-9);
+      walked += metric.dist(prev, cur);
+      // Eqn (2): cumulative zoom cost < 2^{i+1}.
+      EXPECT_LT(walked, level_radius(i + 1));
+    }
+    EXPECT_EQ(hierarchy.zoom(hierarchy.top_level(), u),
+              hierarchy.net(hierarchy.top_level()).front());
+  }
+}
+
+TEST_P(HierarchyTest, LeafLabelsArePermutationAndRangesMatchZoom) {
+  const auto zoo = small_graph_zoo();
+  const auto& [name, graph] = zoo[GetParam()];
+  SCOPED_TRACE(name);
+  const MetricSpace metric(graph);
+  const NetHierarchy hierarchy(metric);
+
+  std::set<NodeId> labels;
+  for (NodeId v = 0; v < metric.n(); ++v) {
+    const NodeId l = hierarchy.leaf_label(v);
+    EXPECT_LT(l, metric.n());
+    labels.insert(l);
+    EXPECT_EQ(hierarchy.node_of_label(l), v);
+  }
+  EXPECT_EQ(labels.size(), metric.n());
+
+  // The paper's key property: l(u) ∈ Range(x, i)  ⟺  x = u(i).
+  for (NodeId u = 0; u < metric.n(); ++u) {
+    for (int i = 0; i <= hierarchy.top_level(); ++i) {
+      for (NodeId x : hierarchy.net(i)) {
+        const bool in_range = hierarchy.range(i, x).contains(hierarchy.leaf_label(u));
+        EXPECT_EQ(in_range, x == hierarchy.zoom(i, u))
+            << "u=" << u << " i=" << i << " x=" << x;
+      }
+    }
+  }
+}
+
+TEST_P(HierarchyTest, NettingParentIsNearest) {
+  const auto zoo = small_graph_zoo();
+  const auto& [name, graph] = zoo[GetParam()];
+  SCOPED_TRACE(name);
+  const MetricSpace metric(graph);
+  const NetHierarchy hierarchy(metric);
+  for (int i = 0; i < hierarchy.top_level(); ++i) {
+    for (NodeId x : hierarchy.net(i)) {
+      const NodeId parent = hierarchy.netting_parent(i, x);
+      EXPECT_TRUE(hierarchy.in_net(i + 1, parent));
+      for (NodeId y : hierarchy.net(i + 1)) {
+        EXPECT_GE(metric.dist(x, y) + 1e-12, metric.dist(x, parent));
+      }
+      // A net point of Y_{i+1} is its own parent at level i.
+      if (hierarchy.in_net(i + 1, x)) {
+        EXPECT_EQ(parent, x);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, HierarchyTest, ::testing::Range(0, 12),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return testing::small_graph_zoo()[info.param].name;
+                         });
+
+TEST(RNet, Lemma22NetPointCountInBall) {
+  // |B_u(r') ∩ Y| <= (4 r'/r)^α for an r-net Y. We check the multiplicative
+  // flavor: counts stay bounded by (4 r'/r)^α with the greedy-estimated α.
+  const Graph g = make_grid(12, 12);
+  const MetricSpace metric(g);
+  const NetHierarchy hierarchy(metric);
+  const double alpha = 3.2;  // generous dimension for an L1 grid
+  for (int i = 1; i <= hierarchy.top_level(); ++i) {
+    for (NodeId u = 0; u < metric.n(); u += 17) {
+      for (int k = 0; k <= 2; ++k) {
+        const Weight rp = level_radius(i + k);
+        std::size_t count = 0;
+        for (NodeId x : hierarchy.net(i)) {
+          if (metric.dist(u, x) <= rp) ++count;
+        }
+        EXPECT_LE(count, std::pow(4 * rp / level_radius(i), alpha) + 1);
+      }
+    }
+  }
+}
+
+class PackingTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PackingTest, PackingLemmaProperties) {
+  const auto zoo = small_graph_zoo();
+  const auto& [name, graph] = zoo[GetParam()];
+  SCOPED_TRACE(name);
+  const MetricSpace metric(graph);
+  for (int j = 0; j <= max_size_exponent(metric.n()); ++j) {
+    const BallPacking packing(metric, j);
+    // Property 1: every ball holds at least 2^j nodes (ties can add more).
+    for (const PackedBall& ball : packing.balls()) {
+      EXPECT_GE(ball.nodes.size(), std::size_t{1} << j);
+      EXPECT_DOUBLE_EQ(ball.radius, size_radius(metric, ball.center, j));
+    }
+    // Disjointness.
+    std::set<NodeId> seen;
+    for (const PackedBall& ball : packing.balls()) {
+      for (NodeId v : ball.nodes) {
+        EXPECT_TRUE(seen.insert(v).second) << "balls intersect at " << v;
+      }
+    }
+    // ball_containing agrees with membership.
+    for (NodeId v = 0; v < metric.n(); ++v) {
+      const int b = packing.ball_containing(v);
+      if (b >= 0) {
+        const auto& nodes = packing.balls()[b].nodes;
+        EXPECT_TRUE(std::find(nodes.begin(), nodes.end(), v) != nodes.end());
+      } else {
+        EXPECT_FALSE(seen.count(v));
+      }
+    }
+    // Property 2: covering ball with r_c(j) <= r_u(j) and d(u,c) <= 2 r_u(j).
+    for (NodeId u = 0; u < metric.n(); ++u) {
+      const int b = packing.covering_ball(metric, u);
+      const PackedBall& ball = packing.balls()[b];
+      const Weight ru = size_radius(metric, u, j);
+      EXPECT_LE(ball.radius, ru + 1e-9);
+      EXPECT_LE(metric.dist(u, ball.center), 2 * ru + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, PackingTest, ::testing::Range(0, 12),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return testing::small_graph_zoo()[info.param].name;
+                         });
+
+TEST(Packing, SizeRadiusMonotone) {
+  const MetricSpace metric(make_random_geometric(64, 2, 4, 3));
+  for (NodeId u = 0; u < metric.n(); u += 5) {
+    Weight prev = -1;
+    for (int j = 0; j <= max_size_exponent(metric.n()); ++j) {
+      const Weight r = size_radius(metric, u, j);
+      EXPECT_GE(r, prev);
+      prev = r;
+    }
+  }
+}
+
+TEST(Packing, MaxSizeExponent) {
+  EXPECT_EQ(max_size_exponent(1), 0);
+  EXPECT_EQ(max_size_exponent(2), 1);
+  EXPECT_EQ(max_size_exponent(1023), 9);
+  EXPECT_EQ(max_size_exponent(1024), 10);
+}
+
+}  // namespace
+}  // namespace compactroute

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "core/prng.hpp"
+#include "gen/generators.hpp"
+#include "graph/metric.hpp"
+#include "routing/baselines.hpp"
+#include "routing/naming.hpp"
+#include "routing/scheme.hpp"
+#include "routing/simulator.hpp"
+#include "runtime/hop_scheme.hpp"
+
+namespace compactroute {
+namespace {
+
+TEST(StretchStats, RecordAccumulates) {
+  StretchStats stats;
+  stats.record(1.0);
+  stats.record(3.0);
+  stats.record(2.0);
+  EXPECT_EQ(stats.pairs, 3u);
+  EXPECT_DOUBLE_EQ(stats.max_stretch, 3.0);
+  EXPECT_DOUBLE_EQ(stats.avg_stretch, 2.0);
+}
+
+TEST(Simulator, PathCostSumsMetricDistances) {
+  const MetricSpace metric(make_path(10));
+  EXPECT_DOUBLE_EQ(path_cost(metric, {0, 3, 7}), 7.0);
+  EXPECT_DOUBLE_EQ(path_cost(metric, {5}), 0.0);
+  EXPECT_DOUBLE_EQ(path_cost(metric, {}), 0.0);
+  EXPECT_DOUBLE_EQ(path_cost(metric, {2, 8, 2}), 12.0);  // walks can revisit
+}
+
+TEST(Simulator, ExhaustiveModeCoversAllOrderedPairs) {
+  const MetricSpace metric(make_cycle(8));
+  Prng prng(1);
+  std::size_t calls = 0;
+  const StretchStats stats = evaluate_pairs(
+      metric, 0, prng, [&](NodeId src, NodeId dst) {
+        ++calls;
+        RouteResult r;
+        r.path = metric.shortest_path(src, dst);
+        r.delivered = true;
+        return r;
+      });
+  EXPECT_EQ(calls, 8u * 7);
+  EXPECT_EQ(stats.pairs, 8u * 7);
+  EXPECT_DOUBLE_EQ(stats.max_stretch, 1.0);
+}
+
+TEST(Simulator, SampledModeUsesRequestedCount) {
+  const MetricSpace metric(make_grid(5, 5));
+  Prng prng(2);
+  std::size_t calls = 0;
+  evaluate_pairs(metric, 37, prng, [&](NodeId src, NodeId dst) {
+    ++calls;
+    EXPECT_NE(src, dst);
+    RouteResult r;
+    r.path = metric.shortest_path(src, dst);
+    r.delivered = true;
+    return r;
+  });
+  EXPECT_EQ(calls, 37u);
+}
+
+TEST(Simulator, CountsFailuresAndMisdeliveries) {
+  const MetricSpace metric(make_path(6));
+  Prng prng(3);
+  const StretchStats stats = evaluate_pairs(
+      metric, 0, prng, [&](NodeId src, NodeId dst) {
+        RouteResult r;
+        r.path = {src, dst};
+        // Fail half the routes, mis-deliver the others to the source.
+        if ((src + dst) % 2 == 0) {
+          r.delivered = false;
+        } else {
+          r.delivered = true;
+          r.path = {src, src == 0 ? NodeId{1} : NodeId{0}};
+        }
+        return r;
+      });
+  EXPECT_EQ(stats.pairs + stats.failures, 30u);
+  EXPECT_GT(stats.failures, 25u);  // almost everything is wrong by design
+}
+
+TEST(Simulator, RecomputesCostFromPath) {
+  // A scheme that lies about its cost cannot lower its measured stretch.
+  const MetricSpace metric(make_path(8));
+  Prng prng(4);
+  const StretchStats stats = evaluate_pairs(
+      metric, 0, prng, [&](NodeId src, NodeId dst) {
+        RouteResult r;
+        r.path = metric.shortest_path(src, dst);
+        if (src < dst) {  // detour through node 0 on half the pairs
+          const Path back = metric.shortest_path(src, 0);
+          const Path forth = metric.shortest_path(0, dst);
+          r.path = back;
+          r.path.insert(r.path.end(), forth.begin() + 1, forth.end());
+        }
+        r.cost = 0;  // lie
+        r.delivered = true;
+        return r;
+      });
+  EXPECT_GT(stats.max_stretch, 1.5);
+}
+
+TEST(Baselines, HashLocationPublishesEveryBinding) {
+  const MetricSpace metric(make_grid(6, 6));
+  const Naming naming = Naming::random(metric.n(), 5);
+  const HashLocationScheme scheme(metric, naming);
+  // Every name resolves, including via its rendezvous node.
+  for (NodeId v = 0; v < metric.n(); ++v) {
+    const RouteResult r = scheme.route(0, naming.name_of(v));
+    ASSERT_TRUE(r.delivered);
+    EXPECT_EQ(r.path.back(), v);
+    // The route passes through the rendezvous node.
+    const NodeId rendezvous = scheme.hash_node(naming.name_of(v));
+    EXPECT_NE(std::find(r.path.begin(), r.path.end(), rendezvous), r.path.end());
+  }
+  // Unknown names are reported undeliverable, not misrouted.
+  EXPECT_FALSE(scheme.route(0, 999999).delivered);
+}
+
+TEST(Naming, RandomIsPermutationAndInvertible) {
+  const Naming naming = Naming::random(100, 9);
+  std::vector<char> seen(100, 0);
+  for (NodeId v = 0; v < 100; ++v) {
+    const auto name = naming.name_of(v);
+    ASSERT_LT(name, 100u);
+    EXPECT_FALSE(seen[name]);
+    seen[name] = 1;
+    EXPECT_EQ(naming.node_of(name), v);
+  }
+  EXPECT_EQ(naming.node_of(12345), kInvalidNode);
+}
+
+TEST(Naming, DifferentSeedsGiveDifferentNamings) {
+  const Naming a = Naming::random(64, 1);
+  const Naming b = Naming::random(64, 2);
+  int same = 0;
+  for (NodeId v = 0; v < 64; ++v) same += (a.name_of(v) == b.name_of(v));
+  EXPECT_LT(same, 16);
+}
+
+TEST(HopHeader, DeepCopyOfNestedHeaders) {
+  HopHeader inner;
+  inner.dest = 42;
+  HopHeader outer;
+  outer.dest = 7;
+  outer.light = {{1, 2}, {3, 4}};
+  outer.nested = std::make_unique<HopHeader>(inner);
+
+  HopHeader copy = outer;  // deep copy
+  ASSERT_TRUE(copy.nested);
+  EXPECT_EQ(copy.nested->dest, 42u);
+  copy.nested->dest = 99;
+  EXPECT_EQ(outer.nested->dest, 42u) << "copies must not share nested state";
+
+  copy = copy;  // self-assignment safe
+  EXPECT_EQ(copy.nested->dest, 99u);
+  EXPECT_EQ(copy.light.size(), 2u);
+}
+
+TEST(HopHeader, EncodedBitsGrowWithContent) {
+  HopHeader plain;
+  const std::size_t base = plain.encoded_bits(1024, 12);
+  HopHeader labeled = plain;
+  labeled.light = {{1, 2}, {3, 4}, {5, 6}};
+  EXPECT_GT(labeled.encoded_bits(1024, 12), base);
+  HopHeader layered = plain;
+  layered.nested = std::make_unique<HopHeader>(plain);
+  EXPECT_GE(layered.encoded_bits(1024, 12), 2 * base);
+}
+
+}  // namespace
+}  // namespace compactroute

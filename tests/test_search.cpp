@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "core/prng.hpp"
+#include "gen/generators.hpp"
+#include "graph/metric.hpp"
+#include "routing/scheme.hpp"
+#include "search/search_tree.hpp"
+#include "test_util.hpp"
+
+namespace compactroute {
+namespace {
+
+using testing::small_graph_zoo;
+
+std::vector<std::pair<SearchTree::Key, SearchTree::Data>> pairs_for_ball(
+    const MetricSpace& metric, NodeId center, Weight radius) {
+  std::vector<std::pair<SearchTree::Key, SearchTree::Data>> pairs;
+  for (NodeId v : metric.ball(center, radius)) {
+    pairs.emplace_back(1000 + v, v);  // synthetic names
+  }
+  return pairs;
+}
+
+TEST(SearchTree, SpansExactlyTheBall) {
+  const MetricSpace metric(make_grid(10, 10));
+  const SearchTree tree(metric, 55, 4.0, 0.5);
+  const auto ball = metric.ball(55, 4.0);
+  EXPECT_EQ(tree.tree().size(), ball.size());
+  for (NodeId v : ball) EXPECT_TRUE(tree.tree().contains(v));
+  EXPECT_EQ(tree.tree().root_global(), 55u);
+}
+
+TEST(SearchTree, HeightBoundEqn3) {
+  // Height <= (1+ε)r, plus the documented +r slack when εr < 2.
+  for (const auto& [name, graph] : small_graph_zoo()) {
+    SCOPED_TRACE(name);
+    const MetricSpace metric(graph);
+    Prng prng(31);
+    for (int trial = 0; trial < 8; ++trial) {
+      const NodeId c = static_cast<NodeId>(prng.next_below(metric.n()));
+      const Weight r = prng.next_double(1.0, metric.delta());
+      const double eps = 0.5;
+      const SearchTree tree(metric, c, r, eps);
+      const Weight slack = (eps * r < 2) ? r : 0;
+      EXPECT_LE(tree.tree().height(), (1 + eps) * r + slack + 1e-9)
+          << "center " << c << " radius " << r;
+    }
+  }
+}
+
+TEST(SearchTree, EveryLookupSucceedsAndReturnsToRoot) {
+  for (const auto& [name, graph] : small_graph_zoo()) {
+    SCOPED_TRACE(name);
+    const MetricSpace metric(graph);
+    const NodeId center = 0;
+    const Weight radius = metric.delta();  // whole graph
+    SearchTree tree(metric, center, radius, 0.5);
+    tree.store(pairs_for_ball(metric, center, radius));
+
+    for (NodeId v = 0; v < metric.n(); ++v) {
+      const auto result = tree.lookup(1000 + v);
+      ASSERT_TRUE(result.found) << "key for node " << v;
+      EXPECT_EQ(result.data, v);
+      EXPECT_EQ(result.trail.front(), center);
+      EXPECT_EQ(result.trail.back(), center);
+    }
+  }
+}
+
+TEST(SearchTree, MissingKeyReportsNotFound) {
+  const MetricSpace metric(make_grid(8, 8));
+  SearchTree tree(metric, 0, metric.delta(), 0.5);
+  tree.store(pairs_for_ball(metric, 0, metric.delta()));
+  for (SearchTree::Key key : {std::uint64_t{0}, std::uint64_t{999},
+                              std::uint64_t{5000}, ~std::uint64_t{0}}) {
+    const auto result = tree.lookup(key);
+    EXPECT_FALSE(result.found);
+    EXPECT_EQ(result.trail.front(), 0u);
+    EXPECT_EQ(result.trail.back(), 0u);
+  }
+}
+
+TEST(SearchTree, TrailCostBoundedByTwiceHeightPlusSlack) {
+  const MetricSpace metric(make_random_geometric(90, 2, 4, 21));
+  const double eps = 0.5;
+  Prng prng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const NodeId c = static_cast<NodeId>(prng.next_below(metric.n()));
+    const Weight r = prng.next_double(2.0, metric.delta());
+    SearchTree tree(metric, c, r, eps);
+    tree.store(pairs_for_ball(metric, c, r));
+    for (NodeId v : metric.ball(c, r)) {
+      const auto result = tree.lookup(1000 + v);
+      ASSERT_TRUE(result.found);
+      const Weight cost = path_cost(metric, result.trail);
+      EXPECT_LE(cost, 2 * tree.tree().height() + 1e-9);
+      EXPECT_LE(cost, 2 * (1 + eps) * r + 2 * r + 1e-9);
+    }
+  }
+}
+
+TEST(SearchTree, PairsAreSpreadAcrossNodes) {
+  // Algorithm 1 assigns ~k/m pairs per node: no node may hoard the
+  // dictionary.
+  const MetricSpace metric(make_grid(9, 9));
+  SearchTree tree(metric, 40, metric.delta(), 0.5);
+  tree.store(pairs_for_ball(metric, 40, metric.delta()));
+  const std::size_t m = tree.tree().size();
+  for (std::size_t local = 0; local < m; ++local) {
+    EXPECT_LE(tree.pairs_at(static_cast<int>(local)), 2u);  // k == m here
+  }
+}
+
+TEST(SearchTree, StoreDistributesFourPairsPerNodeForQuadBall) {
+  // The Section 3.3 type-1 configuration: k = 4m pairs over m nodes.
+  const MetricSpace metric(make_grid(10, 10));
+  const NodeId c = 44;
+  const Weight r = metric.radius_of_count(c, 16);
+  SearchTree tree(metric, c, r, 0.5);
+  const Weight big = metric.radius_of_count(c, 64);
+  std::vector<std::pair<SearchTree::Key, SearchTree::Data>> pairs;
+  for (NodeId v : metric.ball(c, big)) pairs.emplace_back(v, v);
+  const std::size_t k = pairs.size();
+  const std::size_t m = tree.tree().size();
+  tree.store(std::move(pairs));
+  for (std::size_t local = 0; local < m; ++local) {
+    EXPECT_LE(tree.pairs_at(static_cast<int>(local)), k / m + 1);
+  }
+}
+
+TEST(SearchTree, RejectsDuplicateKeysAndDoubleStore) {
+  const MetricSpace metric(make_path(16));
+  SearchTree tree(metric, 0, 15.0, 0.5);
+  EXPECT_THROW(tree.store({{1, 1}, {1, 2}}), InvariantError);
+  SearchTree tree2(metric, 0, 15.0, 0.5);
+  tree2.store({{1, 1}});
+  EXPECT_THROW(tree2.store({{2, 2}}), InvariantError);
+  SearchTree tree3(metric, 0, 15.0, 0.5);
+  EXPECT_THROW(tree3.lookup(1), InvariantError);  // lookup before store
+}
+
+TEST(SearchTree, NodeBitsAccounting) {
+  const MetricSpace metric(make_grid(6, 6));
+  SearchTree tree(metric, 0, metric.delta(), 0.5);
+  tree.store(pairs_for_ball(metric, 0, metric.delta()));
+  std::size_t total = 0;
+  for (std::size_t local = 0; local < tree.tree().size(); ++local) {
+    const std::size_t bits = tree.node_bits(static_cast<int>(local), 16, 16, 8);
+    EXPECT_GT(bits, 0u);
+    total += bits;
+  }
+  // All pairs are stored somewhere: at least k*(key+data) bits total.
+  EXPECT_GE(total, tree.tree().size() * (16 + 16));
+}
+
+TEST(SearchTreeII, CappedVariantLimitsLevels) {
+  // An exponential spider: Δ >> n so ⌈log n⌉ < ⌊log εr⌋ and Definition
+  // 4.2 (ii) kicks in.
+  const Graph g = make_exponential_spider(14, 2);
+  const MetricSpace metric(g);
+  const double eps = 0.5;
+  const Weight r = metric.delta();
+  const SearchTree basic(metric, 0, r, eps, SearchTree::Variant::kBasic);
+  const SearchTree capped(metric, 0, r, eps, SearchTree::Variant::kCappedVoronoi);
+
+  int cap = 0;
+  while ((std::size_t{1} << cap) < metric.n()) ++cap;
+  EXPECT_LE(capped.num_levels(), cap + 1);
+  EXPECT_GT(basic.num_levels(), capped.num_levels());
+
+  // Tail nodes exist and the height bound (1 + O(ε)) r still holds.
+  bool any_tail = false;
+  for (std::size_t local = 0; local < capped.tree().size(); ++local) {
+    any_tail |= capped.is_tail(static_cast<int>(local));
+  }
+  EXPECT_TRUE(any_tail);
+  EXPECT_LE(capped.tree().height(), (1 + 3 * eps) * r);
+}
+
+TEST(SearchTreeII, CappedLookupStillCorrect) {
+  const Graph g = make_exponential_spider(14, 2);
+  const MetricSpace metric(g);
+  SearchTree capped(metric, 0, metric.delta(), 0.5,
+                    SearchTree::Variant::kCappedVoronoi);
+  capped.store(pairs_for_ball(metric, 0, metric.delta()));
+  for (NodeId v = 0; v < metric.n(); ++v) {
+    const auto result = capped.lookup(1000 + v);
+    ASSERT_TRUE(result.found);
+    EXPECT_EQ(result.data, v);
+  }
+}
+
+TEST(SearchTreeII, MatchesBasicWhenBallIsShallow) {
+  // εr < 2^{⌈log n⌉}: the cap never binds; both variants agree structurally.
+  const MetricSpace metric(make_grid(8, 8));
+  const Weight r = 6.0;
+  const SearchTree basic(metric, 27, r, 0.5, SearchTree::Variant::kBasic);
+  const SearchTree capped(metric, 27, r, 0.5, SearchTree::Variant::kCappedVoronoi);
+  EXPECT_EQ(basic.tree().size(), capped.tree().size());
+  EXPECT_EQ(basic.num_levels(), capped.num_levels());
+  for (std::size_t local = 0; local < capped.tree().size(); ++local) {
+    EXPECT_FALSE(capped.is_tail(static_cast<int>(local)));
+  }
+}
+
+TEST(SearchTree, DegenerateRadiusZero) {
+  const MetricSpace metric(make_path(8));
+  SearchTree tree(metric, 3, 0.0, 0.5);
+  EXPECT_EQ(tree.tree().size(), 1u);
+  tree.store({{42, 7}});
+  const auto hit = tree.lookup(42);
+  EXPECT_TRUE(hit.found);
+  EXPECT_EQ(hit.data, 7u);
+  EXPECT_FALSE(tree.lookup(41).found);
+}
+
+TEST(SearchTree, LevelsDescendFromRoot) {
+  const MetricSpace metric(make_grid(10, 10));
+  const SearchTree tree(metric, 0, metric.delta(), 0.5);
+  EXPECT_EQ(tree.level_of(tree.tree().root_local()), 0);
+  for (std::size_t local = 0; local < tree.tree().size(); ++local) {
+    const int parent = tree.tree().parent(static_cast<int>(local));
+    if (parent < 0) continue;
+    EXPECT_EQ(tree.level_of(static_cast<int>(local)),
+              tree.level_of(parent) + 1)
+        << "each node connects to the previous net level";
+  }
+}
+
+}  // namespace
+}  // namespace compactroute

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/prng.hpp"
+#include "gen/generators.hpp"
+#include "graph/dijkstra.hpp"
+#include "graph/metric.hpp"
+#include "trees/compact_tree_router.hpp"
+#include "trees/interval_router.hpp"
+#include "trees/tree.hpp"
+
+namespace compactroute {
+namespace {
+
+// Builds a RootedTree directly from a tree-shaped Graph.
+RootedTree tree_from_graph(const Graph& graph, NodeId root) {
+  const ShortestPathTree spt = dijkstra(graph, root);
+  std::vector<NodeId> nodes(graph.num_nodes());
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) nodes[u] = u;
+  return RootedTree(
+      nodes, root, [&](NodeId v) { return spt.parent[v]; },
+      [&](NodeId v) { return graph.edge_weight(v, spt.parent[v]); });
+}
+
+// Tree distance between two locals (via depths and LCA walk).
+Weight tree_distance(const RootedTree& tree, int a, int b) {
+  // Walk both up to the root collecting depths; O(depth) is fine for tests.
+  std::vector<int> ancestors_a;
+  for (int x = a; x >= 0; x = tree.parent(x)) ancestors_a.push_back(x);
+  std::vector<char> is_ancestor(tree.size(), 0);
+  for (int x : ancestors_a) is_ancestor[x] = 1;
+  int lca = b;
+  while (!is_ancestor[lca]) lca = tree.parent(lca);
+  return tree.depth(a) + tree.depth(b) - 2 * tree.depth(lca);
+}
+
+TEST(RootedTree, BasicStructure) {
+  const Graph g = make_balanced_tree(2, 3);
+  const RootedTree tree = tree_from_graph(g, 0);
+  EXPECT_EQ(tree.size(), 15u);
+  EXPECT_EQ(tree.root_global(), 0u);
+  EXPECT_EQ(tree.subtree_size(tree.root_local()), 15u);
+  EXPECT_EQ(tree.children(tree.root_local()).size(), 2u);
+  EXPECT_DOUBLE_EQ(tree.height(), 3.0);
+  EXPECT_EQ(tree.parent(tree.root_local()), -1);
+}
+
+TEST(RootedTree, LocalGlobalRoundTrip) {
+  const Graph g = make_random_tree(40, 3, 9);
+  const RootedTree tree = tree_from_graph(g, 5);
+  for (std::size_t local = 0; local < tree.size(); ++local) {
+    EXPECT_EQ(tree.local_id(tree.global_id(static_cast<int>(local))),
+              static_cast<int>(local));
+  }
+  EXPECT_EQ(tree.local_id(1000000), -1);
+}
+
+TEST(RootedTree, SubtreeSizesSumCorrectly) {
+  const Graph g = make_random_tree(60, 4, 2);
+  const RootedTree tree = tree_from_graph(g, 0);
+  for (std::size_t u = 0; u < tree.size(); ++u) {
+    std::size_t kids_total = 1;
+    for (int child : tree.children(static_cast<int>(u))) {
+      kids_total += tree.subtree_size(child);
+    }
+    EXPECT_EQ(tree.subtree_size(static_cast<int>(u)), kids_total);
+  }
+}
+
+TEST(RootedTree, DetectsNonTreeParents) {
+  const std::vector<NodeId> nodes = {0, 1, 2};
+  EXPECT_THROW(RootedTree(nodes, 0,
+                          [](NodeId v) { return v == 1 ? 2u : 1u; },  // 1<->2 cycle
+                          [](NodeId) { return 1.0; }),
+               InvariantError);
+}
+
+class TreeRouterTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TreeRouterTest, IntervalRoutingIsExactlyOptimal) {
+  const Graph g = make_random_tree(80, 5, GetParam());
+  const MetricSpace metric(g);
+  const RootedTree tree = tree_from_graph(g, 0);
+  const IntervalTreeRouter router(tree);
+
+  Prng prng(GetParam() * 7 + 1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int src = static_cast<int>(prng.next_below(tree.size()));
+    const int dst = static_cast<int>(prng.next_below(tree.size()));
+    const auto path = router.route(src, router.label(dst));
+    ASSERT_EQ(path.front(), src);
+    ASSERT_EQ(path.back(), dst);
+    Weight cost = 0;
+    for (std::size_t i = 1; i < path.size(); ++i) {
+      const int a = path[i - 1], b = path[i];
+      EXPECT_TRUE(tree.parent(a) == b || tree.parent(b) == a)
+          << "hops must follow tree edges";
+      cost += (tree.parent(a) == b) ? tree.parent_edge_weight(a)
+                                    : tree.parent_edge_weight(b);
+    }
+    EXPECT_NEAR(cost, tree_distance(tree, src, dst), 1e-9)
+        << "tree routing must be optimal (Lemma 4.1)";
+  }
+}
+
+TEST_P(TreeRouterTest, CompactRoutingIsExactlyOptimal) {
+  const Graph g = make_random_tree(80, 5, GetParam());
+  const RootedTree tree = tree_from_graph(g, 0);
+  const CompactTreeRouter router(tree);
+
+  Prng prng(GetParam() * 13 + 5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int src = static_cast<int>(prng.next_below(tree.size()));
+    const int dst = static_cast<int>(prng.next_below(tree.size()));
+    const auto path = router.route(src, router.label(dst));
+    ASSERT_EQ(path.front(), src);
+    ASSERT_EQ(path.back(), dst);
+    Weight cost = 0;
+    for (std::size_t i = 1; i < path.size(); ++i) {
+      const int a = path[i - 1], b = path[i];
+      ASSERT_TRUE(tree.parent(a) == b || tree.parent(b) == a);
+      cost += (tree.parent(a) == b) ? tree.parent_edge_weight(a)
+                                    : tree.parent_edge_weight(b);
+    }
+    EXPECT_NEAR(cost, tree_distance(tree, src, dst), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeRouterTest, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(CompactTreeRouter, LightEdgeCountIsLogarithmic) {
+  // Heavy-path decomposition: any root path crosses <= log2(m) light edges.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Graph g = make_random_tree(200, 3, seed);
+    const RootedTree tree = tree_from_graph(g, 0);
+    const CompactTreeRouter router(tree);
+    const double limit = std::log2(static_cast<double>(tree.size()));
+    for (std::size_t v = 0; v < tree.size(); ++v) {
+      EXPECT_LE(router.label(static_cast<int>(v)).light_edges.size(), limit);
+    }
+  }
+}
+
+TEST(CompactTreeRouter, LabelBitsAreCompactOnStar) {
+  // The star is the worst case for interval routing tables and the showcase
+  // for the compact scheme: per-node tables stay O(log m).
+  const Graph g = make_star(500);
+  const RootedTree tree = tree_from_graph(g, 0);
+  const CompactTreeRouter compact(tree);
+  const IntervalTreeRouter interval(tree);
+
+  // Interval routing stores all child intervals at the hub.
+  EXPECT_GT(interval.table_bits(tree.root_local()), 10000u);
+  // Compact routing keeps the hub table logarithmic.
+  EXPECT_LT(compact.table_bits(tree.root_local()), 100u);
+  // Labels stay polylogarithmic.
+  EXPECT_LE(compact.max_label_bits(),
+            3 * (std::size_t)std::pow(std::log2(501.0), 2.0));
+}
+
+TEST(CompactTreeRouter, PathTreeHasNoLightEdges) {
+  const Graph g = make_path(64);
+  const RootedTree tree = tree_from_graph(g, 0);
+  const CompactTreeRouter router(tree);
+  for (std::size_t v = 0; v < tree.size(); ++v) {
+    EXPECT_TRUE(router.label(static_cast<int>(v)).light_edges.empty());
+  }
+}
+
+TEST(IntervalTreeRouter, LabelsAreDfsPermutation) {
+  const Graph g = make_random_tree(50, 2, 11);
+  const RootedTree tree = tree_from_graph(g, 0);
+  const IntervalTreeRouter router(tree);
+  std::vector<char> seen(tree.size(), 0);
+  for (std::size_t v = 0; v < tree.size(); ++v) {
+    const NodeId l = router.label(static_cast<int>(v));
+    ASSERT_LT(l, tree.size());
+    EXPECT_FALSE(seen[l]);
+    seen[l] = 1;
+    EXPECT_EQ(router.node_of_label(l), static_cast<int>(v));
+  }
+}
+
+TEST(CompactTreeRouter, StepDeliversAtDestination) {
+  const Graph g = make_random_tree(30, 2, 4);
+  const RootedTree tree = tree_from_graph(g, 0);
+  const CompactTreeRouter router(tree);
+  for (std::size_t v = 0; v < tree.size(); ++v) {
+    EXPECT_EQ(router.step(static_cast<int>(v), router.label(static_cast<int>(v))),
+              static_cast<int>(v));
+  }
+}
+
+}  // namespace
+}  // namespace compactroute

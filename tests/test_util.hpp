@@ -1,0 +1,39 @@
+#pragma once
+//
+// Shared helpers for the test suite: the standard small-graph menagerie the
+// property tests sweep over.
+//
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gen/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/metric.hpp"
+
+namespace compactroute::testing {
+
+struct NamedGraph {
+  std::string name;
+  Graph graph;
+};
+
+/// Small instances from every family — varied density, diameter, and shape.
+inline std::vector<NamedGraph> small_graph_zoo() {
+  std::vector<NamedGraph> zoo;
+  zoo.push_back({"grid8x8", make_grid(8, 8)});
+  zoo.push_back({"grid16x4", make_grid(16, 4)});
+  zoo.push_back({"grid_holes", make_grid_with_holes(10, 10, 4, 3, 7)});
+  zoo.push_back({"geometric2d", make_random_geometric(80, 2, 4, 11)});
+  zoo.push_back({"geometric1d", make_random_geometric(60, 1, 3, 13)});
+  zoo.push_back({"path50", make_path(50)});
+  zoo.push_back({"cycle40", make_cycle(40)});
+  zoo.push_back({"star30", make_star(30)});
+  zoo.push_back({"random_tree", make_random_tree(70, 8, 17)});
+  zoo.push_back({"balanced_tree", make_balanced_tree(3, 3)});
+  zoo.push_back({"spider", make_exponential_spider(5, 8)});
+  zoo.push_back({"clusters", make_cluster_hierarchy(3, 4, 8, 23)});
+  return zoo;
+}
+
+}  // namespace compactroute::testing

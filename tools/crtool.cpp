@@ -1,0 +1,208 @@
+// crtool — command-line front end for the library.
+//
+//   crtool gen <family> <out.graph> [args...]   generate an instance
+//   crtool info <graph>                         metric + dimension summary
+//   crtool route <graph> <src> <dst> [eps]      route with every scheme
+//   crtool eval <graph> [samples] [eps]         stretch/storage table
+//
+// Families for `gen`:
+//   grid W H | torus W H | geometric N DIM K SEED | spider ARMS LEN |
+//   clusters LEVELS FANOUT SPREAD SEED | cliques NUM SIZE BRIDGE |
+//   tree N MAXW SEED | lbtree EPS N
+//
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/bits.hpp"
+#include "core/prng.hpp"
+#include "gen/generators.hpp"
+#include "gen/lower_bound_tree.hpp"
+#include "graph/doubling.hpp"
+#include "graph/metric.hpp"
+#include "io/graph_io.hpp"
+#include "labeled/hierarchical_labeled.hpp"
+#include "labeled/scale_free_labeled.hpp"
+#include "nameind/scale_free_nameind.hpp"
+#include "nameind/simple_nameind.hpp"
+#include "nets/rnet.hpp"
+#include "routing/naming.hpp"
+#include "routing/simulator.hpp"
+
+using namespace compactroute;
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  crtool gen <family> <out.graph> [args...]\n"
+               "  crtool info <graph>\n"
+               "  crtool route <graph> <src> <dst> [eps]\n"
+               "  crtool eval <graph> [samples] [eps]\n");
+  std::exit(2);
+}
+
+std::uint64_t arg_u64(const std::vector<std::string>& args, std::size_t k,
+                      std::uint64_t fallback) {
+  return k < args.size() ? std::stoull(args[k]) : fallback;
+}
+
+double arg_double(const std::vector<std::string>& args, std::size_t k,
+                  double fallback) {
+  return k < args.size() ? std::stod(args[k]) : fallback;
+}
+
+int cmd_gen(const std::vector<std::string>& args) {
+  if (args.size() < 2) usage();
+  const std::string& family = args[0];
+  const std::string& out = args[1];
+  const std::vector<std::string> rest(args.begin() + 2, args.end());
+  Graph graph;
+  if (family == "grid") {
+    graph = make_grid(arg_u64(rest, 0, 16), arg_u64(rest, 1, 16));
+  } else if (family == "torus") {
+    graph = make_torus(arg_u64(rest, 0, 16), arg_u64(rest, 1, 16));
+  } else if (family == "geometric") {
+    graph = make_random_geometric(arg_u64(rest, 0, 256),
+                                  static_cast<int>(arg_u64(rest, 1, 2)),
+                                  arg_u64(rest, 2, 5), arg_u64(rest, 3, 1));
+  } else if (family == "spider") {
+    graph = make_exponential_spider(arg_u64(rest, 0, 12), arg_u64(rest, 1, 8));
+  } else if (family == "clusters") {
+    graph = make_cluster_hierarchy(arg_u64(rest, 0, 4), arg_u64(rest, 1, 4),
+                                   arg_double(rest, 2, 8), arg_u64(rest, 3, 1));
+  } else if (family == "cliques") {
+    graph = make_ring_of_cliques(arg_u64(rest, 0, 16), arg_u64(rest, 1, 8),
+                                 arg_double(rest, 2, 10));
+  } else if (family == "tree") {
+    graph = make_random_tree(arg_u64(rest, 0, 200), arg_double(rest, 1, 4),
+                             arg_u64(rest, 2, 1));
+  } else if (family == "lbtree") {
+    graph = make_lower_bound_tree(arg_double(rest, 0, 4.0), arg_u64(rest, 1, 1000))
+                .graph;
+  } else {
+    std::fprintf(stderr, "unknown family '%s'\n", family.c_str());
+    return 2;
+  }
+  save_graph(out, graph);
+  std::printf("wrote %s: %zu nodes, %zu edges\n", out.c_str(), graph.num_nodes(),
+              graph.num_edges());
+  return 0;
+}
+
+int cmd_info(const std::vector<std::string>& args) {
+  if (args.empty()) usage();
+  const Graph graph = load_graph(args[0]);
+  const MetricSpace metric(graph);
+  Prng prng(1);
+  const DoublingEstimate dim = estimate_doubling_dimension(
+      metric, std::min<std::size_t>(metric.n(), 12), prng);
+  std::printf("nodes            %zu\n", metric.n());
+  std::printf("edges            %zu\n", graph.num_edges());
+  std::printf("max degree       %zu\n", graph.max_degree());
+  std::printf("norm. diameter   %.6g\n", metric.delta());
+  std::printf("net levels       %d\n", metric.num_levels());
+  std::printf("doubling dim     ~%.2f (greedy estimate)\n", dim.dimension);
+  return 0;
+}
+
+struct Stack {
+  explicit Stack(Graph g, double eps)
+      : graph(std::move(g)),
+        metric(graph),
+        hierarchy(metric),
+        naming(Naming::random(metric.n(), 4242)),
+        hier(metric, hierarchy, std::min(eps, 0.5)),
+        sf(metric, hierarchy, std::min(eps, 0.5)),
+        simple(metric, hierarchy, naming, hier, eps),
+        sfni(metric, hierarchy, naming, sf, eps) {}
+  Graph graph;
+  MetricSpace metric;
+  NetHierarchy hierarchy;
+  Naming naming;
+  HierarchicalLabeledScheme hier;
+  ScaleFreeLabeledScheme sf;
+  SimpleNameIndependentScheme simple;
+  ScaleFreeNameIndependentScheme sfni;
+};
+
+int cmd_route(const std::vector<std::string>& args) {
+  if (args.size() < 3) usage();
+  const double eps = arg_double(args, 3, 0.5);
+  Stack stack(load_graph(args[0]), eps);
+  const NodeId src = static_cast<NodeId>(std::stoull(args[1]));
+  const NodeId dst = static_cast<NodeId>(std::stoull(args[2]));
+  if (src >= stack.metric.n() || dst >= stack.metric.n()) {
+    std::fprintf(stderr, "node ids out of range\n");
+    return 2;
+  }
+  const Weight optimal = stack.metric.dist(src, dst);
+  std::printf("d(%u, %u) = %.6g   (eps = %.3f)\n\n", src, dst, optimal, eps);
+  std::printf("%-26s %10s %10s %7s\n", "scheme", "cost", "stretch", "hops");
+
+  const auto report_labeled = [&](const LabeledScheme& s) {
+    const RouteResult r = s.route(src, s.label(dst));
+    std::printf("%-26s %10.6g %10.3f %7zu\n", s.name().c_str(), r.cost,
+                optimal > 0 ? r.cost / optimal : 1.0, r.path.size() - 1);
+  };
+  const auto report_ni = [&](const NameIndependentScheme& s) {
+    const RouteResult r = s.route(src, stack.naming.name_of(dst));
+    std::printf("%-26s %10.6g %10.3f %7zu\n", s.name().c_str(), r.cost,
+                optimal > 0 ? r.cost / optimal : 1.0, r.path.size() - 1);
+  };
+  report_labeled(stack.hier);
+  report_labeled(stack.sf);
+  report_ni(stack.simple);
+  report_ni(stack.sfni);
+  return 0;
+}
+
+int cmd_eval(const std::vector<std::string>& args) {
+  if (args.empty()) usage();
+  const std::size_t samples = arg_u64(args, 1, 2000);
+  const double eps = arg_double(args, 2, 0.5);
+  Stack stack(load_graph(args[0]), eps);
+  Prng prng(7);
+
+  std::printf("%-26s %9s %9s %12s %12s %8s\n", "scheme", "stretch", "avg-str",
+              "max-bits", "avg-bits", "hdr-bits");
+  const auto storage = [&](auto& s) {
+    std::vector<std::size_t> bits(stack.metric.n());
+    for (NodeId u = 0; u < stack.metric.n(); ++u) bits[u] = s.storage_bits(u);
+    return summarize_storage(bits);
+  };
+  const auto report = [&](auto& s, const StretchStats& stats) {
+    const StorageStats st = storage(s);
+    std::printf("%-26s %9.3f %9.3f %12zu %12.0f %8zu\n", s.name().c_str(),
+                stats.max_stretch, stats.avg_stretch, st.max_bits, st.avg_bits,
+                s.header_bits());
+  };
+  report(stack.hier, evaluate_labeled(stack.hier, stack.metric, samples, prng));
+  report(stack.sf, evaluate_labeled(stack.sf, stack.metric, samples, prng));
+  report(stack.simple, evaluate_name_independent(stack.simple, stack.metric,
+                                                 stack.naming, samples, prng));
+  report(stack.sfni, evaluate_name_independent(stack.sfni, stack.metric,
+                                               stack.naming, samples, prng));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) usage();
+  const std::string command = args[0];
+  args.erase(args.begin());
+  try {
+    if (command == "gen") return cmd_gen(args);
+    if (command == "info") return cmd_info(args);
+    if (command == "route") return cmd_route(args);
+    if (command == "eval") return cmd_eval(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  usage();
+}
