@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scale_free.dir/bench_scale_free.cpp.o"
+  "CMakeFiles/bench_scale_free.dir/bench_scale_free.cpp.o.d"
+  "bench_scale_free"
+  "bench_scale_free.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scale_free.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_labeled.dir/bench_table2_labeled.cpp.o"
+  "CMakeFiles/bench_table2_labeled.dir/bench_table2_labeled.cpp.o.d"
+  "bench_table2_labeled"
+  "bench_table2_labeled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_labeled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distance_estimation.dir/distance_estimation.cpp.o"
+  "CMakeFiles/distance_estimation.dir/distance_estimation.cpp.o.d"
+  "distance_estimation"
+  "distance_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distance_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlay_object_location.dir/overlay_object_location.cpp.o"
+  "CMakeFiles/overlay_object_location.dir/overlay_object_location.cpp.o.d"
+  "overlay_object_location"
+  "overlay_object_location.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlay_object_location.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

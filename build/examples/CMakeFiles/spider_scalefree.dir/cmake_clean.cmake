@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_scalefree.dir/spider_scalefree.cpp.o"
+  "CMakeFiles/spider_scalefree.dir/spider_scalefree.cpp.o.d"
+  "spider_scalefree"
+  "spider_scalefree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_scalefree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

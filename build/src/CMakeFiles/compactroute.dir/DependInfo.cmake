@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codec/bitstream.cpp" "src/CMakeFiles/compactroute.dir/codec/bitstream.cpp.o" "gcc" "src/CMakeFiles/compactroute.dir/codec/bitstream.cpp.o.d"
+  "/root/repo/src/codec/packed_router.cpp" "src/CMakeFiles/compactroute.dir/codec/packed_router.cpp.o" "gcc" "src/CMakeFiles/compactroute.dir/codec/packed_router.cpp.o.d"
+  "/root/repo/src/codec/table_codec.cpp" "src/CMakeFiles/compactroute.dir/codec/table_codec.cpp.o" "gcc" "src/CMakeFiles/compactroute.dir/codec/table_codec.cpp.o.d"
+  "/root/repo/src/core/bits.cpp" "src/CMakeFiles/compactroute.dir/core/bits.cpp.o" "gcc" "src/CMakeFiles/compactroute.dir/core/bits.cpp.o.d"
+  "/root/repo/src/gen/generators.cpp" "src/CMakeFiles/compactroute.dir/gen/generators.cpp.o" "gcc" "src/CMakeFiles/compactroute.dir/gen/generators.cpp.o.d"
+  "/root/repo/src/gen/lower_bound_tree.cpp" "src/CMakeFiles/compactroute.dir/gen/lower_bound_tree.cpp.o" "gcc" "src/CMakeFiles/compactroute.dir/gen/lower_bound_tree.cpp.o.d"
+  "/root/repo/src/graph/dijkstra.cpp" "src/CMakeFiles/compactroute.dir/graph/dijkstra.cpp.o" "gcc" "src/CMakeFiles/compactroute.dir/graph/dijkstra.cpp.o.d"
+  "/root/repo/src/graph/doubling.cpp" "src/CMakeFiles/compactroute.dir/graph/doubling.cpp.o" "gcc" "src/CMakeFiles/compactroute.dir/graph/doubling.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/compactroute.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/compactroute.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/metric.cpp" "src/CMakeFiles/compactroute.dir/graph/metric.cpp.o" "gcc" "src/CMakeFiles/compactroute.dir/graph/metric.cpp.o.d"
+  "/root/repo/src/io/graph_io.cpp" "src/CMakeFiles/compactroute.dir/io/graph_io.cpp.o" "gcc" "src/CMakeFiles/compactroute.dir/io/graph_io.cpp.o.d"
+  "/root/repo/src/labeled/hierarchical_labeled.cpp" "src/CMakeFiles/compactroute.dir/labeled/hierarchical_labeled.cpp.o" "gcc" "src/CMakeFiles/compactroute.dir/labeled/hierarchical_labeled.cpp.o.d"
+  "/root/repo/src/labeled/scale_free_labeled.cpp" "src/CMakeFiles/compactroute.dir/labeled/scale_free_labeled.cpp.o" "gcc" "src/CMakeFiles/compactroute.dir/labeled/scale_free_labeled.cpp.o.d"
+  "/root/repo/src/lowerbound/congruence.cpp" "src/CMakeFiles/compactroute.dir/lowerbound/congruence.cpp.o" "gcc" "src/CMakeFiles/compactroute.dir/lowerbound/congruence.cpp.o.d"
+  "/root/repo/src/nameind/scale_free_nameind.cpp" "src/CMakeFiles/compactroute.dir/nameind/scale_free_nameind.cpp.o" "gcc" "src/CMakeFiles/compactroute.dir/nameind/scale_free_nameind.cpp.o.d"
+  "/root/repo/src/nameind/simple_nameind.cpp" "src/CMakeFiles/compactroute.dir/nameind/simple_nameind.cpp.o" "gcc" "src/CMakeFiles/compactroute.dir/nameind/simple_nameind.cpp.o.d"
+  "/root/repo/src/nets/ball_packing.cpp" "src/CMakeFiles/compactroute.dir/nets/ball_packing.cpp.o" "gcc" "src/CMakeFiles/compactroute.dir/nets/ball_packing.cpp.o.d"
+  "/root/repo/src/nets/rnet.cpp" "src/CMakeFiles/compactroute.dir/nets/rnet.cpp.o" "gcc" "src/CMakeFiles/compactroute.dir/nets/rnet.cpp.o.d"
+  "/root/repo/src/oracle/distance_oracle.cpp" "src/CMakeFiles/compactroute.dir/oracle/distance_oracle.cpp.o" "gcc" "src/CMakeFiles/compactroute.dir/oracle/distance_oracle.cpp.o.d"
+  "/root/repo/src/routing/baselines.cpp" "src/CMakeFiles/compactroute.dir/routing/baselines.cpp.o" "gcc" "src/CMakeFiles/compactroute.dir/routing/baselines.cpp.o.d"
+  "/root/repo/src/routing/simulator.cpp" "src/CMakeFiles/compactroute.dir/routing/simulator.cpp.o" "gcc" "src/CMakeFiles/compactroute.dir/routing/simulator.cpp.o.d"
+  "/root/repo/src/runtime/hop_hierarchical.cpp" "src/CMakeFiles/compactroute.dir/runtime/hop_hierarchical.cpp.o" "gcc" "src/CMakeFiles/compactroute.dir/runtime/hop_hierarchical.cpp.o.d"
+  "/root/repo/src/runtime/hop_scale_free.cpp" "src/CMakeFiles/compactroute.dir/runtime/hop_scale_free.cpp.o" "gcc" "src/CMakeFiles/compactroute.dir/runtime/hop_scale_free.cpp.o.d"
+  "/root/repo/src/runtime/hop_scale_free_ni.cpp" "src/CMakeFiles/compactroute.dir/runtime/hop_scale_free_ni.cpp.o" "gcc" "src/CMakeFiles/compactroute.dir/runtime/hop_scale_free_ni.cpp.o.d"
+  "/root/repo/src/runtime/hop_scheme.cpp" "src/CMakeFiles/compactroute.dir/runtime/hop_scheme.cpp.o" "gcc" "src/CMakeFiles/compactroute.dir/runtime/hop_scheme.cpp.o.d"
+  "/root/repo/src/runtime/hop_simple_ni.cpp" "src/CMakeFiles/compactroute.dir/runtime/hop_simple_ni.cpp.o" "gcc" "src/CMakeFiles/compactroute.dir/runtime/hop_simple_ni.cpp.o.d"
+  "/root/repo/src/search/search_tree.cpp" "src/CMakeFiles/compactroute.dir/search/search_tree.cpp.o" "gcc" "src/CMakeFiles/compactroute.dir/search/search_tree.cpp.o.d"
+  "/root/repo/src/trees/compact_tree_router.cpp" "src/CMakeFiles/compactroute.dir/trees/compact_tree_router.cpp.o" "gcc" "src/CMakeFiles/compactroute.dir/trees/compact_tree_router.cpp.o.d"
+  "/root/repo/src/trees/interval_router.cpp" "src/CMakeFiles/compactroute.dir/trees/interval_router.cpp.o" "gcc" "src/CMakeFiles/compactroute.dir/trees/interval_router.cpp.o.d"
+  "/root/repo/src/trees/tree.cpp" "src/CMakeFiles/compactroute.dir/trees/tree.cpp.o" "gcc" "src/CMakeFiles/compactroute.dir/trees/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

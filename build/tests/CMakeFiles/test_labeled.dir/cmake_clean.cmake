@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_labeled.dir/test_labeled.cpp.o"
+  "CMakeFiles/test_labeled.dir/test_labeled.cpp.o.d"
+  "test_labeled"
+  "test_labeled.pdb"
+  "test_labeled[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_labeled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nameind.dir/test_nameind.cpp.o"
+  "CMakeFiles/test_nameind.dir/test_nameind.cpp.o.d"
+  "test_nameind"
+  "test_nameind.pdb"
+  "test_nameind[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nameind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

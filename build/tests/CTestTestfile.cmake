@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_gen[1]_include.cmake")
+include("/root/repo/build/tests/test_nets[1]_include.cmake")
+include("/root/repo/build/tests/test_trees[1]_include.cmake")
+include("/root/repo/build/tests/test_search[1]_include.cmake")
+include("/root/repo/build/tests/test_labeled[1]_include.cmake")
+include("/root/repo/build/tests/test_nameind[1]_include.cmake")
+include("/root/repo/build/tests/test_lowerbound[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_codec[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_routing[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crtool.dir/crtool.cpp.o"
+  "CMakeFiles/crtool.dir/crtool.cpp.o.d"
+  "crtool"
+  "crtool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crtool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
