@@ -61,7 +61,7 @@ int main() {
     const StretchStats stats = evaluate_name_independent(
         *stack.sf_ni, stack.metric, stack.naming, 3000, prng);
     std::printf("  measured stretch: max %.3f avg %.3f (failures %zu)\n",
-                stats.max_stretch, stats.avg_stretch, stats.failures);
+                stats.max_stretch, stats.avg_stretch(), stats.failures);
     std::printf("  consistent with the [9 - eps', 9 + O(eps)] band: the\n"
                 "  polylog-table scheme cannot beat ~9 on this family, and\n"
                 "  does not have to exceed it by more than O(eps).\n");

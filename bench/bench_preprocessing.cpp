@@ -4,20 +4,25 @@
 // "offline" costs in this implementation and that the structure counts track
 // their analytic sizes (|Y_i| levels, Σ|ℬ_j| ≈ 2n, per-node search-tree
 // memberships ~ (1/ε)^O(α) log n).
-#include <chrono>
+//
+// Timing comes from the obs registry: every preprocessing constructor is
+// phase-timed at the source (CR_OBS_SCOPED_TIMER in metric/nets/scheme/codec
+// ctors), so this bench only resets the registry per instance and reads the
+// accumulated spans back — no ad-hoc chrono. Under CR_OBS_DISABLED the
+// timers read 0 and only the structure counts remain meaningful.
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "codec/packed_router.hpp"
+#include "obs/metrics.hpp"
 
 using namespace compactroute;
 using namespace compactroute::bench;
 
 namespace {
 
-double ms_since(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now() - start)
-      .count();
+double phase_ms(const char* name) {
+  return obs::Registry::global().timer(name).total_ms();
 }
 
 }  // namespace
@@ -25,40 +30,62 @@ double ms_since(std::chrono::steady_clock::time_point start) {
 int main() {
   const double eps = 0.5;
   std::printf("E5: preprocessing cost vs n (geometric graphs), eps=%.2f\n\n", eps);
-  std::printf("%6s | %9s %9s %9s %9s | %8s %8s\n", "n", "metric", "nets",
-              "labeled", "name-ind", "levels", "balls");
-  std::printf("%6s | %9s %9s %9s %9s | %8s %8s\n", "", "(ms)", "(ms)", "(ms)",
-              "(ms)", "", "");
-  print_rule(72);
+  std::printf("%6s | %9s %9s %9s %9s %9s | %8s %8s\n", "n", "metric", "nets",
+              "labeled", "name-ind", "codec", "levels", "balls");
+  std::printf("%6s | %9s %9s %9s %9s %9s | %8s %8s\n", "", "(ms)", "(ms)",
+              "(ms)", "(ms)", "(ms)", "", "");
+  print_rule(84);
+
+  obs::JsonValue doc = obs::JsonValue::object();
+  doc["bench"] = "preprocessing";
+  doc["epsilon"] = eps;
+  doc["rows"] = obs::JsonValue::array();
 
   for (const std::size_t n : {128u, 256u, 512u, 768u}) {
+    obs::Registry::global().reset();
     const Graph graph = make_random_geometric(n, 2, 5, 9000 + n);
 
-    auto t0 = std::chrono::steady_clock::now();
     const MetricSpace metric(graph);
-    const double metric_ms = ms_since(t0);
-
-    t0 = std::chrono::steady_clock::now();
     const NetHierarchy hierarchy(metric);
-    const double nets_ms = ms_since(t0);
-
-    t0 = std::chrono::steady_clock::now();
+    const HierarchicalLabeledScheme hier(metric, hierarchy, eps);
     const ScaleFreeLabeledScheme labeled(metric, hierarchy, eps);
-    const double labeled_ms = ms_since(t0);
-
     const Naming naming = Naming::random(n, 5);
-    t0 = std::chrono::steady_clock::now();
-    const ScaleFreeNameIndependentScheme ni(metric, hierarchy, naming, labeled, eps);
-    const double ni_ms = ms_since(t0);
+    const SimpleNameIndependentScheme simple(metric, hierarchy, naming, hier, eps);
+    const ScaleFreeNameIndependentScheme ni(metric, hierarchy, naming, labeled,
+                                            eps);
+    const PackedHierarchicalRouter packed(hier, metric);
+
+    const double metric_ms = phase_ms("preprocess.metric");
+    const double nets_ms = phase_ms("preprocess.nets");
+    const double labeled_ms = phase_ms("preprocess.labeled.hierarchical") +
+                              phase_ms("preprocess.labeled.scale_free");
+    const double ni_ms = phase_ms("preprocess.nameind.simple") +
+                         phase_ms("preprocess.nameind.scale_free");
+    const double codec_ms = phase_ms("preprocess.codec.pack");
 
     std::size_t balls = 0;
     for (int j = 0; j <= labeled.max_exponent(); ++j) {
       balls += labeled.regions(j).size();
     }
-    std::printf("%6zu | %9.1f %9.1f %9.1f %9.1f | %8d %8zu\n", n, metric_ms,
-                nets_ms, labeled_ms, ni_ms, hierarchy.top_level() + 1, balls);
+    std::printf("%6zu | %9.1f %9.1f %9.1f %9.1f %9.1f | %8d %8zu\n", n,
+                metric_ms, nets_ms, labeled_ms, ni_ms, codec_ms,
+                hierarchy.top_level() + 1, balls);
+
+    obs::JsonValue entry = obs::JsonValue::object();
+    entry["n"] = n;
+    entry["levels"] = hierarchy.top_level() + 1;
+    entry["balls"] = balls;
+    entry["phases_ms"] = obs::JsonValue::object();
+    for (const auto& [name, timer] : obs::Registry::global().timers()) {
+      obs::JsonValue span = obs::JsonValue::object();
+      span["total_ms"] = timer.total_ms();
+      span["spans"] = timer.spans();
+      entry["phases_ms"][name] = std::move(span);
+    }
+    doc["rows"].push_back(std::move(entry));
   }
   std::printf("\nAll preprocessing is polynomial and runs offline; routing "
               "itself is microseconds\n(see bench_micro).\n");
+  write_bench_json("BENCH_preprocessing.json", doc);
   return 0;
 }

@@ -16,6 +16,7 @@
 #include "nameind/scale_free_nameind.hpp"
 #include "nameind/simple_nameind.hpp"
 #include "nets/rnet.hpp"
+#include "obs/json_export.hpp"
 #include "routing/baselines.hpp"
 #include "routing/naming.hpp"
 #include "routing/simulator.hpp"
@@ -71,6 +72,39 @@ StorageStats storage_of(const Scheme& scheme, std::size_t n) {
 inline void print_rule(int width) {
   for (int i = 0; i < width; ++i) std::putchar('-');
   std::putchar('\n');
+}
+
+/// Machine-readable form of a stretch evaluation (see EXPERIMENTS.md,
+/// "Telemetry & trace format", for the schema).
+inline obs::JsonValue stretch_to_json(const StretchStats& stats) {
+  obs::JsonValue v = obs::JsonValue::object();
+  v["pairs"] = stats.pairs;
+  v["max"] = stats.max_stretch;
+  v["avg"] = stats.avg_stretch();
+  v["p50"] = stats.p50();
+  v["p95"] = stats.p95();
+  v["p99"] = stats.p99();
+  obs::JsonValue failures = obs::JsonValue::object();
+  failures["undelivered"] = stats.undelivered;
+  failures["misdelivered"] = stats.misdelivered;
+  failures["wrong_cost"] = stats.wrong_cost;
+  v["failures"] = std::move(failures);
+  return v;
+}
+
+inline obs::JsonValue storage_to_json(const StorageStats& storage) {
+  obs::JsonValue v = obs::JsonValue::object();
+  v["max_bits"] = storage.max_bits;
+  v["avg_bits"] = storage.avg_bits;
+  v["total_bits"] = storage.total_bits;
+  return v;
+}
+
+/// Writes a bench's JSON document next to its printed table.
+inline void write_bench_json(const std::string& path, const obs::JsonValue& doc) {
+  if (obs::write_text_file(path, doc.dump(2) + "\n")) {
+    std::printf("wrote %s\n", path.c_str());
+  }
 }
 
 /// The mid-sized graph families the tables sweep over.

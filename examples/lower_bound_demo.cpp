@@ -56,7 +56,7 @@ int main(int argc, char** argv) {
       evaluate_name_independent(scheme, metric, naming, 4000, prng);
   std::printf("Theorem 1.1 scheme (eps'=0.5) on this tree: max stretch %.3f, "
               "avg %.3f over %zu pairs\n",
-              stats.max_stretch, stats.avg_stretch, stats.pairs);
+              stats.max_stretch, stats.avg_stretch(), stats.pairs);
   std::printf("(finite-n samples sit inside the asymptotic [9-eps, 9+O(eps')] "
               "band's reach)\n");
   return 0;

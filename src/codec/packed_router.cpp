@@ -3,6 +3,7 @@
 #include "codec/bitstream.hpp"
 #include "codec/table_codec.hpp"
 #include "core/check.hpp"
+#include "obs/metrics.hpp"
 
 namespace compactroute {
 
@@ -11,6 +12,7 @@ PackedHierarchicalRouter::PackedHierarchicalRouter(
     : graph_(&metric.graph()),
       n_(metric.n()),
       num_levels_(scheme.hierarchy().top_level() + 1) {
+  CR_OBS_SCOPED_TIMER("preprocess.codec.pack");
   blobs_.resize(n_);
   blob_bits_.resize(n_);
   const IdCodec labels(n_);

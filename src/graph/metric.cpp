@@ -7,6 +7,7 @@
 
 #include "core/check.hpp"
 #include "graph/dijkstra.hpp"
+#include "obs/metrics.hpp"
 
 namespace compactroute {
 
@@ -35,6 +36,7 @@ void parallel_rows(std::size_t n, const std::function<void(NodeId, NodeId)>& fn)
 }  // namespace
 
 MetricSpace::MetricSpace(const Graph& graph) : graph_(graph), n_(graph.num_nodes()) {
+  CR_OBS_SCOPED_TIMER("preprocess.metric");
   CR_CHECK_MSG(n_ >= 2, "metric needs at least two nodes");
   CR_CHECK_MSG(graph.is_connected(), "metric requires a connected graph");
 

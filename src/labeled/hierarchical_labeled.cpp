@@ -2,6 +2,7 @@
 
 #include "core/bits.hpp"
 #include "core/check.hpp"
+#include "obs/metrics.hpp"
 
 namespace compactroute {
 
@@ -9,6 +10,7 @@ HierarchicalLabeledScheme::HierarchicalLabeledScheme(const MetricSpace& metric,
                                                      const NetHierarchy& hierarchy,
                                                      double epsilon)
     : metric_(&metric), hierarchy_(&hierarchy), epsilon_(epsilon) {
+  CR_OBS_SCOPED_TIMER("preprocess.labeled.hierarchical");
   CR_CHECK_MSG(epsilon > 0 && epsilon <= 0.5, "scheme requires ε ∈ (0, 1/2]");
   const std::size_t n = metric.n();
   const int top = hierarchy.top_level();

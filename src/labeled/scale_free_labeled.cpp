@@ -7,6 +7,7 @@
 #include "core/bits.hpp"
 #include "core/check.hpp"
 #include "graph/dijkstra.hpp"
+#include "obs/metrics.hpp"
 
 namespace compactroute {
 
@@ -23,6 +24,7 @@ ScaleFreeLabeledScheme::ScaleFreeLabeledScheme(const MetricSpace& metric,
       hierarchy_(&hierarchy),
       epsilon_(epsilon),
       options_(options) {
+  CR_OBS_SCOPED_TIMER("preprocess.labeled.scale_free");
   CR_CHECK_MSG(epsilon > 0 && epsilon <= 0.5, "scheme requires ε ∈ (0, 1/2]");
   CR_CHECK(options.ring_window > 0);
   max_exponent_ = max_size_exponent(metric.n());

@@ -5,6 +5,7 @@
 
 #include "core/bits.hpp"
 #include "core/check.hpp"
+#include "obs/metrics.hpp"
 
 namespace compactroute {
 
@@ -33,6 +34,7 @@ ScaleFreeNameIndependentScheme::ScaleFreeNameIndependentScheme(
       naming_(&naming),
       underlying_(&underlying),
       epsilon_(epsilon) {
+  CR_OBS_SCOPED_TIMER("preprocess.nameind.scale_free");
   CR_CHECK_MSG(epsilon > 0 && epsilon < 1, "Theorem 1.1 requires ε ∈ (0, 1)");
   max_exponent_ = max_size_exponent(metric.n());
 

@@ -4,6 +4,7 @@
 
 #include "core/bits.hpp"
 #include "core/check.hpp"
+#include "obs/metrics.hpp"
 
 namespace compactroute {
 
@@ -15,6 +16,7 @@ SimpleNameIndependentScheme::SimpleNameIndependentScheme(
       naming_(&naming),
       underlying_(&underlying),
       epsilon_(epsilon) {
+  CR_OBS_SCOPED_TIMER("preprocess.nameind.simple");
   CR_CHECK_MSG(epsilon > 0 && epsilon < 1, "Theorem 1.4 requires ε ∈ (0, 1)");
   const int top = hierarchy.top_level();
   trees_.resize(top + 1);

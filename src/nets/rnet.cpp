@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "core/check.hpp"
+#include "obs/metrics.hpp"
 
 namespace compactroute {
 
@@ -30,6 +31,7 @@ std::vector<NodeId> build_rnet(const MetricSpace& metric,
 }
 
 NetHierarchy::NetHierarchy(const MetricSpace& metric) : metric_(&metric) {
+  CR_OBS_SCOPED_TIMER("preprocess.nets");
   top_level_ = metric.num_levels();
   build_nets();
   build_zoom();

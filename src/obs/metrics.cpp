@@ -1,0 +1,87 @@
+#include "obs/metrics.hpp"
+
+namespace compactroute::obs {
+
+double Histogram::percentile(double q) const {
+  CR_CHECK(q >= 0 && q <= 1);
+  if (count_ == 0) return 0;
+  // Rank of the requested quantile among the sorted samples (1-based,
+  // nearest-rank with interpolation inside the winning bucket).
+  const double rank = q * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::uint64_t c = counts_[i];
+    if (c == 0) continue;
+    if (static_cast<double>(seen + c) >= rank) {
+      if (i == 0) return min_;                   // underflow bin
+      if (i == counts_.size() - 1) return max_;  // overflow bin
+      const double left = bucket_edge(i - 1);
+      const double inside =
+          (rank - static_cast<double>(seen)) / static_cast<double>(c);
+      const double x = left + std::clamp(inside, 0.0, 1.0) * bucket_width();
+      // Never report outside the observed range.
+      return std::clamp(x, min_, max_);
+    }
+    seen += c;
+  }
+  return max_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  CR_CHECK_MSG(other.lo_ == lo_ && other.hi_ == hi_ &&
+                   other.counts_.size() == counts_.size(),
+               "histogram merge requires identical bucketing");
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_[name];
+}
+
+Timer& Registry::timer(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return timers_[name];
+}
+
+Histogram& Registry::histogram(const std::string& name, double lo, double hi,
+                               std::size_t buckets) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, Histogram(lo, hi, buckets)).first;
+  }
+  return it->second;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, t] : timers_) t.reset();
+  for (auto& [name, h] : histograms_) h.reset();
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+}  // namespace compactroute::obs

@@ -1,0 +1,198 @@
+#pragma once
+//
+// Telemetry primitives: counters, timers, and fixed-bucket histograms, kept
+// in a process-wide named registry so any layer (nets, schemes, runtime,
+// benches) can meter itself without plumbing handles through constructors.
+//
+// Hot-path discipline: instrumentation sites use the CR_OBS_* macros below,
+// which compile to nothing when the library is built with CR_OBS_DISABLED
+// (CMake option of the same name). The data types themselves stay available
+// under the flag — offline analysis (StretchStats histograms, JSON export)
+// must keep working; only the implicit global metering disappears.
+//
+// Counters use relaxed atomics so a future multi-threaded sweep can bump
+// them concurrently; merging histograms across threads goes through merge().
+//
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/check.hpp"
+
+namespace compactroute::obs {
+
+/// Monotone event count.
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Accumulated wall-clock time over any number of timed spans.
+class Timer {
+ public:
+  void add_ms(double ms) {
+    total_ms_ += ms;
+    ++spans_;
+  }
+  double total_ms() const { return total_ms_; }
+  std::uint64_t spans() const { return spans_; }
+  void reset() {
+    total_ms_ = 0;
+    spans_ = 0;
+  }
+
+ private:
+  double total_ms_ = 0;
+  std::uint64_t spans_ = 0;
+};
+
+/// Fixed uniform-bucket histogram over [lo, hi) with explicit underflow and
+/// overflow bins. Percentiles are estimated by linear interpolation inside
+/// the bucket containing the requested rank; a rank falling in the overflow
+/// bin reports the exact observed maximum (and symmetrically the minimum for
+/// underflow), so the estimate is never outside the observed range.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets)
+      : lo_(lo), hi_(hi), counts_(buckets + 2, 0) {
+    CR_CHECK(buckets > 0 && hi > lo);
+  }
+
+  void record(double x) {
+    ++counts_[bucket_of(x)];
+    ++count_;
+    sum_ += x;
+    if (count_ == 1) {
+      min_ = max_ = x;
+    } else {
+      if (x < min_) min_ = x;
+      if (x > max_) max_ = x;
+    }
+  }
+
+  std::size_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+  /// Number of interior buckets (excluding underflow/overflow).
+  std::size_t buckets() const { return counts_.size() - 2; }
+  double bucket_width() const {
+    return (hi_ - lo_) / static_cast<double>(buckets());
+  }
+  /// Count in interior bucket b (0-based).
+  std::uint64_t bucket_count(std::size_t b) const { return counts_[b + 1]; }
+  std::uint64_t underflow() const { return counts_.front(); }
+  std::uint64_t overflow() const { return counts_.back(); }
+  /// Lower edge of interior bucket b.
+  double bucket_edge(std::size_t b) const {
+    return lo_ + static_cast<double>(b) * bucket_width();
+  }
+
+  /// Estimated q-quantile, q in [0, 1].
+  double percentile(double q) const;
+
+  /// Adds another histogram with identical bucketing into this one.
+  void merge(const Histogram& other);
+
+  void reset();
+
+ private:
+  std::size_t bucket_of(double x) const {
+    if (x < lo_) return 0;
+    if (x >= hi_) return counts_.size() - 1;
+    const auto b = static_cast<std::size_t>((x - lo_) / bucket_width());
+    // Guard against floating-point edge rounding at x ~ hi_.
+    return 1 + std::min(b, buckets() - 1);
+  }
+
+  double lo_, hi_;
+  std::vector<std::uint64_t> counts_;  // [underflow, b0..b_{k-1}, overflow]
+  std::size_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Process-wide named metric store. Lookup creates on first use; references
+/// stay valid for the registry's lifetime (node-stable containers).
+class Registry {
+ public:
+  Counter& counter(const std::string& name);
+  Timer& timer(const std::string& name);
+  /// Bucket geometry is fixed by the first call for a given name.
+  Histogram& histogram(const std::string& name, double lo = 0, double hi = 1,
+                       std::size_t buckets = 32);
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Timer>& timers() const { return timers_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  /// Zeroes every metric (keeps registrations and bucket geometry).
+  void reset();
+
+  static Registry& global();
+
+ private:
+  std::mutex mutex_;
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Timer> timers_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+/// RAII span feeding a registry Timer on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Timer& timer)
+      : timer_(&timer), start_(std::chrono::steady_clock::now()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    timer_->add_ms(std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start_)
+                       .count());
+  }
+
+ private:
+  Timer* timer_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace compactroute::obs
+
+// Instrumentation macros — the only way library code should touch the global
+// registry, so a CR_OBS_DISABLED build carries zero telemetry cost.
+#ifdef CR_OBS_DISABLED
+#define CR_OBS_COUNT(name) ((void)0)
+#define CR_OBS_ADD(name, delta) ((void)0)
+#define CR_OBS_SCOPED_TIMER(name) ((void)0)
+#else
+#define CR_OBS_CONCAT_INNER(a, b) a##b
+#define CR_OBS_CONCAT(a, b) CR_OBS_CONCAT_INNER(a, b)
+#define CR_OBS_COUNT(name) \
+  ::compactroute::obs::Registry::global().counter(name).inc()
+#define CR_OBS_ADD(name, delta) \
+  ::compactroute::obs::Registry::global().counter(name).inc(delta)
+#define CR_OBS_SCOPED_TIMER(name)                            \
+  ::compactroute::obs::ScopedTimer CR_OBS_CONCAT(            \
+      cr_obs_span_, __LINE__)(                               \
+      ::compactroute::obs::Registry::global().timer(name))
+#endif

@@ -1,0 +1,51 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+namespace compactroute {
+
+const char* trace_phase_name(TracePhase phase) {
+  switch (phase) {
+    case TracePhase::kLabelLookup:
+      return "label-lookup";
+    case TracePhase::kNetSearch:
+      return "net-search";
+    case TracePhase::kTreeRoute:
+      return "tree-route";
+    case TracePhase::kHandoff:
+      return "handoff";
+    case TracePhase::kFallback:
+      return "fallback";
+    case TracePhase::kForward:
+      return "forward";
+  }
+  return "unknown";
+}
+
+Weight RouteTrace::total_cost() const {
+  Weight total = 0;
+  for (const TraceHop& hop : hops) total += hop.cost;
+  return total;
+}
+
+std::array<std::size_t, kNumTracePhases> RouteTrace::phase_hops() const {
+  std::array<std::size_t, kNumTracePhases> counts{};
+  for (const TraceHop& hop : hops) ++counts[static_cast<std::size_t>(hop.phase)];
+  return counts;
+}
+
+std::array<Weight, kNumTracePhases> RouteTrace::phase_cost() const {
+  std::array<Weight, kNumTracePhases> cost{};
+  for (const TraceHop& hop : hops) {
+    cost[static_cast<std::size_t>(hop.phase)] += hop.cost;
+  }
+  return cost;
+}
+
+std::size_t RouteTrace::max_header_bits() const {
+  std::size_t worst = 0;
+  for (const TraceHop& hop : hops) worst = std::max(worst, hop.header_bits);
+  return worst;
+}
+
+}  // namespace compactroute

@@ -1,0 +1,79 @@
+#pragma once
+//
+// Structured per-hop route tracing.
+//
+// Every hop of a routed packet is classified by the *purpose* the scheme's
+// state machine assigned it, so a trace shows where the stretch budget goes:
+//
+//   label-lookup — riding a labeled scheme's greedy ring machinery toward a
+//                  known routing label (hierarchical descent, SF walk phase,
+//                  and the inner rides of the name-independent stacks);
+//   net-search   — executing a distributed search-tree descent or the report
+//                  back toward its root (Algorithms 1–2 / Definition 4.2);
+//   tree-route   — a compact-tree-routing leg on a region tree (the final
+//                  TO_DEST leg of Algorithm 5);
+//   handoff      — crossing structures: moving to a region center
+//                  (Algorithm 5 line 7), climbing the zooming sequence of
+//                  anchors u(i), or detouring to a delegated ball tree;
+//   fallback     — the last-resort sweep over top-level centers;
+//   forward      — generic movement (schemes without a finer taxonomy).
+//
+// Traces are recorded by the strict hop-by-hop executor (execute_hops) and
+// travel on HopRun / RouteResult. Under CR_OBS_DISABLED the types remain but
+// the executor records nothing, so traces are empty.
+//
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace compactroute {
+
+enum class TracePhase : std::uint8_t {
+  kLabelLookup = 0,
+  kNetSearch = 1,
+  kTreeRoute = 2,
+  kHandoff = 3,
+  kFallback = 4,
+  kForward = 5,
+};
+
+inline constexpr std::size_t kNumTracePhases = 6;
+
+/// Stable machine-readable tag ("label-lookup", "net-search", ...).
+const char* trace_phase_name(TracePhase phase);
+
+/// One physical edge traversal, annotated.
+struct TraceHop {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  Weight cost = 0;            // normalized edge weight charged for this hop
+  TracePhase phase = TracePhase::kForward;
+  std::size_t header_bits = 0;  // header size in flight on this hop
+};
+
+/// The annotated walk of one routed packet.
+struct RouteTrace {
+  std::string scheme;          // HopScheme::name() of the recorder
+  std::vector<TraceHop> hops;  // empty when tracing is compiled out
+
+  bool empty() const { return hops.empty(); }
+  std::size_t size() const { return hops.size(); }
+
+  /// Sum of per-hop costs; equals the run's cost when tracing is on.
+  Weight total_cost() const;
+
+  /// Hop count per phase, indexed by TracePhase.
+  std::array<std::size_t, kNumTracePhases> phase_hops() const;
+
+  /// Cost per phase, indexed by TracePhase.
+  std::array<Weight, kNumTracePhases> phase_cost() const;
+
+  /// Largest header observed on any hop.
+  std::size_t max_header_bits() const;
+};
+
+}  // namespace compactroute

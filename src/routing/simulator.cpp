@@ -1,6 +1,7 @@
 #include "routing/simulator.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "core/check.hpp"
 
@@ -16,9 +17,20 @@ Weight path_cost(const MetricSpace& metric, const Path& path) {
 
 void StretchStats::record(double stretch) {
   max_stretch = std::max(max_stretch, stretch);
-  avg_stretch = (avg_stretch * static_cast<double>(pairs) + stretch) /
-                static_cast<double>(pairs + 1);
+  sum_stretch += stretch;
+  histogram.record(stretch);
   ++pairs;
+}
+
+void StretchStats::merge(const StretchStats& other) {
+  max_stretch = std::max(max_stretch, other.max_stretch);
+  sum_stretch += other.sum_stretch;
+  pairs += other.pairs;
+  failures += other.failures;
+  undelivered += other.undelivered;
+  misdelivered += other.misdelivered;
+  wrong_cost += other.wrong_cost;
+  histogram.merge(other.histogram);
 }
 
 StretchStats evaluate_pairs(
@@ -29,17 +41,30 @@ StretchStats evaluate_pairs(
   StretchStats stats;
 
   const auto run_one = [&](NodeId src, NodeId dst) {
+    CR_OBS_COUNT("simulator.routes");
     const RouteResult result = route(src, dst);
-    const bool ok = result.delivered && !result.path.empty() &&
-                    result.path.front() == src && result.path.back() == dst;
-    if (!ok) {
+    if (!result.delivered || result.path.empty()) {
+      ++stats.undelivered;
       ++stats.failures;
+      CR_OBS_COUNT("simulator.failures.undelivered");
+      return;
+    }
+    if (result.path.front() != src || result.path.back() != dst) {
+      ++stats.misdelivered;
+      ++stats.failures;
+      CR_OBS_COUNT("simulator.failures.misdelivered");
       return;
     }
     const Weight optimal = metric.dist(src, dst);
     CR_CHECK(optimal > 0);
-    // Recompute the cost from the walk so schemes cannot under-report.
+    // Recompute the cost from the walk so schemes cannot under-report; a
+    // delivered route whose self-reported cost disagrees is flagged (but
+    // still recorded, at the true cost).
     const Weight cost = path_cost(metric, result.path);
+    if (std::abs(result.cost - cost) > 1e-6 * (1.0 + cost)) {
+      ++stats.wrong_cost;
+      CR_OBS_COUNT("simulator.failures.wrong_cost");
+    }
     stats.record(cost / optimal);
   };
 

@@ -10,18 +10,48 @@
 #include "core/prng.hpp"
 #include "core/types.hpp"
 #include "graph/metric.hpp"
+#include "obs/metrics.hpp"
 #include "routing/naming.hpp"
 #include "routing/scheme.hpp"
 
 namespace compactroute {
 
 struct StretchStats {
+  /// Stretch distribution: fixed buckets of width 1/8 over [1, 33); samples
+  /// past the top edge land in the overflow bin (percentiles then report the
+  /// exact observed maximum). The rendezvous baselines are the only schemes
+  /// that overflow in practice.
+  static constexpr double kHistLo = 1.0;
+  static constexpr double kHistHi = 33.0;
+  static constexpr std::size_t kHistBuckets = 256;
+
   double max_stretch = 0;
-  double avg_stretch = 0;
+  double sum_stretch = 0;  // avg = sum/pairs, computed on read (mergeable)
   std::size_t pairs = 0;
-  std::size_t failures = 0;  // undelivered or mis-delivered routes
+  std::size_t failures = 0;  // undelivered + mis-delivered routes
+
+  // Failure taxonomy. wrong_cost routes ARE delivered (and recorded): the
+  // scheme self-reported a cost that disagrees with the walk's true cost.
+  std::size_t undelivered = 0;
+  std::size_t misdelivered = 0;
+  std::size_t wrong_cost = 0;
+
+  obs::Histogram histogram{kHistLo, kHistHi, kHistBuckets};
+
+  double avg_stretch() const {
+    return pairs ? sum_stretch / static_cast<double>(pairs) : 0;
+  }
+  /// Stretch quantile estimated from the histogram (exact min/max at the
+  /// extremes, linear interpolation inside one bucket otherwise).
+  double percentile(double q) const { return histogram.percentile(q); }
+  double p50() const { return percentile(0.50); }
+  double p95() const { return percentile(0.95); }
+  double p99() const { return percentile(0.99); }
 
   void record(double stretch);
+
+  /// Folds `other` into this (for sharded sweeps).
+  void merge(const StretchStats& other);
 };
 
 /// Evaluates a labeled scheme on `samples` random ordered pairs (all ordered

@@ -25,6 +25,11 @@ class HierarchicalHopScheme final : public HopScheme {
 
   Decision step(NodeId at, const HopHeader& header) const override;
 
+  /// Every hop is greedy ring descent toward the destination label.
+  TracePhase phase_of(const HopHeader& /*header*/) const override {
+    return TracePhase::kLabelLookup;
+  }
+
  private:
   const HierarchicalLabeledScheme* scheme_;
 };

@@ -20,6 +20,23 @@ HopHeader ScaleFreeHopScheme::make_header(NodeId /*src*/,
   return header;
 }
 
+TracePhase ScaleFreeHopScheme::phase_of(const HopHeader& header) const {
+  switch (static_cast<Phase>(header.phase)) {
+    case kWalk:
+      return TracePhase::kLabelLookup;  // greedy ring walk toward the label
+    case kToCenter:
+      return TracePhase::kHandoff;  // Algorithm 5 line 7 handoff
+    case kSearch:
+    case kReturn:
+      return TracePhase::kNetSearch;  // search-tree descent / report back
+    case kFallbackMove:
+      return TracePhase::kFallback;  // sweep of the top-level centers
+    case kToDest:
+      return TracePhase::kTreeRoute;  // compact-tree final leg
+  }
+  return TracePhase::kForward;
+}
+
 HopScheme::Decision ScaleFreeHopScheme::step(NodeId at,
                                              const HopHeader& in) const {
   const MetricSpace& metric = scheme_->hierarchy().metric();

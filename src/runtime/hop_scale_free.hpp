@@ -31,6 +31,7 @@ class ScaleFreeHopScheme final : public HopScheme {
 
   HopHeader make_header(NodeId src, std::uint64_t dest_key) const override;
   Decision step(NodeId at, const HopHeader& header) const override;
+  TracePhase phase_of(const HopHeader& header) const override;
 
  private:
   enum Phase : std::uint8_t {

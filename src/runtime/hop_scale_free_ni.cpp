@@ -22,6 +22,22 @@ void ScaleFreeNameIndependentHopScheme::start_ride(HopHeader& header, NodeId at,
   header.nested = std::make_unique<HopHeader>(inner_.make_header(at, label));
 }
 
+TracePhase ScaleFreeNameIndependentHopScheme::phase_of(
+    const HopHeader& header) const {
+  switch (static_cast<Continuation>(header.inner_phase)) {
+    case kAtAnchor:
+    case kAtRoot:
+    case kBackAtAnchor:
+      return TracePhase::kHandoff;  // anchor climbs and ball-tree detours
+    case kSearchNode:
+    case kSearchBack:
+      return TracePhase::kNetSearch;
+    case kDeliver:
+      return TracePhase::kLabelLookup;  // final leg toward the found label
+  }
+  return TracePhase::kForward;
+}
+
 HopScheme::Decision ScaleFreeNameIndependentHopScheme::step(
     NodeId at, const HopHeader& in) const {
   const NetHierarchy& hierarchy = scheme_->hierarchy();

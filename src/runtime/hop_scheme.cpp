@@ -4,6 +4,7 @@
 
 #include "core/bits.hpp"
 #include "core/check.hpp"
+#include "obs/metrics.hpp"
 
 namespace compactroute {
 
@@ -45,6 +46,9 @@ HopRun execute_hops(const MetricSpace& metric, const HopScheme& scheme, NodeId s
   if (max_hops == 0) max_hops = 64 * metric.n() + 1024;
   HopRun run;
   run.path.push_back(src);
+#ifndef CR_OBS_DISABLED
+  run.trace.scheme = scheme.name();
+#endif
 
   HopHeader header = scheme.make_header(src, dest_key);
   run.max_header_bits = header.encoded_bits(metric.n(), metric.num_levels());
@@ -54,22 +58,39 @@ HopRun execute_hops(const MetricSpace& metric, const HopScheme& scheme, NodeId s
     const HopScheme::Decision decision = scheme.step(at, header);
     if (decision.deliver) {
       run.delivered = true;
+      CR_OBS_COUNT("runtime.routes");
       return run;
     }
     // The forwarding model: the next node must be a physical neighbor.
     const Weight edge = metric.graph().edge_weight(at, decision.next);
     CR_CHECK_MSG(edge < kInfiniteWeight,
                  "scheme forwarded to a non-neighbor — locality violation");
-    run.cost += edge / metric.normalization_scale();
+    const Weight hop_cost = edge / metric.normalization_scale();
+    run.cost += hop_cost;
+    header = decision.header;
+    const std::size_t bits = header.encoded_bits(metric.n(), metric.num_levels());
+    run.max_header_bits = std::max(run.max_header_bits, bits);
+#ifndef CR_OBS_DISABLED
+    run.trace.hops.push_back(
+        TraceHop{at, decision.next, hop_cost, scheme.phase_of(header), bits});
+    CR_OBS_COUNT("runtime.hops");
+#endif
     at = decision.next;
     run.path.push_back(at);
-    header = decision.header;
-    run.max_header_bits =
-        std::max(run.max_header_bits,
-                 header.encoded_bits(metric.n(), metric.num_levels()));
   }
   CR_CHECK_MSG(false, "hop budget exhausted — scheme did not converge");
   return run;
+}
+
+RouteResult hop_route(const MetricSpace& metric, const HopScheme& scheme,
+                      NodeId src, std::uint64_t dest_key, std::size_t max_hops) {
+  HopRun run = execute_hops(metric, scheme, src, dest_key, max_hops);
+  RouteResult result;
+  result.delivered = run.delivered;
+  result.path = std::move(run.path);
+  result.cost = run.cost;
+  result.trace = std::move(run.trace);
+  return result;
 }
 
 }  // namespace compactroute

@@ -19,6 +19,8 @@
 
 #include "core/types.hpp"
 #include "graph/metric.hpp"
+#include "obs/trace.hpp"
+#include "routing/scheme.hpp"
 
 namespace compactroute {
 
@@ -71,6 +73,15 @@ class HopScheme {
   /// One forwarding decision, a pure function of (at, header) and the tables
   /// of node `at`.
   virtual Decision step(NodeId at, const HopHeader& header) const = 0;
+
+  /// Telemetry classification of a hop taken while `header` is in flight —
+  /// which phase of the scheme's state machine the hop serves. A pure
+  /// function of the header; the executor calls it on the post-decision
+  /// header of every physical hop.
+  virtual TracePhase phase_of(const HopHeader& header) const {
+    (void)header;
+    return TracePhase::kForward;
+  }
 };
 
 struct HopRun {
@@ -78,11 +89,18 @@ struct HopRun {
   Path path;        // every consecutive pair is a graph edge
   Weight cost = 0;  // sum of traversed edge weights (normalized)
   std::size_t max_header_bits = 0;
+  RouteTrace trace;  // phase-tagged hops; empty under CR_OBS_DISABLED
 };
 
 /// Executes the scheme hop by hop from src. Throws InvariantError if the
 /// scheme ever forwards to a non-neighbor or exceeds max_hops.
 HopRun execute_hops(const MetricSpace& metric, const HopScheme& scheme, NodeId src,
                     std::uint64_t dest_key, std::size_t max_hops = 0);
+
+/// Same execution, shaped as a RouteResult (the trace rides along) — the
+/// bridge between the strict runtime and RouteResult-based evaluation.
+RouteResult hop_route(const MetricSpace& metric, const HopScheme& scheme,
+                      NodeId src, std::uint64_t dest_key,
+                      std::size_t max_hops = 0);
 
 }  // namespace compactroute

@@ -15,6 +15,22 @@ HopHeader SimpleNameIndependentHopScheme::make_header(
   return header;
 }
 
+TracePhase SimpleNameIndependentHopScheme::phase_of(
+    const HopHeader& header) const {
+  // Every physical hop rides the inner labeled machine; classify it by the
+  // outer continuation — what the ride is *for*.
+  switch (static_cast<Continuation>(header.inner_phase)) {
+    case kAtAnchor:
+      return TracePhase::kHandoff;  // climbing the zooming sequence u(i)
+    case kSearchNode:
+    case kSearchBack:
+      return TracePhase::kNetSearch;
+    case kDeliver:
+      return TracePhase::kLabelLookup;  // final leg toward the found label
+  }
+  return TracePhase::kForward;
+}
+
 HopScheme::Decision SimpleNameIndependentHopScheme::step(
     NodeId at, const HopHeader& in) const {
   const NetHierarchy& hierarchy = scheme_->hierarchy();

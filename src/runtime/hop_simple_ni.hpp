@@ -34,6 +34,7 @@ class SimpleNameIndependentHopScheme final : public HopScheme {
 
   HopHeader make_header(NodeId src, std::uint64_t dest_key) const override;
   Decision step(NodeId at, const HopHeader& header) const override;
+  TracePhase phase_of(const HopHeader& header) const override;
 
  private:
   // Continuations (inner_phase): what the outer machine does when the

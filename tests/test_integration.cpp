@@ -37,7 +37,7 @@ TEST(Integration, FullScaleFreeStackOnGeometricGraph) {
   EXPECT_LE(ni_stats.max_stretch, 25.0);
   // The name-independent detour costs something: averages must exceed the
   // labeled scheme's.
-  EXPECT_GE(ni_stats.avg_stretch, labeled_stats.avg_stretch);
+  EXPECT_GE(ni_stats.avg_stretch(), labeled_stats.avg_stretch());
 }
 
 // The PODC'06 stack (Theorem 1.4) on the same instance for comparison.

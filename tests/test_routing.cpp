@@ -19,7 +19,7 @@ TEST(StretchStats, RecordAccumulates) {
   stats.record(2.0);
   EXPECT_EQ(stats.pairs, 3u);
   EXPECT_DOUBLE_EQ(stats.max_stretch, 3.0);
-  EXPECT_DOUBLE_EQ(stats.avg_stretch, 2.0);
+  EXPECT_DOUBLE_EQ(stats.avg_stretch(), 2.0);
 }
 
 TEST(Simulator, PathCostSumsMetricDistances) {

@@ -4,11 +4,16 @@
 //   crtool info <graph>                         metric + dimension summary
 //   crtool route <graph> <src> <dst> [eps]      route with every scheme
 //   crtool eval <graph> [samples] [eps]         stretch/storage table
+//   crtool trace <graph> <src> <dst> [eps] [out.json]
+//                                               hop-by-hop annotated trace
 //
 // Families for `gen`:
 //   grid W H | torus W H | geometric N DIM K SEED | spider ARMS LEN |
 //   clusters LEVELS FANOUT SPREAD SEED | cliques NUM SIZE BRIDGE |
 //   tree N MAXW SEED | lbtree EPS N
+//
+// Exit codes: 0 success, 1 runtime error, 2 usage error (unknown command or
+// family, malformed or out-of-range argument).
 //
 #include <cstdio>
 #include <cstdlib>
@@ -27,8 +32,14 @@
 #include "nameind/scale_free_nameind.hpp"
 #include "nameind/simple_nameind.hpp"
 #include "nets/rnet.hpp"
+#include "obs/json_export.hpp"
 #include "routing/naming.hpp"
 #include "routing/simulator.hpp"
+#include "runtime/hop_hierarchical.hpp"
+#include "runtime/hop_scale_free.hpp"
+#include "runtime/hop_scale_free_ni.hpp"
+#include "runtime/hop_scheme.hpp"
+#include "runtime/hop_simple_ni.hpp"
 
 using namespace compactroute;
 
@@ -40,18 +51,55 @@ namespace {
                "  crtool gen <family> <out.graph> [args...]\n"
                "  crtool info <graph>\n"
                "  crtool route <graph> <src> <dst> [eps]\n"
-               "  crtool eval <graph> [samples] [eps]\n");
+               "  crtool eval <graph> [samples] [eps]\n"
+               "  crtool trace <graph> <src> <dst> [eps] [out.json]\n"
+               "\n"
+               "gen families: grid W H | torus W H | geometric N DIM K SEED |\n"
+               "  spider ARMS LEN | clusters LEVELS FANOUT SPREAD SEED |\n"
+               "  cliques NUM SIZE BRIDGE | tree N MAXW SEED | lbtree EPS N\n"
+               "\n"
+               "trace prints one line per physical hop (phase tag, edge cost,\n"
+               "header bits) for all four hop-by-hop schemes; the optional\n"
+               "out.json captures the same traces machine-readably.\n");
   std::exit(2);
 }
 
+/// Strict numeric parsing: the whole token must be a number, else exit 2.
+std::uint64_t parse_u64(const std::string& token, const char* what) {
+  try {
+    std::size_t pos = 0;
+    if (token.empty() || token[0] == '-') throw std::invalid_argument(token);
+    const unsigned long long v = std::stoull(token, &pos);
+    if (pos != token.size()) throw std::invalid_argument(token);
+    return v;
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "malformed %s '%s' (expected a non-negative integer)\n\n",
+                 what, token.c_str());
+    usage();
+  }
+}
+
+double parse_double(const std::string& token, const char* what) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(token, &pos);
+    if (pos != token.size()) throw std::invalid_argument(token);
+    return v;
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "malformed %s '%s' (expected a number)\n\n", what,
+                 token.c_str());
+    usage();
+  }
+}
+
 std::uint64_t arg_u64(const std::vector<std::string>& args, std::size_t k,
-                      std::uint64_t fallback) {
-  return k < args.size() ? std::stoull(args[k]) : fallback;
+                      std::uint64_t fallback, const char* what = "argument") {
+  return k < args.size() ? parse_u64(args[k], what) : fallback;
 }
 
 double arg_double(const std::vector<std::string>& args, std::size_t k,
-                  double fallback) {
-  return k < args.size() ? std::stod(args[k]) : fallback;
+                  double fallback, const char* what = "argument") {
+  return k < args.size() ? parse_double(args[k], what) : fallback;
 }
 
 int cmd_gen(const std::vector<std::string>& args) {
@@ -83,8 +131,8 @@ int cmd_gen(const std::vector<std::string>& args) {
     graph = make_lower_bound_tree(arg_double(rest, 0, 4.0), arg_u64(rest, 1, 1000))
                 .graph;
   } else {
-    std::fprintf(stderr, "unknown family '%s'\n", family.c_str());
-    return 2;
+    std::fprintf(stderr, "unknown gen family '%s'\n\n", family.c_str());
+    usage();
   }
   save_graph(out, graph);
   std::printf("wrote %s: %zu nodes, %zu edges\n", out.c_str(), graph.num_nodes(),
@@ -128,16 +176,23 @@ struct Stack {
   ScaleFreeNameIndependentScheme sfni;
 };
 
+NodeId parse_node(const std::string& token, const MetricSpace& metric,
+                  const char* what) {
+  const std::uint64_t v = parse_u64(token, what);
+  if (v >= metric.n()) {
+    std::fprintf(stderr, "%s %llu out of range (n = %zu)\n\n", what,
+                 static_cast<unsigned long long>(v), metric.n());
+    usage();
+  }
+  return static_cast<NodeId>(v);
+}
+
 int cmd_route(const std::vector<std::string>& args) {
   if (args.size() < 3) usage();
-  const double eps = arg_double(args, 3, 0.5);
+  const double eps = arg_double(args, 3, 0.5, "eps");
   Stack stack(load_graph(args[0]), eps);
-  const NodeId src = static_cast<NodeId>(std::stoull(args[1]));
-  const NodeId dst = static_cast<NodeId>(std::stoull(args[2]));
-  if (src >= stack.metric.n() || dst >= stack.metric.n()) {
-    std::fprintf(stderr, "node ids out of range\n");
-    return 2;
-  }
+  const NodeId src = parse_node(args[1], stack.metric, "src");
+  const NodeId dst = parse_node(args[2], stack.metric, "dst");
   const Weight optimal = stack.metric.dist(src, dst);
   std::printf("d(%u, %u) = %.6g   (eps = %.3f)\n\n", src, dst, optimal, eps);
   std::printf("%-26s %10s %10s %7s\n", "scheme", "cost", "stretch", "hops");
@@ -159,15 +214,90 @@ int cmd_route(const std::vector<std::string>& args) {
   return 0;
 }
 
+void print_trace(const RouteResult& r, Weight optimal) {
+  if (r.trace.empty()) {
+    if (r.path.size() <= 1) {
+      std::printf("  (zero-hop route — already at the destination)\n");
+    } else {
+      std::printf("  (no per-hop trace — built with CR_OBS_DISABLED?)\n");
+    }
+    return;
+  }
+  std::printf("  %4s  %6s %6s  %10s  %-13s %9s\n", "hop", "from", "to", "cost",
+              "phase", "hdr-bits");
+  for (std::size_t i = 0; i < r.trace.hops.size(); ++i) {
+    const TraceHop& hop = r.trace.hops[i];
+    std::printf("  %4zu  %6u %6u  %10.6g  %-13s %9zu\n", i + 1, hop.from,
+                hop.to, hop.cost, trace_phase_name(hop.phase), hop.header_bits);
+  }
+  const auto hops = r.trace.phase_hops();
+  const auto cost = r.trace.phase_cost();
+  std::printf("  phase summary:");
+  for (std::size_t p = 0; p < kNumTracePhases; ++p) {
+    if (hops[p] == 0) continue;
+    std::printf("  %s=%zu hops/%.4g", trace_phase_name(static_cast<TracePhase>(p)),
+                hops[p], cost[p]);
+  }
+  std::printf("\n  total cost %.6g (stretch %.3f), max header %zu bits\n\n",
+              r.cost, optimal > 0 ? r.cost / optimal : 1.0,
+              r.trace.max_header_bits());
+}
+
+int cmd_trace(const std::vector<std::string>& args) {
+  if (args.size() < 3) usage();
+  const double eps = arg_double(args, 3, 0.5, "eps");
+  Stack stack(load_graph(args[0]), eps);
+  const NodeId src = parse_node(args[1], stack.metric, "src");
+  const NodeId dst = parse_node(args[2], stack.metric, "dst");
+  const Weight optimal = stack.metric.dist(src, dst);
+  std::printf("trace %u -> %u   d = %.6g   (eps = %.3f)\n\n", src, dst, optimal,
+              eps);
+
+  const HierarchicalHopScheme hop_hier(stack.hier);
+  const ScaleFreeHopScheme hop_sf(stack.sf);
+  const SimpleNameIndependentHopScheme hop_simple(stack.simple, stack.hier);
+  const ScaleFreeNameIndependentHopScheme hop_sfni(stack.sfni, stack.sf);
+
+  obs::JsonValue doc = obs::JsonValue::object();
+  doc["src"] = static_cast<std::uint64_t>(src);
+  doc["dst"] = static_cast<std::uint64_t>(dst);
+  doc["optimal"] = optimal;
+  doc["eps"] = eps;
+  doc["traces"] = obs::JsonValue::array();
+
+  const auto run = [&](const HopScheme& scheme, std::uint64_t dest_key) {
+    const RouteResult r = hop_route(stack.metric, scheme, src, dest_key);
+    std::printf("%s  (%zu hops, delivered=%s)\n", scheme.name().c_str(),
+                r.path.size() - 1, r.delivered ? "yes" : "NO");
+    print_trace(r, optimal);
+    obs::JsonValue entry = obs::trace_to_json(r.trace);
+    entry["delivered"] = r.delivered;
+    entry["cost"] = r.cost;
+    entry["stretch"] = optimal > 0 ? r.cost / optimal : 1.0;
+    doc["traces"].push_back(std::move(entry));
+  };
+  run(hop_hier, stack.hier.label(dst));
+  run(hop_sf, stack.sf.label(dst));
+  run(hop_simple, stack.naming.name_of(dst));
+  run(hop_sfni, stack.naming.name_of(dst));
+
+  if (args.size() > 4) {
+    if (obs::write_text_file(args[4], doc.dump(2) + "\n")) {
+      std::printf("wrote %s\n", args[4].c_str());
+    }
+  }
+  return 0;
+}
+
 int cmd_eval(const std::vector<std::string>& args) {
   if (args.empty()) usage();
-  const std::size_t samples = arg_u64(args, 1, 2000);
-  const double eps = arg_double(args, 2, 0.5);
+  const std::size_t samples = arg_u64(args, 1, 2000, "samples");
+  const double eps = arg_double(args, 2, 0.5, "eps");
   Stack stack(load_graph(args[0]), eps);
   Prng prng(7);
 
-  std::printf("%-26s %9s %9s %12s %12s %8s\n", "scheme", "stretch", "avg-str",
-              "max-bits", "avg-bits", "hdr-bits");
+  std::printf("%-26s %9s %9s %9s %12s %12s %8s\n", "scheme", "stretch",
+              "avg-str", "p95-str", "max-bits", "avg-bits", "hdr-bits");
   const auto storage = [&](auto& s) {
     std::vector<std::size_t> bits(stack.metric.n());
     for (NodeId u = 0; u < stack.metric.n(); ++u) bits[u] = s.storage_bits(u);
@@ -175,9 +305,9 @@ int cmd_eval(const std::vector<std::string>& args) {
   };
   const auto report = [&](auto& s, const StretchStats& stats) {
     const StorageStats st = storage(s);
-    std::printf("%-26s %9.3f %9.3f %12zu %12.0f %8zu\n", s.name().c_str(),
-                stats.max_stretch, stats.avg_stretch, st.max_bits, st.avg_bits,
-                s.header_bits());
+    std::printf("%-26s %9.3f %9.3f %9.3f %12zu %12.0f %8zu\n", s.name().c_str(),
+                stats.max_stretch, stats.avg_stretch(), stats.p95(), st.max_bits,
+                st.avg_bits, s.header_bits());
   };
   report(stack.hier, evaluate_labeled(stack.hier, stack.metric, samples, prng));
   report(stack.sf, evaluate_labeled(stack.sf, stack.metric, samples, prng));
@@ -200,9 +330,11 @@ int main(int argc, char** argv) {
     if (command == "info") return cmd_info(args);
     if (command == "route") return cmd_route(args);
     if (command == "eval") return cmd_eval(args);
+    if (command == "trace") return cmd_trace(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
+  std::fprintf(stderr, "unknown command '%s'\n\n", command.c_str());
   usage();
 }
