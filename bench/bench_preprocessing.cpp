@@ -10,10 +10,12 @@
 // ctors), so this bench only resets the registry per instance and reads the
 // accumulated spans back — no ad-hoc chrono. Under CR_OBS_DISABLED the
 // timers read 0 and only the structure counts remain meaningful.
+#include <chrono>
 #include <cstdio>
 
 #include "bench_util.hpp"
 #include "codec/packed_router.hpp"
+#include "core/parallel.hpp"
 #include "obs/metrics.hpp"
 
 using namespace compactroute;
@@ -25,16 +27,38 @@ double phase_ms(const char* name) {
   return obs::Registry::global().timer(name).total_ms();
 }
 
+/// Wall-clock of one full-stack build (metric through codec) at the current
+/// worker count — the thread-sweep measurement, which needs chrono because
+/// it compares the same phases across worker counts within one process.
+double build_stack_ms(const Graph& graph, double eps) {
+  const auto start = std::chrono::steady_clock::now();
+  const MetricSpace metric(graph);
+  const NetHierarchy hierarchy(metric);
+  const HierarchicalLabeledScheme hier(metric, hierarchy, eps);
+  const ScaleFreeLabeledScheme labeled(metric, hierarchy, eps);
+  const Naming naming = Naming::random(metric.n(), 5);
+  const SimpleNameIndependentScheme simple(metric, hierarchy, naming, hier, eps);
+  const ScaleFreeNameIndependentScheme ni(metric, hierarchy, naming, labeled,
+                                          eps);
+  const PackedHierarchicalRouter packed(hier, metric);
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
 }  // namespace
 
 int main() {
   const double eps = 0.5;
-  std::printf("E5: preprocessing cost vs n (geometric graphs), eps=%.2f\n\n", eps);
-  std::printf("%6s | %9s %9s %9s %9s %9s | %8s %8s\n", "n", "metric", "nets",
-              "labeled", "name-ind", "codec", "levels", "balls");
-  std::printf("%6s | %9s %9s %9s %9s %9s | %8s %8s\n", "", "(ms)", "(ms)",
-              "(ms)", "(ms)", "(ms)", "", "");
-  print_rule(84);
+  std::printf("E5: preprocessing cost vs n (geometric graphs), eps=%.2f, "
+              "workers=%zu\n\n",
+              eps, Executor::global().workers());
+  std::printf("%6s | %9s %9s %9s %9s %9s | %8s %8s %10s\n", "n", "metric",
+              "nets", "labeled", "name-ind", "codec", "levels", "balls",
+              "mem");
+  std::printf("%6s | %9s %9s %9s %9s %9s | %8s %8s %10s\n", "", "(ms)", "(ms)",
+              "(ms)", "(ms)", "(ms)", "", "", "(bytes)");
+  print_rule(96);
 
   obs::JsonValue doc = obs::JsonValue::object();
   doc["bench"] = "preprocessing";
@@ -67,14 +91,16 @@ int main() {
     for (int j = 0; j <= labeled.max_exponent(); ++j) {
       balls += labeled.regions(j).size();
     }
-    std::printf("%6zu | %9.1f %9.1f %9.1f %9.1f %9.1f | %8d %8zu\n", n,
+    const std::size_t mem_bytes = metric.memory_bytes();
+    std::printf("%6zu | %9.1f %9.1f %9.1f %9.1f %9.1f | %8d %8zu %10zu\n", n,
                 metric_ms, nets_ms, labeled_ms, ni_ms, codec_ms,
-                hierarchy.top_level() + 1, balls);
+                hierarchy.top_level() + 1, balls, mem_bytes);
 
     obs::JsonValue entry = obs::JsonValue::object();
     entry["n"] = n;
     entry["levels"] = hierarchy.top_level() + 1;
     entry["balls"] = balls;
+    entry["mem_bytes"] = mem_bytes;
     entry["phases_ms"] = obs::JsonValue::object();
     for (const auto& [name, timer] : obs::Registry::global().timers()) {
       obs::JsonValue span = obs::JsonValue::object();
@@ -84,6 +110,36 @@ int main() {
     }
     doc["rows"].push_back(std::move(entry));
   }
+
+  // Thread sweep: rebuild the largest instance with the executor pinned to
+  // 1 and then 4 workers and report the wall-clock ratio. On a multi-core
+  // machine this is the construction-pipeline speedup (the APSP rows,
+  // per-node tables, and per-ball trees all map over the pool); on a 1-CPU
+  // machine the ratio degrades to ~1.
+  {
+    const std::size_t n = 768;
+    const Graph graph = make_random_geometric(n, 2, 5, 9000 + n);
+    std::printf("\nthread sweep (n=%zu, full stack):\n", n);
+    obs::JsonValue sweep = obs::JsonValue::object();
+    sweep["n"] = n;
+    sweep["builds"] = obs::JsonValue::object();
+    double ms_1 = 0, ms_4 = 0;
+    for (const std::size_t workers : {1u, 4u}) {
+      Executor::global().set_workers(workers);
+      obs::Registry::global().reset();
+      const double ms = build_stack_ms(graph, eps);
+      (workers == 1 ? ms_1 : ms_4) = ms;
+      std::printf("  workers=%zu  %9.1f ms  (effective %zu)\n", workers, ms,
+                  Executor::global().workers());
+      sweep["builds"][std::to_string(workers)] = ms;
+    }
+    Executor::global().set_workers(0);  // restore CR_THREADS/auto resolution
+    const double speedup = ms_4 > 0 ? ms_1 / ms_4 : 0;
+    std::printf("  speedup(1 -> 4 workers) = %.2fx\n", speedup);
+    sweep["speedup_1_to_4"] = speedup;
+    doc["thread_sweep"] = std::move(sweep);
+  }
+
   std::printf("\nAll preprocessing is polynomial and runs offline; routing "
               "itself is microseconds\n(see bench_micro).\n");
   write_bench_json("BENCH_preprocessing.json", doc);

@@ -32,10 +32,12 @@ int main() {
   doc["epsilon"] = eps;
   doc["samples"] = samples;
   doc["rows"] = obs::JsonValue::array();
+  doc["phases_ms"] = obs::JsonValue::object();
 
   for (auto& [name, graph] : table_graphs()) {
     Stack stack(std::move(graph), eps);
     stack.build_name_independent();
+    doc["phases_ms"][name] = stack.phases_to_json();
     Prng prng(7);
 
     const HashLocationScheme baseline(stack.metric, stack.naming);

@@ -28,10 +28,12 @@ int main() {
   doc["epsilon"] = eps;
   doc["samples"] = samples;
   doc["rows"] = obs::JsonValue::array();
+  doc["phases_ms"] = obs::JsonValue::object();
 
   for (auto& [name, graph] : table_graphs()) {
     Stack stack(std::move(graph), eps);
     stack.build_labeled();
+    doc["phases_ms"][name] = stack.phases_to_json();
     Prng prng(11);
 
     const ShortestPathScheme oracle(stack.metric);

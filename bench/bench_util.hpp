@@ -4,6 +4,7 @@
 // table printing so every bench emits paper-style rows.
 //
 #include <cstdio>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -24,9 +25,17 @@
 namespace compactroute::bench {
 
 /// Everything the experiments need for one (graph, ε) configuration.
+///
+/// Phase timings: the constructors meter themselves into the global registry
+/// (CR_OBS_SCOPED_TIMER), but benches sweep many graph families through one
+/// process, so the raw registry totals conflate families. The Stack snapshots
+/// every `preprocess.*` timer before building anything; phases_to_json()
+/// reports the deltas accumulated since — i.e. this Stack's own construction
+/// cost, per phase, regardless of what ran before it in the process.
 struct Stack {
   Stack(Graph g, double eps, std::uint64_t naming_seed = 4242)
-      : graph(std::move(g)),
+      : phase_snapshot_(snapshot_preprocess_timers()),  // before metric(graph)
+        graph(std::move(g)),
         epsilon(eps),
         metric(graph),
         hierarchy(metric),
@@ -51,6 +60,32 @@ struct Stack {
     }
   }
 
+  /// Per-phase construction cost of THIS stack (metric, nets, and whichever
+  /// schemes have been built so far), in milliseconds, keyed by the
+  /// registry's `preprocess.*` timer names. Call after the builds of
+  /// interest; under CR_OBS_DISABLED every delta is 0.
+  obs::JsonValue phases_to_json() const {
+    obs::JsonValue v = obs::JsonValue::object();
+    for (const auto& [name, timer] : obs::Registry::global().timers()) {
+      if (name.rfind("preprocess.", 0) != 0) continue;
+      const auto it = phase_snapshot_.find(name);
+      const double before = it == phase_snapshot_.end() ? 0 : it->second;
+      v[name] = timer.total_ms() - before;
+    }
+    return v;
+  }
+
+  static std::map<std::string, double> snapshot_preprocess_timers() {
+    std::map<std::string, double> snap;
+    for (const auto& [name, timer] : obs::Registry::global().timers()) {
+      if (name.rfind("preprocess.", 0) == 0) snap[name] = timer.total_ms();
+    }
+    return snap;
+  }
+
+  // Declared first so the snapshot is taken before any member constructor
+  // below starts a preprocess timer.
+  std::map<std::string, double> phase_snapshot_;
   Graph graph;
   double epsilon;
   MetricSpace metric;

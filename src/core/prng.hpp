@@ -38,6 +38,20 @@ class Prng {
     return result;
   }
 
+  /// Deterministic stream splitting: an independent generator for stream
+  /// index `stream` of a family rooted at `seed`. Used by parallel sweeps —
+  /// each fixed-size work chunk draws from its own split stream, so results
+  /// do not depend on how chunks were scheduled across workers (see
+  /// DESIGN.md §"Execution layer"). The (seed, stream) -> state map goes
+  /// through one SplitMix64 step before the constructor's own SplitMix64
+  /// expansion, so nearby stream indices yield uncorrelated states.
+  static Prng split(std::uint64_t seed, std::uint64_t stream) {
+    std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (stream + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return Prng(z ^ (z >> 31));
+  }
+
   /// Uniform integer in [0, bound). bound must be positive.
   std::uint64_t next_below(std::uint64_t bound) {
     CR_CHECK(bound > 0);

@@ -2,10 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <functional>
-#include <thread>
 
 #include "core/check.hpp"
+#include "core/parallel.hpp"
 #include "graph/dijkstra.hpp"
 #include "obs/metrics.hpp"
 
@@ -13,25 +12,9 @@ namespace compactroute {
 
 namespace {
 
-// Runs fn(first, last) over [0, n) split across hardware threads. Each chunk
-// writes disjoint matrix rows, so no synchronization is needed.
-void parallel_rows(std::size_t n, const std::function<void(NodeId, NodeId)>& fn) {
-  const std::size_t workers =
-      std::max<std::size_t>(1, std::min<std::size_t>(
-                                   std::thread::hardware_concurrency(), 16));
-  if (workers == 1 || n < 64) {
-    fn(0, static_cast<NodeId>(n));
-    return;
-  }
-  std::vector<std::thread> threads;
-  const std::size_t chunk = (n + workers - 1) / workers;
-  for (std::size_t w = 0; w < workers; ++w) {
-    const NodeId first = static_cast<NodeId>(std::min(n, w * chunk));
-    const NodeId last = static_cast<NodeId>(std::min(n, (w + 1) * chunk));
-    if (first < last) threads.emplace_back(fn, first, last);
-  }
-  for (std::thread& t : threads) t.join();
-}
+// Rows per chunk for the parallel loops below: small enough to balance load
+// across workers, large enough that chunk bookkeeping is negligible.
+constexpr std::size_t kRowChunk = 8;
 
 }  // namespace
 
@@ -43,11 +26,14 @@ MetricSpace::MetricSpace(const Graph& graph) : graph_(graph), n_(graph.num_nodes
   dist_.resize(n_ * n_);
   parent_.resize(n_ * n_);
   order_.resize(n_ * n_);
+  CR_OBS_ADD("mem.metric.dist_bytes", dist_.size() * sizeof(Weight));
+  CR_OBS_ADD("mem.metric.parent_bytes", parent_.size() * sizeof(NodeId));
+  CR_OBS_ADD("mem.metric.order_bytes", order_.size() * sizeof(NodeId));
 
-  // All-pairs shortest paths: one Dijkstra per root, rows computed in
-  // parallel (each thread owns a disjoint slice of the matrices).
-  parallel_rows(n_, [&](NodeId first, NodeId last) {
-    for (NodeId t = first; t < last; ++t) {
+  // All-pairs shortest paths: one Dijkstra per root; each chunk owns a
+  // disjoint slice of matrix rows, so no synchronization is needed.
+  parallel_for("metric.apsp", n_, kRowChunk, [&](std::size_t first, std::size_t last) {
+    for (NodeId t = static_cast<NodeId>(first); t < last; ++t) {
       ShortestPathTree tree = dijkstra(graph_, t);
       for (NodeId u = 0; u < n_; ++u) {
         CR_CHECK(tree.dist[u] < kInfiniteWeight);
@@ -77,8 +63,8 @@ MetricSpace::MetricSpace(const Graph& graph) : graph_(graph), n_(graph.num_nodes
   while (std::ldexp(1.0, num_levels_) < delta_) ++num_levels_;
 
   // Per-node orders by (distance, id), also parallel over rows.
-  parallel_rows(n_, [&](NodeId first, NodeId last) {
-    for (NodeId u = first; u < last; ++u) {
+  parallel_for("metric.order", n_, kRowChunk, [&](std::size_t first, std::size_t last) {
+    for (NodeId u = static_cast<NodeId>(first); u < last; ++u) {
       NodeId* row = order_.data() + index(u, 0);
       for (NodeId v = 0; v < n_; ++v) row[v] = v;
       const Weight* drow = dist_.data() + index(u, 0);

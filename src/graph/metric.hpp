@@ -69,6 +69,14 @@ class MetricSpace {
   /// candidates must be non-empty.
   NodeId nearest_in(NodeId u, std::span<const NodeId> candidates) const;
 
+  /// Bytes held by the three n×n matrices (dist, parent, order) — the
+  /// library's O(n²) memory footprint. Also published to the obs registry at
+  /// construction (counters mem.metric.{dist,parent,order}_bytes).
+  std::size_t memory_bytes() const {
+    return dist_.size() * sizeof(Weight) + parent_.size() * sizeof(NodeId) +
+           order_.size() * sizeof(NodeId);
+  }
+
  private:
   std::size_t index(NodeId row, NodeId col) const {
     return static_cast<std::size_t>(row) * n_ + col;

@@ -2,6 +2,7 @@
 
 #include "core/bits.hpp"
 #include "core/check.hpp"
+#include "core/parallel.hpp"
 #include "obs/metrics.hpp"
 
 namespace compactroute {
@@ -15,14 +16,24 @@ HierarchicalLabeledScheme::HierarchicalLabeledScheme(const MetricSpace& metric,
   const std::size_t n = metric.n();
   const int top = hierarchy.top_level();
   rings_.assign(n, std::vector<std::vector<RingEntry>>(top + 1));
-  for (NodeId u = 0; u < n; ++u) {
-    for (int i = 0; i <= top; ++i) {
-      const Weight reach = level_radius(i) / epsilon_;
-      for (NodeId x : hierarchy.net(i)) {
-        if (metric.dist(u, x) > reach) continue;
-        rings_[u][i].push_back(
-            {x, hierarchy.range(i, x), x == u ? u : metric.next_hop(u, x)});
-      }
+  // Per-node state is independent: build_node_state(u) only reads the metric
+  // and hierarchy and writes rings_[u], so nodes map over the executor.
+  parallel_for("labeled.hier.rings", n, 16,
+               [&](std::size_t first, std::size_t last) {
+                 for (NodeId u = static_cast<NodeId>(first); u < last; ++u) {
+                   build_node_state(u);
+                 }
+               });
+}
+
+void HierarchicalLabeledScheme::build_node_state(NodeId u) {
+  const int top = hierarchy_->top_level();
+  for (int i = 0; i <= top; ++i) {
+    const Weight reach = level_radius(i) / epsilon_;
+    for (NodeId x : hierarchy_->net(i)) {
+      if (metric_->dist(u, x) > reach) continue;
+      rings_[u][i].push_back(
+          {x, hierarchy_->range(i, x), x == u ? u : metric_->next_hop(u, x)});
     }
   }
 }

@@ -6,6 +6,7 @@
 
 #include "core/bits.hpp"
 #include "core/check.hpp"
+#include "core/parallel.hpp"
 #include "graph/dijkstra.hpp"
 #include "obs/metrics.hpp"
 
@@ -34,45 +35,51 @@ ScaleFreeLabeledScheme::ScaleFreeLabeledScheme(const MetricSpace& metric,
 
 void ScaleFreeLabeledScheme::build_rings() {
   const std::size_t n = metric_->n();
-  const int top = hierarchy_->top_level();
 
+  // Per-node ring state (size radii, R(u), the rings themselves) only reads
+  // the metric and hierarchy and writes the u-th slot of each table, so the
+  // whole pass maps over nodes on the parallel executor.
   size_radius_.assign(max_exponent_ + 1, std::vector<Weight>(n, 0));
+  level_set_.assign(n, {});
+  rings_.assign(n, {});
+  parallel_for("labeled.sf.rings", n, 16,
+               [&](std::size_t first, std::size_t last) {
+                 for (NodeId u = static_cast<NodeId>(first); u < last; ++u) {
+                   build_node_rings(u);
+                 }
+               });
+}
+
+void ScaleFreeLabeledScheme::build_node_rings(NodeId u) {
+  const int top = hierarchy_->top_level();
   for (int j = 0; j <= max_exponent_; ++j) {
-    for (NodeId u = 0; u < n; ++u) {
-      size_radius_[j][u] = size_radius(*metric_, u, j);
-    }
+    size_radius_[j][u] = size_radius(*metric_, u, j);
   }
 
   // R(u) = { i : ∃j, (ε/6) r_u(j) <= 2^i <= r_u(j) } — the levels around each
   // density scale of u — plus the top level (guard: line 2 of Algorithm 5
   // must always find a candidate; the top ring holds the hierarchy root).
-  level_set_.assign(n, {});
-  rings_.assign(n, {});
-  for (NodeId u = 0; u < n; ++u) {
-    for (int i = 0; i <= top; ++i) {
-      const Weight radius = level_radius(i);
-      bool in_set = (i == top);
-      for (int j = 1; !in_set && j <= max_exponent_; ++j) {
-        const Weight rj = size_radius_[j][u];
-        if (rj > 0 && (epsilon_ / options_.ring_window) * rj <= radius &&
-            radius <= rj) {
-          in_set = true;
-        }
+  for (int i = 0; i <= top; ++i) {
+    const Weight radius = level_radius(i);
+    bool in_set = (i == top);
+    for (int j = 1; !in_set && j <= max_exponent_; ++j) {
+      const Weight rj = size_radius_[j][u];
+      if (rj > 0 && (epsilon_ / options_.ring_window) * rj <= radius &&
+          radius <= rj) {
+        in_set = true;
       }
-      if (in_set) level_set_[u].push_back(i);
     }
+    if (in_set) level_set_[u].push_back(i);
   }
 
-  for (NodeId u = 0; u < n; ++u) {
-    rings_[u].resize(level_set_[u].size());
-    for (std::size_t k = 0; k < level_set_[u].size(); ++k) {
-      const int i = level_set_[u][k];
-      const Weight reach = level_radius(i) / epsilon_;
-      for (NodeId x : hierarchy_->net(i)) {
-        if (metric_->dist(u, x) > reach) continue;
-        rings_[u][k].push_back(
-            {x, hierarchy_->range(i, x), x == u ? u : metric_->next_hop(u, x)});
-      }
+  rings_[u].resize(level_set_[u].size());
+  for (std::size_t k = 0; k < level_set_[u].size(); ++k) {
+    const int i = level_set_[u][k];
+    const Weight reach = level_radius(i) / epsilon_;
+    for (NodeId x : hierarchy_->net(i)) {
+      if (metric_->dist(u, x) > reach) continue;
+      rings_[u][k].push_back(
+          {x, hierarchy_->range(i, x), x == u ? u : metric_->next_hop(u, x)});
     }
   }
 }
@@ -101,35 +108,48 @@ void ScaleFreeLabeledScheme::build_packings() {
       region_of_[j][u] = b;
     }
 
+    // Region structures (Voronoi tree, compact router, search tree) are
+    // independent per packed ball — each iteration writes only regions_[j][b]
+    // — so they build in parallel. The shared-state accounting (label-bit
+    // max, Lemma 4.3 chain bits) runs serially afterwards: chain bits of
+    // different balls overlap on shared shortest-path nodes.
     regions_[j].resize(packing.balls().size());
+    parallel_for("labeled.sf.regions", packing.balls().size(), 1,
+                 [&](std::size_t first, std::size_t last) {
+      for (std::size_t b = first; b < last; ++b) {
+        Region& region = regions_[j][b];
+        region.center = centers[b];
+        region.tree = std::make_unique<RootedTree>(
+            cells[b], centers[b], [&](NodeId v) { return voronoi.parent[v]; },
+            [&](NodeId v) { return metric_->dist(v, voronoi.parent[v]); });
+        region.router = std::make_unique<CompactTreeRouter>(*region.tree);
+
+        // T'(c, r_c(j)) over the packed ball, holding (global label -> local
+        // label) for cell members within r_c(j+1) (all members at the top).
+        const PackedBall& ball = packing.balls()[b];
+        region.search = std::make_unique<SearchTree>(
+            *metric_, ball.center, ball.radius, epsilon_,
+            options_.capped_search_trees ? SearchTree::Variant::kCappedVoronoi
+                                         : SearchTree::Variant::kBasic);
+        const Weight reach = (j == max_exponent_)
+                                 ? metric_->delta()
+                                 : size_radius_[j + 1][ball.center];
+        std::vector<std::pair<SearchTree::Key, SearchTree::Data>> pairs;
+        for (NodeId v : cells[b]) {
+          if (metric_->dist(ball.center, v) <= reach) {
+            pairs.emplace_back(
+                hierarchy_->leaf_label(v),
+                static_cast<SearchTree::Data>(region.tree->local_id(v)));
+          }
+        }
+        region.search->store(std::move(pairs));
+      }
+    });
+
     for (std::size_t b = 0; b < packing.balls().size(); ++b) {
-      Region& region = regions_[j][b];
-      region.center = centers[b];
-      region.tree = std::make_unique<RootedTree>(
-          cells[b], centers[b], [&](NodeId v) { return voronoi.parent[v]; },
-          [&](NodeId v) { return metric_->dist(v, voronoi.parent[v]); });
-      region.router = std::make_unique<CompactTreeRouter>(*region.tree);
+      const Region& region = regions_[j][b];
       max_region_label_bits_ =
           std::max(max_region_label_bits_, region.router->max_label_bits());
-
-      // T'(c, r_c(j)) over the packed ball, holding (global label -> local
-      // label) for cell members within r_c(j+1) (all members at the top).
-      const PackedBall& ball = packing.balls()[b];
-      region.search = std::make_unique<SearchTree>(
-          *metric_, ball.center, ball.radius, epsilon_,
-          options_.capped_search_trees ? SearchTree::Variant::kCappedVoronoi
-                                       : SearchTree::Variant::kBasic);
-      const Weight reach = (j == max_exponent_)
-                               ? metric_->delta()
-                               : size_radius_[j + 1][ball.center];
-      std::vector<std::pair<SearchTree::Key, SearchTree::Data>> pairs;
-      for (NodeId v : cells[b]) {
-        if (metric_->dist(ball.center, v) <= reach) {
-          pairs.emplace_back(hierarchy_->leaf_label(v),
-                             static_cast<SearchTree::Data>(region.tree->local_id(v)));
-        }
-      }
-      region.search->store(std::move(pairs));
 
       // Lemma 4.3 accounting: net-level virtual edges ride next-hop chains —
       // every node on the canonical shortest path keeps one entry per

@@ -120,6 +120,10 @@ class ScaleFreeLabeledScheme final : public LabeledScheme {
 
  private:
   void build_rings();
+  /// Builds u's complete ring state (size radii, R(u), rings). Writes only
+  /// the u-th slot of each table, so build_rings maps it over nodes on the
+  /// parallel executor.
+  void build_node_rings(NodeId u);
   void build_packings();
 
   const MetricSpace* metric_;

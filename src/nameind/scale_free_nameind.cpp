@@ -5,6 +5,7 @@
 
 #include "core/bits.hpp"
 #include "core/check.hpp"
+#include "core/parallel.hpp"
 #include "obs/metrics.hpp"
 
 namespace compactroute {
@@ -39,26 +40,36 @@ ScaleFreeNameIndependentScheme::ScaleFreeNameIndependentScheme(
   max_exponent_ = max_size_exponent(metric.n());
 
   // Type-1 structures: one search tree per packed ball, holding the pairs of
-  // the 4x-size ball B_c(r_c(j+2)).
+  // the 4x-size ball B_c(r_c(j+2)). The packing itself is sequential greedy;
+  // the per-ball trees are independent and build in parallel into their own
+  // slots.
   packings_.resize(max_exponent_ + 1);
   ball_trees_.resize(max_exponent_ + 1);
   for (int j = 0; j <= max_exponent_; ++j) {
     packings_[j] = std::make_unique<BallPacking>(metric, j);
-    for (const PackedBall& ball : packings_[j]->balls()) {
-      auto tree = std::make_unique<SearchTree>(metric, ball.center, ball.radius,
-                                               epsilon_, SearchTree::Variant::kBasic);
-      const Weight reach = clamped_size_radius(metric, ball.center, j + 2);
-      std::vector<std::pair<SearchTree::Key, SearchTree::Data>> pairs;
-      for (NodeId v : metric.ball(ball.center, reach)) {
-        pairs.emplace_back(naming.name_of(v), underlying.label(v));
+    const std::vector<PackedBall>& balls = packings_[j]->balls();
+    ball_trees_[j].resize(balls.size());
+    parallel_for("nameind.sf.ball_trees", balls.size(), 1,
+                 [&](std::size_t first, std::size_t last) {
+      for (std::size_t b = first; b < last; ++b) {
+        const PackedBall& ball = balls[b];
+        auto tree = std::make_unique<SearchTree>(
+            metric, ball.center, ball.radius, epsilon_,
+            SearchTree::Variant::kBasic);
+        const Weight reach = clamped_size_radius(metric, ball.center, j + 2);
+        std::vector<std::pair<SearchTree::Key, SearchTree::Data>> pairs;
+        for (NodeId v : metric.ball(ball.center, reach)) {
+          pairs.emplace_back(naming.name_of(v), underlying.label(v));
+        }
+        tree->store(std::move(pairs));
+        ball_trees_[j][b] = std::move(tree);
       }
-      tree->store(std::move(pairs));
-      ball_trees_[j].push_back(std::move(tree));
-    }
+    });
   }
 
   // Type-2 structures: per net membership, either an own tree or the H(u, i)
-  // link into the packing hierarchy (minimal j, then minimal d(u, c)).
+  // link into the packing hierarchy (minimal j, then minimal d(u, c)). Each
+  // membership writes only its own slot, so net points map in parallel.
   const int top = hierarchy.top_level();
   memberships_.resize(top + 1);
   for (int i = 0; i <= top; ++i) {
@@ -66,37 +77,41 @@ ScaleFreeNameIndependentScheme::ScaleFreeNameIndependentScheme(
     memberships_[i].resize(net.size());
     const Weight own_radius = level_radius(i) / epsilon_;
     const Weight outer_radius = level_radius(i) * (1 / epsilon_ + 1);
-    for (std::size_t k = 0; k < net.size(); ++k) {
-      const NodeId u = net[k];
-      Membership& info = memberships_[i][k];
-      for (int j = 0;
-           options.subsume_with_packings && j <= max_exponent_ && info.h_ball < 0;
-           ++j) {
-        Weight best_dist = 0;
-        for (std::size_t b = 0; b < packings_[j]->balls().size(); ++b) {
-          const PackedBall& ball = packings_[j]->balls()[b];
-          const Weight duc = metric.dist(u, ball.center);
-          const bool ball_inside = duc + ball.radius <= outer_radius;
-          const bool we_are_covered =
-              duc + own_radius <= clamped_size_radius(metric, ball.center, j + 2);
-          if (!ball_inside || !we_are_covered) continue;
-          if (info.h_ball < 0 || duc < best_dist) {
-            info.h_exponent = j;
-            info.h_ball = static_cast<int>(b);
-            best_dist = duc;
+    parallel_for("nameind.sf.memberships", net.size(), 4,
+                 [&](std::size_t first, std::size_t last) {
+      for (std::size_t k = first; k < last; ++k) {
+        const NodeId u = net[k];
+        Membership& info = memberships_[i][k];
+        for (int j = 0; options.subsume_with_packings && j <= max_exponent_ &&
+                        info.h_ball < 0;
+             ++j) {
+          Weight best_dist = 0;
+          for (std::size_t b = 0; b < packings_[j]->balls().size(); ++b) {
+            const PackedBall& ball = packings_[j]->balls()[b];
+            const Weight duc = metric.dist(u, ball.center);
+            const bool ball_inside = duc + ball.radius <= outer_radius;
+            const bool we_are_covered =
+                duc + own_radius <=
+                clamped_size_radius(metric, ball.center, j + 2);
+            if (!ball_inside || !we_are_covered) continue;
+            if (info.h_ball < 0 || duc < best_dist) {
+              info.h_exponent = j;
+              info.h_ball = static_cast<int>(b);
+              best_dist = duc;
+            }
           }
         }
-      }
-      if (info.h_ball < 0) {
-        info.own_tree = std::make_unique<SearchTree>(metric, u, own_radius, epsilon_,
-                                                     SearchTree::Variant::kBasic);
-        std::vector<std::pair<SearchTree::Key, SearchTree::Data>> pairs;
-        for (NodeId v : metric.ball(u, own_radius)) {
-          pairs.emplace_back(naming.name_of(v), underlying.label(v));
+        if (info.h_ball < 0) {
+          info.own_tree = std::make_unique<SearchTree>(
+              metric, u, own_radius, epsilon_, SearchTree::Variant::kBasic);
+          std::vector<std::pair<SearchTree::Key, SearchTree::Data>> pairs;
+          for (NodeId v : metric.ball(u, own_radius)) {
+            pairs.emplace_back(naming.name_of(v), underlying.label(v));
+          }
+          info.own_tree->store(std::move(pairs));
         }
-        info.own_tree->store(std::move(pairs));
       }
-    }
+    });
   }
 }
 

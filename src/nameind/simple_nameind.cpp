@@ -4,6 +4,7 @@
 
 #include "core/bits.hpp"
 #include "core/check.hpp"
+#include "core/parallel.hpp"
 #include "obs/metrics.hpp"
 
 namespace compactroute {
@@ -22,19 +23,30 @@ SimpleNameIndependentScheme::SimpleNameIndependentScheme(
   trees_.resize(top + 1);
   for (int i = 0; i <= top; ++i) {
     const std::vector<NodeId>& net = hierarchy.net(i);
-    trees_[i].reserve(net.size());
-    const Weight radius = level_radius(i) / epsilon_;
-    for (NodeId u : net) {
-      auto tree = std::make_unique<SearchTree>(metric, u, radius, epsilon_,
-                                               SearchTree::Variant::kBasic);
-      std::vector<std::pair<SearchTree::Key, SearchTree::Data>> pairs;
-      for (NodeId v : metric.ball(u, radius)) {
-        pairs.emplace_back(naming.name_of(v), underlying.label(v));
-      }
-      tree->store(std::move(pairs));
-      trees_[i].push_back(std::move(tree));
-    }
+    // Each net point's search tree T(u, 2^i/ε) is built independently from
+    // const inputs (metric, naming, underlying labels) into its own slot, so
+    // the per-level loop maps over net points on the parallel executor.
+    trees_[i].resize(net.size());
+    parallel_for("nameind.simple.trees", net.size(), 1,
+                 [&](std::size_t first, std::size_t last) {
+                   for (std::size_t k = first; k < last; ++k) {
+                     trees_[i][k] = build_node_tree(i, net[k]);
+                   }
+                 });
   }
+}
+
+std::unique_ptr<SearchTree> SimpleNameIndependentScheme::build_node_tree(
+    int level, NodeId u) const {
+  const Weight radius = level_radius(level) / epsilon_;
+  auto tree = std::make_unique<SearchTree>(*metric_, u, radius, epsilon_,
+                                           SearchTree::Variant::kBasic);
+  std::vector<std::pair<SearchTree::Key, SearchTree::Data>> pairs;
+  for (NodeId v : metric_->ball(u, radius)) {
+    pairs.emplace_back(naming_->name_of(v), underlying_->label(v));
+  }
+  tree->store(std::move(pairs));
+  return tree;
 }
 
 const SearchTree& SimpleNameIndependentScheme::level_tree(int level,

@@ -62,6 +62,11 @@ class SimpleNameIndependentScheme final : public NameIndependentScheme {
   const Naming& naming() const { return *naming_; }
 
  private:
+  /// Builds the search tree T(u, 2^level/ε) for one net point from const
+  /// inputs only, so the constructor maps it over net points on the parallel
+  /// executor.
+  std::unique_ptr<SearchTree> build_node_tree(int level, NodeId u) const;
+
   /// Appends `underlying.route(from, label(to))`'s walk (sans its first
   /// node) to path; returns the node reached (== to).
   NodeId ride_underlying(Path& path, NodeId from, NodeId to) const;

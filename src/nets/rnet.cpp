@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "core/check.hpp"
+#include "core/parallel.hpp"
 #include "obs/metrics.hpp"
 
 namespace compactroute {
@@ -67,15 +68,24 @@ void NetHierarchy::build_zoom() {
   for (NodeId u = 0; u < n; ++u) zoom_[0][u] = u;
   for (int level = 1; level <= top_level_; ++level) {
     // Netting-tree parents: nearest point of Y_level to each point of
-    // Y_{level-1} (least-id tie-break via nearest_in).
-    for (NodeId x : nets_[level - 1]) {
-      parent_[level - 1][x] = metric_->nearest_in(x, nets_[level]);
-    }
+    // Y_{level-1} (least-id tie-break via nearest_in). Each net point's
+    // parent is independent of the others, so the assignment maps over the
+    // net in parallel; results depend only on the metric, never on workers.
+    const std::vector<NodeId>& members = nets_[level - 1];
+    parallel_for("nets.parents", members.size(), 16,
+                 [&](std::size_t first, std::size_t last) {
+                   for (std::size_t k = first; k < last; ++k) {
+                     parent_[level - 1][members[k]] =
+                         metric_->nearest_in(members[k], nets_[level]);
+                   }
+                 });
     // Zooming sequences follow the netting-tree parent chain: u(level) is the
     // parent of u(level-1), which lies in Y_{level-1}.
-    for (NodeId u = 0; u < n; ++u) {
-      zoom_[level][u] = parent_[level - 1][zoom_[level - 1][u]];
-    }
+    parallel_for("nets.zoom", n, 64, [&](std::size_t first, std::size_t last) {
+      for (NodeId u = static_cast<NodeId>(first); u < last; ++u) {
+        zoom_[level][u] = parent_[level - 1][zoom_[level - 1][u]];
+      }
+    });
   }
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/check.hpp"
+#include "core/parallel.hpp"
 
 namespace compactroute {
 
@@ -33,14 +34,28 @@ void StretchStats::merge(const StretchStats& other) {
   histogram.merge(other.histogram);
 }
 
+namespace {
+
+/// Samples per parallel work chunk. Each chunk owns a Prng stream split
+/// deterministically from the caller's seed and a private StretchStats, so
+/// the sampled pair sequence and the merged statistics depend only on
+/// (seed, samples) — never on the worker count.
+constexpr std::size_t kSamplesPerChunk = 256;
+
+/// Source rows per chunk in exhaustive mode.
+constexpr std::size_t kRowsPerChunk = 4;
+
+}  // namespace
+
 StretchStats evaluate_pairs(
     const MetricSpace& metric, std::size_t samples, Prng& prng,
     const std::function<RouteResult(NodeId src, NodeId dst)>& route) {
   const std::size_t n = metric.n();
   const std::size_t all = n * (n - 1);
-  StretchStats stats;
 
-  const auto run_one = [&](NodeId src, NodeId dst) {
+  // Routes one pair into a chunk-local accumulator. `route` must be
+  // thread-safe (scheme route() implementations are pure const walks).
+  const auto run_one = [&](NodeId src, NodeId dst, StretchStats& stats) {
     CR_OBS_COUNT("simulator.routes");
     const RouteResult result = route(src, dst);
     if (!result.delivered || result.path.empty()) {
@@ -68,20 +83,47 @@ StretchStats evaluate_pairs(
     stats.record(cost / optimal);
   };
 
+  // Per-chunk partial statistics, merged in chunk order below — the merge
+  // sequence is part of the determinism contract (float sums are ordered).
+  std::vector<StretchStats> parts;
+
   if (samples == 0 || samples >= all) {
-    for (NodeId src = 0; src < n; ++src) {
-      for (NodeId dst = 0; dst < n; ++dst) {
-        if (src != dst) run_one(src, dst);
-      }
-    }
+    parts.resize(n);
+    parallel_for("simulator.eval", n, kRowsPerChunk,
+                 [&](std::size_t first, std::size_t last) {
+                   for (NodeId src = static_cast<NodeId>(first); src < last;
+                        ++src) {
+                     for (NodeId dst = 0; dst < n; ++dst) {
+                       if (src != dst) run_one(src, dst, parts[src]);
+                     }
+                   }
+                 });
   } else {
-    for (std::size_t s = 0; s < samples; ++s) {
-      const NodeId src = static_cast<NodeId>(prng.next_below(n));
-      NodeId dst = static_cast<NodeId>(prng.next_below(n - 1));
-      if (dst >= src) ++dst;
-      run_one(src, dst);
-    }
+    // One draw from the caller's generator roots the split streams; the
+    // caller's Prng advances by exactly one step regardless of `samples`.
+    const std::uint64_t base = prng.next_u64();
+    const std::size_t chunks =
+        (samples + kSamplesPerChunk - 1) / kSamplesPerChunk;
+    parts.resize(chunks);
+    parallel_for("simulator.eval", chunks, 1,
+                 [&](std::size_t first, std::size_t last) {
+                   for (std::size_t c = first; c < last; ++c) {
+                     Prng local = Prng::split(base, c);
+                     const std::size_t count = std::min(
+                         kSamplesPerChunk, samples - c * kSamplesPerChunk);
+                     for (std::size_t s = 0; s < count; ++s) {
+                       const NodeId src =
+                           static_cast<NodeId>(local.next_below(n));
+                       NodeId dst = static_cast<NodeId>(local.next_below(n - 1));
+                       if (dst >= src) ++dst;
+                       run_one(src, dst, parts[c]);
+                     }
+                   }
+                 });
   }
+
+  StretchStats stats;
+  for (const StretchStats& part : parts) stats.merge(part);
   return stats;
 }
 

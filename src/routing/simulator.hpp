@@ -65,6 +65,15 @@ StretchStats evaluate_name_independent(const NameIndependentScheme& scheme,
                                        std::size_t samples, Prng& prng);
 
 /// Shared driver: calls route(src, dst) for each sampled pair.
+///
+/// Evaluation runs on the parallel executor, so `route` must be thread-safe
+/// (scheme route() methods are const walks over immutable tables and
+/// qualify; ad-hoc callbacks must not mutate shared state without atomics).
+/// Sampling is deterministic for any CR_THREADS value: pairs are drawn in
+/// fixed 256-sample chunks, each from its own Prng stream split off one
+/// next_u64() draw of the caller's generator, and per-chunk statistics are
+/// merged in chunk order — so the returned StretchStats (including float
+/// sums) is bit-identical regardless of worker count.
 StretchStats evaluate_pairs(
     const MetricSpace& metric, std::size_t samples, Prng& prng,
     const std::function<RouteResult(NodeId src, NodeId dst)>& route);

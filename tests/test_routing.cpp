@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+
 #include "core/prng.hpp"
 #include "gen/generators.hpp"
 #include "graph/metric.hpp"
@@ -33,7 +35,7 @@ TEST(Simulator, PathCostSumsMetricDistances) {
 TEST(Simulator, ExhaustiveModeCoversAllOrderedPairs) {
   const MetricSpace metric(make_cycle(8));
   Prng prng(1);
-  std::size_t calls = 0;
+  std::atomic<std::size_t> calls{0};  // route callbacks may run concurrently
   const StretchStats stats = evaluate_pairs(
       metric, 0, prng, [&](NodeId src, NodeId dst) {
         ++calls;
@@ -50,7 +52,7 @@ TEST(Simulator, ExhaustiveModeCoversAllOrderedPairs) {
 TEST(Simulator, SampledModeUsesRequestedCount) {
   const MetricSpace metric(make_grid(5, 5));
   Prng prng(2);
-  std::size_t calls = 0;
+  std::atomic<std::size_t> calls{0};  // route callbacks may run concurrently
   evaluate_pairs(metric, 37, prng, [&](NodeId src, NodeId dst) {
     ++calls;
     EXPECT_NE(src, dst);

@@ -12,6 +12,9 @@
 //   clusters LEVELS FANOUT SPREAD SEED | cliques NUM SIZE BRIDGE |
 //   tree N MAXW SEED | lbtree EPS N
 //
+// A global `--threads N` option (equivalent to CR_THREADS=N) pins the
+// executor's worker count; it may appear anywhere on the command line.
+//
 // Exit codes: 0 success, 1 runtime error, 2 usage error (unknown command or
 // family, malformed or out-of-range argument).
 //
@@ -21,6 +24,7 @@
 #include <vector>
 
 #include "core/bits.hpp"
+#include "core/parallel.hpp"
 #include "core/prng.hpp"
 #include "gen/generators.hpp"
 #include "gen/lower_bound_tree.hpp"
@@ -53,6 +57,10 @@ namespace {
                "  crtool route <graph> <src> <dst> [eps]\n"
                "  crtool eval <graph> [samples] [eps]\n"
                "  crtool trace <graph> <src> <dst> [eps] [out.json]\n"
+               "\n"
+               "global options (anywhere on the command line):\n"
+               "  --threads N     worker count for parallel construction and\n"
+               "                  evaluation (N >= 1; same as CR_THREADS=N)\n"
                "\n"
                "gen families: grid W H | torus W H | geometric N DIM K SEED |\n"
                "  spider ARMS LEN | clusters LEVELS FANOUT SPREAD SEED |\n"
@@ -250,8 +258,8 @@ int cmd_trace(const std::vector<std::string>& args) {
   const NodeId src = parse_node(args[1], stack.metric, "src");
   const NodeId dst = parse_node(args[2], stack.metric, "dst");
   const Weight optimal = stack.metric.dist(src, dst);
-  std::printf("trace %u -> %u   d = %.6g   (eps = %.3f)\n\n", src, dst, optimal,
-              eps);
+  std::printf("trace %u -> %u   d = %.6g   (eps = %.3f, workers = %zu)\n\n", src,
+              dst, optimal, eps, Executor::global().workers());
 
   const HierarchicalHopScheme hop_hier(stack.hier);
   const ScaleFreeHopScheme hop_sf(stack.sf);
@@ -296,6 +304,8 @@ int cmd_eval(const std::vector<std::string>& args) {
   Stack stack(load_graph(args[0]), eps);
   Prng prng(7);
 
+  std::printf("eval: %zu samples, eps = %.3f, workers = %zu\n\n", samples, eps,
+              Executor::global().workers());
   std::printf("%-26s %9s %9s %9s %12s %12s %8s\n", "scheme", "stretch",
               "avg-str", "p95-str", "max-bits", "avg-bits", "hdr-bits");
   const auto storage = [&](auto& s) {
@@ -322,6 +332,28 @@ int cmd_eval(const std::vector<std::string>& args) {
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
+
+  // Strip the global --threads option wherever it appears; it overrides the
+  // CR_THREADS environment variable for this process.
+  for (std::size_t i = 0; i < args.size();) {
+    if (args[i] == "--threads") {
+      if (i + 1 >= args.size()) {
+        std::fprintf(stderr, "--threads requires a value\n\n");
+        usage();
+      }
+      const std::uint64_t v = parse_u64(args[i + 1], "--threads value");
+      if (v == 0) {
+        std::fprintf(stderr, "--threads value must be >= 1\n\n");
+        usage();
+      }
+      Executor::global().set_workers(static_cast<std::size_t>(v));
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+    } else {
+      ++i;
+    }
+  }
+
   if (args.empty()) usage();
   const std::string command = args[0];
   args.erase(args.begin());
