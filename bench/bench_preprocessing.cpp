@@ -10,12 +10,18 @@
 // ctors), so this bench only resets the registry per instance and reads the
 // accumulated spans back — no ad-hoc chrono. Under CR_OBS_DISABLED the
 // timers read 0 and only the structure counts remain meaningful.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <limits>
+#include <queue>
+#include <tuple>
 
 #include "bench_util.hpp"
 #include "codec/packed_router.hpp"
+#include "core/check.hpp"
 #include "core/parallel.hpp"
+#include "graph/dijkstra.hpp"
 #include "obs/metrics.hpp"
 
 using namespace compactroute;
@@ -44,6 +50,63 @@ double build_stack_ms(const Graph& graph, double eps) {
   return std::chrono::duration<double, std::milli>(
              std::chrono::steady_clock::now() - start)
       .count();
+}
+
+double elapsed_ms(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// ---------------------------------------------------------------------------
+// Flat-heap reference: the pre-refactor Dijkstra (std::priority_queue over
+// Graph adjacency with stale-entry lazy deletion), kept here verbatim as the
+// timing baseline for the rewritten hot path (CSR + preallocated 4-ary heap
+// with decrease-key). Correctness of the rewrite is proven elsewhere
+// (test_graph, test_metric_backend); this copy only anchors the speedup row.
+// ---------------------------------------------------------------------------
+
+struct RefQueueEntry {
+  Weight dist;
+  NodeId owner;
+  NodeId node;
+  bool operator>(const RefQueueEntry& o) const {
+    return std::tie(dist, owner, node) > std::tie(o.dist, o.owner, o.node);
+  }
+};
+
+bool ref_improves(Weight d2, NodeId o2, NodeId p2, Weight d, NodeId o, NodeId p) {
+  if (d2 != d) return d2 < d;
+  if (o2 != o) return o2 < o;
+  return p2 < p;
+}
+
+void reference_dijkstra(const Graph& graph, NodeId source,
+                        std::vector<Weight>& dist, std::vector<NodeId>& parent) {
+  const std::size_t n = graph.num_nodes();
+  dist.assign(n, kInfiniteWeight);
+  std::vector<NodeId> owner(n, kInvalidNode);
+  parent.assign(n, kInvalidNode);
+  std::priority_queue<RefQueueEntry, std::vector<RefQueueEntry>, std::greater<>>
+      queue;
+  dist[source] = 0;
+  owner[source] = source;
+  queue.push({0, source, source});
+  while (!queue.empty()) {
+    const RefQueueEntry top = queue.top();
+    queue.pop();
+    if (top.dist != dist[top.node] || top.owner != owner[top.node]) continue;
+    for (const HalfEdge& half : graph.neighbors(top.node)) {
+      const Weight d2 = top.dist + half.weight;
+      if (ref_improves(d2, top.owner, top.node, dist[half.to], owner[half.to],
+                       parent[half.to])) {
+        dist[half.to] = d2;
+        owner[half.to] = top.owner;
+        parent[half.to] = top.node;
+        queue.push({d2, top.owner, half.to});
+      }
+    }
+  }
 }
 
 }  // namespace
@@ -138,6 +201,114 @@ int main() {
     std::printf("  speedup(1 -> 4 workers) = %.2fx\n", speedup);
     sweep["speedup_1_to_4"] = speedup;
     doc["thread_sweep"] = std::move(sweep);
+  }
+
+  // Dense vs lazy metric backend: peak metric memory (matrices vs CSR + row
+  // cache) and construction wall time on growing geometric graphs. The lazy
+  // backend's whole point is the memory column: O(n²) vs O(cache).
+  {
+    const std::size_t cache_mb = 4;
+    std::printf("\ndense vs lazy metric backend (cache = %zu MiB):\n", cache_mb);
+    std::printf("%6s | %12s %12s %9s | %9s %9s\n", "n", "dense-mem", "lazy-mem",
+                "ratio", "dense-ms", "lazy-ms");
+    print_rule(70);
+    obs::JsonValue section = obs::JsonValue::array();
+    for (const std::size_t n : {512u, 1024u, 2048u}) {
+      const Graph graph = make_random_geometric(n, 2, 5, 9000 + n);
+      const auto d0 = std::chrono::steady_clock::now();
+      std::size_t dense_bytes = 0;
+      {
+        const MetricSpace dense(graph);
+        dense_bytes = dense.memory_bytes() + dense.csr().memory_bytes();
+      }
+      const double dense_ms = elapsed_ms(d0);
+      const auto l0 = std::chrono::steady_clock::now();
+      const MetricOptions lazy_opts{.backend = MetricBackendKind::kLazy,
+                                    .cache_bytes = cache_mb << 20};
+      const MetricSpace lazy(graph, lazy_opts);
+      const double lazy_ms = elapsed_ms(l0);
+      const std::size_t lazy_bytes = lazy.memory_bytes() + lazy.csr().memory_bytes();
+      const double ratio =
+          lazy_bytes > 0 ? static_cast<double>(dense_bytes) / lazy_bytes : 0;
+      std::printf("%6zu | %12zu %12zu %8.1fx | %9.1f %9.1f\n", n, dense_bytes,
+                  lazy_bytes, ratio, dense_ms, lazy_ms);
+      obs::JsonValue entry = obs::JsonValue::object();
+      entry["n"] = n;
+      entry["cache_mb"] = cache_mb;
+      entry["dense_bytes"] = dense_bytes;
+      entry["lazy_bytes"] = lazy_bytes;
+      entry["mem_ratio"] = ratio;
+      entry["dense_ms"] = dense_ms;
+      entry["lazy_ms"] = lazy_ms;
+      section.push_back(std::move(entry));
+    }
+    doc["dense_vs_lazy"] = std::move(section);
+  }
+
+  // Flat-heap Dijkstra vs the pre-refactor priority_queue implementation:
+  // full APSP (one run per root) on one thread, so the ratio isolates the
+  // hot-path rewrite (CSR scan + preallocated flat binary heap vs
+  // adjacency-list scan + std::priority_queue with per-call allocation).
+  // Two families: random weights (few ties — both heaps see the same
+  // frontier) and a unit-weight grid (tie-heavy — the worst case for heap
+  // duplicate churn). Best-of-3 passes per contender: a full APSP sweep is
+  // ~100 ms, small enough for scheduler noise to swing a single pass ±10%.
+  {
+    std::printf("\nflat-heap Dijkstra vs priority_queue reference "
+                "(APSP, 1 thread, best of 3):\n");
+    constexpr int kPasses = 3;
+    std::vector<std::pair<std::string, Graph>> families;
+    families.emplace_back("geometric-1024",
+                          make_random_geometric(1024, 2, 5, 9000 + 1024));
+    families.emplace_back("grid-32x32", make_grid(32, 32));
+    obs::JsonValue section = obs::JsonValue::array();
+    for (const auto& [name, graph] : families) {
+      const std::size_t n = graph.num_nodes();
+      const CsrGraph csr(graph);
+      std::vector<Weight> ref_dist;
+      std::vector<NodeId> ref_parent;
+      DijkstraWorkspace ws;
+
+      double ref_ms = std::numeric_limits<double>::infinity();
+      double ref_checksum = 0;
+      for (int pass = 0; pass < kPasses; ++pass) {
+        const auto r0 = std::chrono::steady_clock::now();
+        ref_checksum = 0;
+        for (NodeId s = 0; s < n; ++s) {
+          reference_dijkstra(graph, s, ref_dist, ref_parent);
+          ref_checksum += ref_dist[n - 1 - s];
+        }
+        ref_ms = std::min(ref_ms, elapsed_ms(r0));
+      }
+
+      double flat_ms = std::numeric_limits<double>::infinity();
+      double flat_checksum = 0;
+      for (int pass = 0; pass < kPasses; ++pass) {
+        const auto f0 = std::chrono::steady_clock::now();
+        flat_checksum = 0;
+        for (NodeId s = 0; s < n; ++s) {
+          const NodeId sources[] = {s};
+          dijkstra_into(csr, sources, ws);
+          flat_checksum += ws.dist()[n - 1 - s];
+        }
+        flat_ms = std::min(flat_ms, elapsed_ms(f0));
+      }
+      CR_CHECK_MSG(ref_checksum == flat_checksum,
+                   "flat-heap Dijkstra diverged from the reference");
+
+      const double speedup = flat_ms > 0 ? ref_ms / flat_ms : 0;
+      std::printf("  %-16s reference %9.1f ms   flat-heap %9.1f ms   "
+                  "speedup %.2fx\n",
+                  name.c_str(), ref_ms, flat_ms, speedup);
+      obs::JsonValue fh = obs::JsonValue::object();
+      fh["family"] = name;
+      fh["n"] = n;
+      fh["reference_ms"] = ref_ms;
+      fh["flat_heap_ms"] = flat_ms;
+      fh["flat_heap_speedup"] = speedup;
+      section.push_back(std::move(fh));
+    }
+    doc["flat_heap"] = std::move(section);
   }
 
   std::printf("\nAll preprocessing is polynomial and runs offline; routing "

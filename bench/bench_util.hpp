@@ -33,11 +33,12 @@ namespace compactroute::bench {
 /// reports the deltas accumulated since — i.e. this Stack's own construction
 /// cost, per phase, regardless of what ran before it in the process.
 struct Stack {
-  Stack(Graph g, double eps, std::uint64_t naming_seed = 4242)
+  Stack(Graph g, double eps, std::uint64_t naming_seed = 4242,
+        MetricOptions metric_options = {})
       : phase_snapshot_(snapshot_preprocess_timers()),  // before metric(graph)
         graph(std::move(g)),
         epsilon(eps),
-        metric(graph),
+        metric(graph, metric_options),
         hierarchy(metric),
         naming(Naming::random(metric.n(), naming_seed)) {}
 

@@ -1,0 +1,32 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace compactroute {
+
+CsrGraph::CsrGraph(const Graph& graph) {
+  const std::size_t n = graph.num_nodes();
+  offsets_.assign(n + 1, 0);
+  for (NodeId u = 0; u < n; ++u) offsets_[u + 1] = offsets_[u] + graph.degree(u);
+  targets_.resize(offsets_[n]);
+  weights_.resize(offsets_[n]);
+
+  // Graph::add_edge keeps adjacency in insertion order; sort each row by
+  // target id so the CSR layout is a canonical function of the edge set.
+  std::vector<HalfEdge> row;
+  for (NodeId u = 0; u < n; ++u) {
+    row.assign(graph.neighbors(u).begin(), graph.neighbors(u).end());
+    std::sort(row.begin(), row.end(),
+              [](const HalfEdge& a, const HalfEdge& b) { return a.to < b.to; });
+    std::size_t k = offsets_[u];
+    for (const HalfEdge& half : row) {
+      targets_[k] = half.to;
+      weights_[k] = half.weight;
+      min_edge_weight_ = std::min(min_edge_weight_, half.weight);
+      ++k;
+    }
+  }
+}
+
+}  // namespace compactroute

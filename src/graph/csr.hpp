@@ -1,0 +1,62 @@
+#pragma once
+//
+// Compressed-sparse-row view of a Graph: the adjacency of node u lives in
+// targets_[offsets_[u] .. offsets_[u+1]) / weights_[...], sorted by target id.
+// Dijkstra's hot loop scans these flat arrays instead of chasing the
+// vector-of-vectors adjacency, which is both faster (one contiguous stream
+// per node) and cheaper (no per-node vector headers). The view is immutable;
+// rebuild it if the graph changes.
+//
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+#include "graph/graph.hpp"
+
+namespace compactroute {
+
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+  explicit CsrGraph(const Graph& graph);
+
+  std::size_t num_nodes() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+
+  /// Number of directed arcs (twice the undirected edge count).
+  std::size_t num_arcs() const { return targets_.size(); }
+
+  /// Out-neighbor ids of u, ascending.
+  std::span<const NodeId> arc_targets(NodeId u) const {
+    return {targets_.data() + offsets_[u], offsets_[u + 1] - offsets_[u]};
+  }
+
+  /// Weights parallel to arc_targets(u).
+  std::span<const Weight> arc_weights(NodeId u) const {
+    return {weights_.data() + offsets_[u], offsets_[u + 1] - offsets_[u]};
+  }
+
+  std::size_t degree(NodeId u) const { return offsets_[u + 1] - offsets_[u]; }
+
+  /// Smallest edge weight in the graph; kInfiniteWeight for an edgeless
+  /// graph. For a connected graph this equals the minimum pairwise
+  /// shortest-path distance: any path weighs at least one edge, and the
+  /// lightest edge's endpoints realize exactly that weight.
+  Weight min_edge_weight() const { return min_edge_weight_; }
+
+  std::size_t memory_bytes() const {
+    return offsets_.size() * sizeof(std::size_t) +
+           targets_.size() * sizeof(NodeId) + weights_.size() * sizeof(Weight);
+  }
+
+ private:
+  std::vector<std::size_t> offsets_;  // n + 1 entries
+  std::vector<NodeId> targets_;
+  std::vector<Weight> weights_;
+  Weight min_edge_weight_ = kInfiniteWeight;
+};
+
+}  // namespace compactroute

@@ -1,118 +1,54 @@
 #include "graph/metric.hpp"
 
-#include <algorithm>
 #include <cmath>
 
 #include "core/check.hpp"
-#include "core/parallel.hpp"
-#include "graph/dijkstra.hpp"
 #include "obs/metrics.hpp"
 
 namespace compactroute {
 
-namespace {
-
-// Rows per chunk for the parallel loops below: small enough to balance load
-// across workers, large enough that chunk bookkeeping is negligible.
-constexpr std::size_t kRowChunk = 8;
-
-}  // namespace
-
-MetricSpace::MetricSpace(const Graph& graph) : graph_(graph), n_(graph.num_nodes()) {
+MetricSpace::MetricSpace(const Graph& graph, MetricOptions options)
+    : graph_(graph),
+      n_(graph.num_nodes()),
+      csr_(std::make_unique<CsrGraph>(graph_)) {
   CR_OBS_SCOPED_TIMER("preprocess.metric");
   CR_CHECK_MSG(n_ >= 2, "metric needs at least two nodes");
   CR_CHECK_MSG(graph.is_connected(), "metric requires a connected graph");
+  CR_OBS_ADD("mem.metric.csr_bytes", csr_->memory_bytes());
 
-  dist_.resize(n_ * n_);
-  parent_.resize(n_ * n_);
-  order_.resize(n_ * n_);
-  CR_OBS_ADD("mem.metric.dist_bytes", dist_.size() * sizeof(Weight));
-  CR_OBS_ADD("mem.metric.parent_bytes", parent_.size() * sizeof(NodeId));
-  CR_OBS_ADD("mem.metric.order_bytes", order_.size() * sizeof(NodeId));
-
-  // All-pairs shortest paths: one Dijkstra per root; each chunk owns a
-  // disjoint slice of matrix rows, so no synchronization is needed.
-  parallel_for("metric.apsp", n_, kRowChunk, [&](std::size_t first, std::size_t last) {
-    for (NodeId t = static_cast<NodeId>(first); t < last; ++t) {
-      ShortestPathTree tree = dijkstra(graph_, t);
-      for (NodeId u = 0; u < n_; ++u) {
-        CR_CHECK(tree.dist[u] < kInfiniteWeight);
-        dist_[index(t, u)] = tree.dist[u];
-        parent_[index(t, u)] = tree.parent[u];
-      }
-    }
-  });
-
-  Weight min_dist = kInfiniteWeight;
-  Weight max_dist = 0;
-  for (NodeId t = 0; t < n_; ++t) {
-    for (NodeId u = 0; u < n_; ++u) {
-      if (u == t) continue;
-      min_dist = std::min(min_dist, dist_[index(t, u)]);
-      max_dist = std::max(max_dist, dist_[index(t, u)]);
-    }
+  if (options.backend == MetricBackendKind::kDense) {
+    backend_ = make_dense_backend(*csr_);
+    dense_dist_ = backend_->dense_dist_data();
+    dense_parent_ = backend_->dense_parent_data();
+  } else {
+    backend_ = make_lazy_backend(*csr_, options.cache_bytes);
   }
-  CR_CHECK(min_dist > 0);
-
-  // Normalize so the minimum pairwise distance is 1 (paper, Section 2).
-  scale_ = min_dist;
-  for (Weight& d : dist_) d /= scale_;
-  delta_ = max_dist / scale_;
+  scale_ = backend_->scale();
+  delta_ = backend_->delta();
 
   num_levels_ = 0;
   while (std::ldexp(1.0, num_levels_) < delta_) ++num_levels_;
+}
 
-  // Per-node orders by (distance, id), also parallel over rows.
-  parallel_for("metric.order", n_, kRowChunk, [&](std::size_t first, std::size_t last) {
-    for (NodeId u = static_cast<NodeId>(first); u < last; ++u) {
-      NodeId* row = order_.data() + index(u, 0);
-      for (NodeId v = 0; v < n_; ++v) row[v] = v;
-      const Weight* drow = dist_.data() + index(u, 0);
-      std::sort(row, row + n_, [&](NodeId a, NodeId b) {
-        if (drow[a] != drow[b]) return drow[a] < drow[b];
-        return a < b;
-      });
-    }
-  });
+OrderView MetricSpace::sorted_by_distance(NodeId u) const {
+  const MetricRowView row = backend_->row(u);
+  return OrderView(row.order(), row.pin());
 }
 
 Weight MetricSpace::radius_of_count(NodeId u, std::size_t m) const {
   CR_CHECK(m >= 1);
-  if (m > n_) m = n_;
-  return dist(u, order_[index(u, 0) + (m - 1)]);
-}
-
-std::vector<NodeId> MetricSpace::ball(NodeId u, Weight r) const {
-  std::vector<NodeId> result;
-  const NodeId* row = order_.data() + index(u, 0);
-  for (std::size_t k = 0; k < n_; ++k) {
-    if (dist(u, row[k]) > r) break;
-    result.push_back(row[k]);
-  }
-  return result;
-}
-
-std::size_t MetricSpace::ball_size(NodeId u, Weight r) const {
-  // Binary search over the sorted order: count of nodes with d(u, .) <= r.
-  const NodeId* row = order_.data() + index(u, 0);
-  std::size_t lo = 0, hi = n_;
-  while (lo < hi) {
-    const std::size_t mid = (lo + hi) / 2;
-    if (dist(u, row[mid]) <= r) {
-      lo = mid + 1;
-    } else {
-      hi = mid;
-    }
-  }
-  return lo;
+  return backend_->radius_of_count(u, m);
 }
 
 Path MetricSpace::shortest_path(NodeId u, NodeId v) const {
   Path path;
+  path.push_back(u);
+  if (u == v) return path;
+  // One row fetch: v's row holds the next hop of every node toward v.
+  const MetricRowView row = backend_->row(v);
   NodeId cur = u;
-  path.push_back(cur);
   while (cur != v) {
-    cur = next_hop(cur, v);
+    cur = row.parent(cur);
     CR_CHECK(cur != kInvalidNode);
     path.push_back(cur);
     CR_CHECK_MSG(path.size() <= n_, "next-hop cycle detected");
@@ -122,11 +58,15 @@ Path MetricSpace::shortest_path(NodeId u, NodeId v) const {
 
 NodeId MetricSpace::nearest_in(NodeId u, std::span<const NodeId> candidates) const {
   CR_CHECK(!candidates.empty());
+  const MetricRowView row = backend_->row(u);
   NodeId best = candidates[0];
+  Weight best_dist = row.dist(best);
   for (NodeId c : candidates.subspan(1)) {
-    const Weight dc = dist(u, c);
-    const Weight db = dist(u, best);
-    if (dc < db || (dc == db && c < best)) best = c;
+    const Weight dc = row.dist(c);
+    if (dc < best_dist || (dc == best_dist && c < best)) {
+      best = c;
+      best_dist = dc;
+    }
   }
   return best;
 }

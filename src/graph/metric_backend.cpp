@@ -1,0 +1,427 @@
+#include "graph/metric_backend.hpp"
+
+#include <algorithm>
+
+#include "core/check.hpp"
+#include "core/parallel.hpp"
+#include "graph/dijkstra.hpp"
+#include "obs/metrics.hpp"
+
+namespace compactroute {
+
+namespace {
+
+// Rows per chunk for the parallel loops below: small enough to balance load
+// across workers, large enough that chunk bookkeeping is negligible. Chunk
+// geometry is part of the determinism contract (core/parallel.hpp), so both
+// backends use the same constant.
+constexpr std::size_t kRowChunk = 8;
+
+// One warm Dijkstra workspace per thread: rows are computed from executor
+// workers during construction and from arbitrary caller threads afterwards,
+// and the touched-list reset keeps bounded queries O(|ball|) on any of them.
+DijkstraWorkspace& tls_workspace() {
+  static thread_local DijkstraWorkspace ws;
+  return ws;
+}
+
+// Canonical node order of one row: ascending (normalized distance, id). The
+// comparator is a total order (ids are unique), so the result is independent
+// of the input permutation — dense matrix rows and lazy cache rows sort to
+// the same sequence.
+void sort_order_row(const Weight* dist, std::size_t n, NodeId* order) {
+  for (NodeId v = 0; v < n; ++v) order[v] = v;
+  std::sort(order, order + n, [&](NodeId a, NodeId b) {
+    if (dist[a] != dist[b]) return dist[a] < dist[b];
+    return a < b;
+  });
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RowCache
+// ---------------------------------------------------------------------------
+
+RowCache::RowCache(std::size_t budget_bytes)
+    : shard_budget_(budget_bytes / kShards) {}
+
+MetricRowPtr RowCache::get(NodeId key) {
+  Shard& shard = shard_of(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) return nullptr;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->second;
+}
+
+void RowCache::put(NodeId key, MetricRowPtr row) {
+  Shard& shard = shard_of(key);
+  std::size_t grown = 0;
+  std::size_t shrunk = 0;
+  std::uint64_t evictions = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      // Rows are pure functions of the graph: an existing entry is
+      // bit-identical, so just refresh its recency.
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    } else {
+      const std::size_t bytes = row->bytes();
+      shard.lru.emplace_front(key, std::move(row));
+      shard.index.emplace(key, shard.lru.begin());
+      shard.bytes += bytes;
+      grown = bytes;
+      // Evict cold rows past the shard budget, but always keep the newest:
+      // the cache must be able to serve the row it was just handed.
+      while (shard.bytes > shard_budget_ && shard.lru.size() > 1) {
+        const auto& victim = shard.lru.back();
+        const std::size_t victim_bytes = victim.second->bytes();
+        shard.index.erase(victim.first);
+        shard.lru.pop_back();
+        shard.bytes -= victim_bytes;
+        shrunk += victim_bytes;
+        ++evictions;
+      }
+    }
+  }
+  if (evictions > 0) CR_OBS_ADD("metric.cache.evictions", evictions);
+  if (grown > shrunk) {
+    note_growth(grown - shrunk);
+  } else if (shrunk > grown) {
+    total_bytes_.fetch_sub(shrunk - grown, std::memory_order_relaxed);
+  }
+}
+
+void RowCache::note_growth(std::size_t delta) {
+  const std::size_t cur =
+      total_bytes_.fetch_add(delta, std::memory_order_relaxed) + delta;
+  std::size_t prev = peak_bytes_.load(std::memory_order_relaxed);
+  while (cur > prev) {
+    if (peak_bytes_.compare_exchange_weak(prev, cur, std::memory_order_relaxed)) {
+      // Publish the high-water mark: the counter's value tracks peak bytes.
+      CR_OBS_ADD("metric.cache.bytes", cur - prev);
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Shared row helpers
+// ---------------------------------------------------------------------------
+
+std::size_t MetricBackend::ball_size_in_row(const MetricRowView& row, Weight r) {
+  // Binary search over the sorted order: count of nodes with d(u, .) <= r.
+  const std::span<const NodeId> order = row.order();
+  std::size_t lo = 0, hi = order.size();
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (row.dist(order[mid]) <= r) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::vector<NodeId> MetricBackend::ball_in_row(const MetricRowView& row, Weight r) {
+  const std::size_t count = ball_size_in_row(row, r);
+  const std::span<const NodeId> order = row.order();
+  return std::vector<NodeId>(order.begin(), order.begin() + count);
+}
+
+// ---------------------------------------------------------------------------
+// Dense backend: three n×n matrices, O(1) queries.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class DenseMetricBackend final : public MetricBackend {
+ public:
+  explicit DenseMetricBackend(const CsrGraph& csr)
+      : csr_(&csr), n_(csr.num_nodes()) {
+    dist_.resize(n_ * n_);
+    parent_.resize(n_ * n_);
+    order_.resize(n_ * n_);
+    CR_OBS_ADD("mem.metric.dist_bytes", dist_.size() * sizeof(Weight));
+    CR_OBS_ADD("mem.metric.parent_bytes", parent_.size() * sizeof(NodeId));
+    CR_OBS_ADD("mem.metric.order_bytes", order_.size() * sizeof(NodeId));
+
+    // All-pairs shortest paths: one Dijkstra per root; each chunk owns a
+    // disjoint slice of matrix rows plus its own slot in the min/max
+    // reduction below, so no synchronization is needed.
+    const std::size_t chunks = (n_ + kRowChunk - 1) / kRowChunk;
+    std::vector<Weight> chunk_min(chunks, kInfiniteWeight);
+    std::vector<Weight> chunk_max(chunks, 0);
+    parallel_for("metric.apsp", n_, kRowChunk,
+                 [&](std::size_t first, std::size_t last) {
+                   DijkstraWorkspace& ws = tls_workspace();
+                   Weight lo = kInfiniteWeight;
+                   Weight hi = 0;
+                   for (NodeId t = static_cast<NodeId>(first); t < last; ++t) {
+                     const NodeId sources[] = {t};
+                     dijkstra_into(*csr_, sources, ws);
+                     const std::span<const Weight> dist = ws.dist();
+                     const std::span<const NodeId> parent = ws.parent();
+                     Weight* drow = dist_.data() + index(t, 0);
+                     NodeId* prow = parent_.data() + index(t, 0);
+                     for (NodeId u = 0; u < n_; ++u) {
+                       CR_CHECK(dist[u] < kInfiniteWeight);
+                       drow[u] = dist[u];
+                       prow[u] = parent[u];
+                       if (u == t) continue;
+                       lo = std::min(lo, dist[u]);
+                       hi = std::max(hi, dist[u]);
+                     }
+                   }
+                   chunk_min[first / kRowChunk] = lo;
+                   chunk_max[first / kRowChunk] = hi;
+                 });
+
+    // Deterministic reduction in chunk order (min/max are also insensitive
+    // to order, unlike a float sum, but fixed order keeps the contract
+    // uniform).
+    Weight min_dist = kInfiniteWeight;
+    Weight max_dist = 0;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      min_dist = std::min(min_dist, chunk_min[c]);
+      max_dist = std::max(max_dist, chunk_max[c]);
+    }
+    CR_CHECK(min_dist > 0);
+
+    // Normalize so the minimum pairwise distance is 1 (paper, Section 2).
+    scale_ = min_dist;
+    delta_ = max_dist / scale_;
+    parallel_for("metric.normalize", n_, kRowChunk,
+                 [&](std::size_t first, std::size_t last) {
+                   for (std::size_t k = first * n_; k < last * n_; ++k) {
+                     dist_[k] /= scale_;
+                   }
+                 });
+
+    // Per-node orders by (distance, id), also parallel over rows.
+    parallel_for("metric.order", n_, kRowChunk,
+                 [&](std::size_t first, std::size_t last) {
+                   for (NodeId u = static_cast<NodeId>(first); u < last; ++u) {
+                     sort_order_row(dist_.data() + index(u, 0), n_,
+                                    order_.data() + index(u, 0));
+                   }
+                 });
+  }
+
+  const char* name() const override { return "dense"; }
+
+  MetricRowView row(NodeId u) const override {
+    return MetricRowView({dist_.data() + index(u, 0), n_},
+                         {parent_.data() + index(u, 0), n_},
+                         {order_.data() + index(u, 0), n_}, nullptr);
+  }
+
+  Weight dist(NodeId u, NodeId v) const override { return dist_[index(u, v)]; }
+
+  NodeId next_hop(NodeId u, NodeId target) const override {
+    return parent_[index(target, u)];
+  }
+
+  std::vector<NodeId> ball(NodeId u, Weight r) const override {
+    return ball_in_row(row(u), r);
+  }
+
+  std::size_t ball_size(NodeId u, Weight r) const override {
+    return ball_size_in_row(row(u), r);
+  }
+
+  Weight radius_of_count(NodeId u, std::size_t m) const override {
+    if (m > n_) m = n_;
+    return dist_[index(u, order_[index(u, 0) + (m - 1)])];
+  }
+
+  std::size_t memory_bytes() const override {
+    return dist_.size() * sizeof(Weight) + parent_.size() * sizeof(NodeId) +
+           order_.size() * sizeof(NodeId);
+  }
+
+  const Weight* dense_dist_data() const override { return dist_.data(); }
+  const NodeId* dense_parent_data() const override { return parent_.data(); }
+
+ private:
+  std::size_t index(NodeId row, NodeId col) const {
+    return static_cast<std::size_t>(row) * n_ + col;
+  }
+
+  const CsrGraph* csr_;
+  std::size_t n_;
+  std::vector<Weight> dist_;    // n*n, normalized
+  std::vector<NodeId> parent_;  // parent_[t*n + u] = next hop of u toward t
+  std::vector<NodeId> order_;   // order_[u*n + k] = k-th nearest node to u
+};
+
+// ---------------------------------------------------------------------------
+// Lazy backend: demand-computed rows in a byte-budgeted LRU, bounded-Dijkstra
+// ball queries. O(cache + n·workers) memory.
+// ---------------------------------------------------------------------------
+
+class LazyMetricBackend final : public MetricBackend {
+ public:
+  LazyMetricBackend(const CsrGraph& csr, std::size_t cache_bytes)
+      : csr_(&csr), n_(csr.num_nodes()), cache_(cache_bytes) {
+    // The minimum pairwise shortest-path distance equals the minimum edge
+    // weight: any path weighs at least one edge, and Dijkstra computes the
+    // lightest edge's endpoint distance as exactly that weight (a one-edge
+    // relaxation, no rounding) — so this matches the dense backend's
+    // APSP-wide minimum bit for bit without materializing anything.
+    scale_ = csr.min_edge_weight();
+    CR_CHECK_MSG(scale_ > 0 && scale_ < kInfiniteWeight,
+                 "lazy metric requires a non-empty edge set");
+
+    // The normalized diameter needs the all-pairs maximum. Stream one
+    // Dijkstra per root, keeping only a per-chunk maximum (peak memory
+    // O(n·workers), not O(n²)); rows pass through the cache on the way, so
+    // whatever fits stays warm for the construction phase that follows.
+    // max(raw)/scale == max(raw/scale) because dividing by a positive
+    // constant is monotone, so this equals the dense delta exactly.
+    const std::size_t chunks = (n_ + kRowChunk - 1) / kRowChunk;
+    std::vector<Weight> chunk_max(chunks, 0);
+    parallel_for("metric.lazy.sweep", n_, kRowChunk,
+                 [&](std::size_t first, std::size_t last) {
+                   Weight hi = 0;
+                   for (NodeId t = static_cast<NodeId>(first); t < last; ++t) {
+                     const MetricRowPtr row = compute_row(t);
+                     hi = std::max(hi, row->dist[row->order[n_ - 1]]);
+                     cache_.put(t, row);
+                   }
+                   chunk_max[first / kRowChunk] = hi;
+                 });
+    for (std::size_t c = 0; c < chunks; ++c) delta_ = std::max(delta_, chunk_max[c]);
+  }
+
+  const char* name() const override { return "lazy"; }
+
+  MetricRowView row(NodeId u) const override {
+    MetricRowPtr row = fetch_row(u);
+    const MetricRow& r = *row;
+    return MetricRowView(r.dist, r.parent, r.order, std::move(row));
+  }
+
+  Weight dist(NodeId u, NodeId v) const override { return fetch_row(u)->dist[v]; }
+
+  NodeId next_hop(NodeId u, NodeId target) const override {
+    return fetch_row(target)->parent[u];
+  }
+
+  std::vector<NodeId> ball(NodeId u, Weight r) const override {
+    if (const MetricRowPtr cached = hit(u)) {
+      const MetricRow& row = *cached;
+      return ball_in_row(MetricRowView(row.dist, row.parent, row.order, cached), r);
+    }
+    // Bounded run: settle only the ball. Members come out in ascending
+    // (raw distance, id); re-sort under the canonical (normalized distance,
+    // id) comparator in case normalization collapses raw ties.
+    CR_OBS_COUNT("metric.ball.bounded");
+    DijkstraWorkspace& ws = tls_workspace();
+    const NodeId sources[] = {u};
+    dijkstra_into(*csr_, sources, ws, {.radius = r, .scale = scale_});
+    std::vector<std::pair<Weight, NodeId>> members;
+    members.reserve(ws.settled().size());
+    for (const NodeId v : ws.settled()) {
+      members.emplace_back(ws.dist()[v] / scale_, v);
+    }
+    std::sort(members.begin(), members.end());
+    std::vector<NodeId> result;
+    result.reserve(members.size());
+    for (const auto& [d, v] : members) result.push_back(v);
+    return result;
+  }
+
+  std::size_t ball_size(NodeId u, Weight r) const override {
+    if (const MetricRowPtr cached = hit(u)) {
+      const MetricRow& row = *cached;
+      return ball_size_in_row(MetricRowView(row.dist, row.parent, row.order, cached),
+                              r);
+    }
+    CR_OBS_COUNT("metric.ball.bounded");
+    DijkstraWorkspace& ws = tls_workspace();
+    const NodeId sources[] = {u};
+    dijkstra_into(*csr_, sources, ws, {.radius = r, .scale = scale_});
+    return ws.settled().size();
+  }
+
+  Weight radius_of_count(NodeId u, std::size_t m) const override {
+    if (m > n_) m = n_;
+    if (const MetricRowPtr cached = hit(u)) {
+      return cached->dist[cached->order[m - 1]];
+    }
+    // Settle exactly the m nearest nodes. The m-th normalized value is the
+    // same whether ranked by raw or by normalized distance (the division is
+    // monotone, so both rankings sort the same value sequence).
+    CR_OBS_COUNT("metric.ball.bounded");
+    DijkstraWorkspace& ws = tls_workspace();
+    const NodeId sources[] = {u};
+    dijkstra_into(*csr_, sources, ws, {.max_settled = m});
+    CR_CHECK(ws.settled().size() == m);
+    return ws.dist()[ws.settled().back()] / scale_;
+  }
+
+  std::size_t memory_bytes() const override { return cache_.bytes(); }
+
+ private:
+  /// Cache lookup that meters a hit but, unlike fetch_row, never computes.
+  MetricRowPtr hit(NodeId u) const {
+    MetricRowPtr row = cache_.get(u);
+    if (row) CR_OBS_COUNT("metric.cache.hits");
+    return row;
+  }
+
+  MetricRowPtr fetch_row(NodeId u) const {
+    if (MetricRowPtr row = cache_.get(u)) {
+      CR_OBS_COUNT("metric.cache.hits");
+      return row;
+    }
+    // Concurrent misses on the same root may compute the row twice; both
+    // copies are bit-identical (pure function of the graph), so the race
+    // costs time, never determinism.
+    CR_OBS_COUNT("metric.cache.misses");
+    MetricRowPtr row = compute_row(u);
+    cache_.put(u, row);
+    return row;
+  }
+
+  MetricRowPtr compute_row(NodeId root) const {
+    DijkstraWorkspace& ws = tls_workspace();
+    const NodeId sources[] = {root};
+    dijkstra_into(*csr_, sources, ws);
+    CR_CHECK_MSG(ws.settled().size() == n_,
+                 "lazy metric requires a connected graph");
+    auto row = std::make_shared<MetricRow>();
+    row->dist.resize(n_);
+    row->parent.resize(n_);
+    row->order.resize(n_);
+    const std::span<const Weight> dist = ws.dist();
+    const std::span<const NodeId> parent = ws.parent();
+    for (NodeId v = 0; v < n_; ++v) {
+      row->dist[v] = dist[v] / scale_;
+      row->parent[v] = parent[v];
+    }
+    sort_order_row(row->dist.data(), n_, row->order.data());
+    return row;
+  }
+
+  const CsrGraph* csr_;
+  std::size_t n_;
+  mutable RowCache cache_;
+};
+
+}  // namespace
+
+std::unique_ptr<MetricBackend> make_dense_backend(const CsrGraph& csr) {
+  return std::make_unique<DenseMetricBackend>(csr);
+}
+
+std::unique_ptr<MetricBackend> make_lazy_backend(const CsrGraph& csr,
+                                                 std::size_t cache_bytes) {
+  return std::make_unique<LazyMetricBackend>(csr, cache_bytes);
+}
+
+}  // namespace compactroute

@@ -1,0 +1,187 @@
+#pragma once
+//
+// Metric storage backends (DESIGN.md §6).
+//
+// Every scheme in the paper is built on d(u, v), B_u(r), and r_u(j) queries.
+// A MetricBackend answers them from one of two representations:
+//
+//  * DenseMetricBackend — the classic three n×n matrices (dist, parent,
+//    order). O(n²) memory, O(1) queries; the default and the right choice
+//    while the matrices fit in RAM.
+//  * LazyMetricBackend — no matrices. Distance/parent/order rows are
+//    computed on demand by single-source Dijkstra over the CSR view and held
+//    in a byte-budgeted, sharded LRU row cache. Ball queries that miss the
+//    cache run *bounded* Dijkstra and settle only the nodes inside the ball.
+//    O(cache + n·workers) memory, so n can scale far past the dense ceiling.
+//
+// Determinism: a row is a pure function of the graph (canonical Dijkstra
+// tie-breaking), so a recomputed row is bit-identical to the evicted one —
+// cache size, eviction order, and thread interleaving can never change a
+// query result. The equivalence suite (tests/test_metric_backend.cpp)
+// enforces dense == lazy down to scheme fingerprints.
+//
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.hpp"
+#include "graph/csr.hpp"
+
+namespace compactroute {
+
+enum class MetricBackendKind { kDense, kLazy };
+
+struct MetricOptions {
+  MetricBackendKind backend = MetricBackendKind::kDense;
+  /// Row-cache byte budget (lazy backend only). The cache always retains at
+  /// least one row per shard, so a tiny budget degrades to recompute-often,
+  /// never to failure.
+  std::size_t cache_bytes = std::size_t{64} << 20;
+};
+
+/// One root's fully materialized view of the metric: normalized distances,
+/// shortest-path-tree parents (parent[u] = predecessor of u on the canonical
+/// path root->u, i.e. u's next hop toward root), and nodes sorted by
+/// (distance, id).
+struct MetricRow {
+  std::vector<Weight> dist;
+  std::vector<NodeId> parent;
+  std::vector<NodeId> order;
+
+  std::size_t bytes() const {
+    return sizeof(MetricRow) + dist.size() * sizeof(Weight) +
+           parent.size() * sizeof(NodeId) + order.size() * sizeof(NodeId);
+  }
+};
+
+using MetricRowPtr = std::shared_ptr<const MetricRow>;
+
+/// Borrowed view of one root's row. For the lazy backend the view pins the
+/// underlying cache entry, so it stays valid (and bit-stable) even if the
+/// entry is evicted while the view is alive; hold it only as long as needed.
+class MetricRowView {
+ public:
+  MetricRowView(std::span<const Weight> dist, std::span<const NodeId> parent,
+                std::span<const NodeId> order, MetricRowPtr pin)
+      : dist_(dist), parent_(parent), order_(order), pin_(std::move(pin)) {}
+
+  /// d(root, v), normalized.
+  Weight dist(NodeId v) const { return dist_[v]; }
+  /// Predecessor of v on the canonical path root->v (v's next hop toward
+  /// the row's root); kInvalidNode for the root itself.
+  NodeId parent(NodeId v) const { return parent_[v]; }
+  /// Nodes by (distance from root, id); position 0 is the root.
+  std::span<const NodeId> order() const { return order_; }
+  std::span<const Weight> dists() const { return dist_; }
+  std::size_t size() const { return dist_.size(); }
+  /// The cache pin backing this view (null for the dense backend).
+  const MetricRowPtr& pin() const { return pin_; }
+
+ private:
+  std::span<const Weight> dist_;
+  std::span<const NodeId> parent_;
+  std::span<const NodeId> order_;
+  MetricRowPtr pin_;
+};
+
+/// Pinned distance-sorted node order of one root (see MetricRowView for the
+/// lifetime contract).
+class OrderView {
+ public:
+  OrderView(std::span<const NodeId> order, MetricRowPtr pin)
+      : order_(order), pin_(std::move(pin)) {}
+
+  NodeId operator[](std::size_t k) const { return order_[k]; }
+  std::size_t size() const { return order_.size(); }
+  const NodeId* begin() const { return order_.data(); }
+  const NodeId* end() const { return order_.data() + order_.size(); }
+  std::span<const NodeId> span() const { return order_; }
+
+ private:
+  std::span<const NodeId> order_;
+  MetricRowPtr pin_;
+};
+
+/// Thread-safe sharded LRU over MetricRows, keyed by root id. Shards are
+/// picked by key, each with its own mutex and an equal slice of the byte
+/// budget; eviction never removes a shard's most recent row, so get-after-put
+/// always hits. Evicted rows stay alive while any MetricRowView pins them.
+class RowCache {
+ public:
+  explicit RowCache(std::size_t budget_bytes);
+
+  /// Returns the cached row (bumping its recency) or nullptr.
+  MetricRowPtr get(NodeId key);
+  /// Inserts (or refreshes) a row and evicts LRU entries over budget.
+  void put(NodeId key, MetricRowPtr row);
+
+  std::size_t bytes() const { return total_bytes_.load(std::memory_order_relaxed); }
+  std::size_t peak_bytes() const { return peak_bytes_.load(std::memory_order_relaxed); }
+
+ private:
+  static constexpr std::size_t kShards = 16;
+  using LruList = std::list<std::pair<NodeId, MetricRowPtr>>;
+
+  struct Shard {
+    std::mutex mutex;
+    LruList lru;  // front = most recently used
+    std::unordered_map<NodeId, LruList::iterator> index;
+    std::size_t bytes = 0;
+  };
+
+  Shard& shard_of(NodeId key) { return shards_[key % kShards]; }
+  void note_growth(std::size_t delta);
+
+  std::size_t shard_budget_;
+  std::array<Shard, kShards> shards_;
+  std::atomic<std::size_t> total_bytes_{0};
+  std::atomic<std::size_t> peak_bytes_{0};
+};
+
+/// Query interface shared by both backends. Construction computes the
+/// normalization scale and the normalized diameter delta; both are
+/// bit-identical across backends (the equivalence suite enforces it).
+class MetricBackend {
+ public:
+  virtual ~MetricBackend() = default;
+
+  virtual const char* name() const = 0;
+  virtual MetricRowView row(NodeId u) const = 0;
+  virtual Weight dist(NodeId u, NodeId v) const = 0;
+  /// Next hop of u toward target (== parent of u in target's row).
+  virtual NodeId next_hop(NodeId u, NodeId target) const = 0;
+  virtual std::vector<NodeId> ball(NodeId u, Weight r) const = 0;
+  virtual std::size_t ball_size(NodeId u, Weight r) const = 0;
+  virtual Weight radius_of_count(NodeId u, std::size_t m) const = 0;
+  /// Bytes held by the backend's metric state (matrices, or CSR-independent
+  /// cache contents for the lazy backend).
+  virtual std::size_t memory_bytes() const = 0;
+
+  /// Fast-path escape hatch: dense row-major matrices, or nullptr.
+  virtual const Weight* dense_dist_data() const { return nullptr; }
+  virtual const NodeId* dense_parent_data() const { return nullptr; }
+
+  Weight scale() const { return scale_; }
+  Weight delta() const { return delta_; }
+
+ protected:
+  /// Shared ball/size/radius logic over a materialized row — used by the
+  /// dense backend always and by the lazy backend on cache hits.
+  static std::size_t ball_size_in_row(const MetricRowView& row, Weight r);
+  static std::vector<NodeId> ball_in_row(const MetricRowView& row, Weight r);
+
+  Weight scale_ = 1;
+  Weight delta_ = 0;
+};
+
+std::unique_ptr<MetricBackend> make_dense_backend(const CsrGraph& csr);
+std::unique_ptr<MetricBackend> make_lazy_backend(const CsrGraph& csr,
+                                                 std::size_t cache_bytes);
+
+}  // namespace compactroute

@@ -96,7 +96,7 @@ void ScaleFreeLabeledScheme::build_packings() {
     std::vector<NodeId> centers;
     centers.reserve(packing.balls().size());
     for (const PackedBall& ball : packing.balls()) centers.push_back(ball.center);
-    const VoronoiDiagram voronoi = multi_source_dijkstra(metric_->graph(), centers);
+    const VoronoiDiagram voronoi = multi_source_dijkstra(metric_->csr(), centers);
 
     std::vector<std::vector<NodeId>> cells(packing.balls().size());
     std::vector<int> cell_of_center(n, -1);

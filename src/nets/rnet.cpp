@@ -17,10 +17,13 @@ std::vector<NodeId> build_rnet(const MetricSpace& metric,
                                const std::vector<NodeId>& seed) {
   std::vector<NodeId> net = seed;
   for (NodeId u : candidates) {
+    // One row fetch per candidate: the inner scan probes d(u, y) for many y,
+    // which on the lazy backend would otherwise be a cache lookup per probe.
+    const MetricRowView row = metric.row(u);
     bool far_enough = true;
     for (NodeId y : net) {
       // dist(u, u) == 0, so seed members are never duplicated.
-      if (metric.dist(u, y) < r) {
+      if (row.dist(y) < r) {
         far_enough = false;
         break;
       }

@@ -1,0 +1,288 @@
+// Backend equivalence suite (ISSUE 3): the lazy row-cached backend must be
+// bit-identical to the dense matrices — distances, orders, balls, next hops,
+// and whole four-scheme stack fingerprints — for any worker count and any
+// cache budget, including budgets so small that every query evicts and
+// recomputes. Rows are pure functions of the graph, so this is the
+// determinism contract of DESIGN.md §6 made executable.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "core/parallel.hpp"
+#include "core/prng.hpp"
+#include "gen/generators.hpp"
+#include "graph/metric.hpp"
+#include "labeled/hierarchical_labeled.hpp"
+#include "labeled/scale_free_labeled.hpp"
+#include "nameind/scale_free_nameind.hpp"
+#include "nameind/simple_nameind.hpp"
+#include "nets/rnet.hpp"
+#include "obs/metrics.hpp"
+#include "routing/naming.hpp"
+#include "routing/simulator.hpp"
+
+namespace compactroute {
+namespace {
+
+struct WorkerGuard {
+  ~WorkerGuard() {
+    Executor::global().set_workers(0);
+    unsetenv("CR_THREADS");
+  }
+};
+
+MetricOptions lazy_options(std::size_t cache_bytes) {
+  return {.backend = MetricBackendKind::kLazy, .cache_bytes = cache_bytes};
+}
+
+/// A budget this small degrades every shard to a single resident row, so
+/// almost every row fetch recomputes — the eviction-heavy regime.
+constexpr std::size_t kTinyCache = 4096;
+
+std::vector<std::pair<std::string, Graph>> equivalence_graphs() {
+  std::vector<std::pair<std::string, Graph>> graphs;
+  graphs.emplace_back("geometric-120", make_random_geometric(120, 2, 4, 77));
+  graphs.emplace_back("grid-11x11", make_grid(11, 11));
+  graphs.emplace_back("cliques-8x6", make_ring_of_cliques(8, 6, 9));
+  graphs.emplace_back("spider-9x7", make_exponential_spider(9, 7));
+  return graphs;
+}
+
+void expect_metrics_identical(const MetricSpace& dense, const MetricSpace& lazy) {
+  ASSERT_EQ(dense.n(), lazy.n());
+  const std::size_t n = dense.n();
+  EXPECT_EQ(dense.normalization_scale(), lazy.normalization_scale());
+  EXPECT_EQ(dense.delta(), lazy.delta());
+  EXPECT_EQ(dense.num_levels(), lazy.num_levels());
+
+  for (NodeId u = 0; u < n; ++u) {
+    const auto dense_order = dense.sorted_by_distance(u);
+    const auto lazy_order = lazy.sorted_by_distance(u);
+    for (NodeId v = 0; v < n; ++v) {
+      ASSERT_EQ(dense.dist(u, v), lazy.dist(u, v)) << "u=" << u << " v=" << v;
+      ASSERT_EQ(dense.next_hop(u, v), lazy.next_hop(u, v))
+          << "u=" << u << " v=" << v;
+      ASSERT_EQ(dense_order[v], lazy_order[v]) << "u=" << u << " k=" << v;
+    }
+  }
+
+  Prng prng(31);
+  for (int trial = 0; trial < 25; ++trial) {
+    const NodeId u = static_cast<NodeId>(prng.next_below(n));
+    const Weight r = prng.next_double(0, dense.delta());
+    ASSERT_EQ(dense.ball(u, r), lazy.ball(u, r)) << "u=" << u << " r=" << r;
+    ASSERT_EQ(dense.ball_size(u, r), lazy.ball_size(u, r));
+    const std::size_t m = 1 + prng.next_below(n);
+    ASSERT_EQ(dense.radius_of_count(u, m), lazy.radius_of_count(u, m))
+        << "u=" << u << " m=" << m;
+  }
+}
+
+TEST(MetricBackend, LazyMatchesDenseOnAllQueries) {
+  for (const auto& [name, graph] : equivalence_graphs()) {
+    SCOPED_TRACE(name);
+    const MetricSpace dense(graph);
+    const MetricSpace lazy(graph, lazy_options(MetricOptions{}.cache_bytes));
+    EXPECT_STREQ(dense.backend_name(), "dense");
+    EXPECT_STREQ(lazy.backend_name(), "lazy");
+    expect_metrics_identical(dense, lazy);
+  }
+}
+
+TEST(MetricBackend, EvictionForcingCacheChangesNothing) {
+  for (const auto& [name, graph] : equivalence_graphs()) {
+    SCOPED_TRACE(name);
+    const MetricSpace dense(graph);
+    const MetricSpace lazy(graph, lazy_options(kTinyCache));
+    expect_metrics_identical(dense, lazy);
+  }
+}
+
+TEST(MetricBackend, BoundedBallQueriesMatchFullRows) {
+  // A tiny cache keeps almost no rows resident, so ball/ball_size/
+  // radius_of_count on un-cached roots exercise the bounded-Dijkstra path.
+  const Graph graph = make_random_geometric(150, 2, 4, 12);
+  const MetricSpace dense(graph);
+  const MetricSpace lazy(graph, lazy_options(kTinyCache));
+  Prng prng(5);
+  for (int trial = 0; trial < 60; ++trial) {
+    const NodeId u = static_cast<NodeId>(prng.next_below(dense.n()));
+    const Weight r = prng.next_double(0, dense.delta() * 1.1);
+    ASSERT_EQ(dense.ball(u, r), lazy.ball(u, r)) << "u=" << u << " r=" << r;
+    ASSERT_EQ(dense.ball_size(u, r), lazy.ball_size(u, r));
+    const std::size_t m = 1 + prng.next_below(dense.n() + 20);  // incl. clamp
+    ASSERT_EQ(dense.radius_of_count(u, m), lazy.radius_of_count(u, m));
+  }
+}
+
+TEST(MetricBackend, ShortestPathAndNearestInMatch) {
+  const Graph graph = make_grid_with_holes(12, 12, 6, 4, 3);
+  const MetricSpace dense(graph);
+  const MetricSpace lazy(graph, lazy_options(kTinyCache));
+  Prng prng(9);
+  for (int trial = 0; trial < 40; ++trial) {
+    const NodeId u = static_cast<NodeId>(prng.next_below(dense.n()));
+    const NodeId v = static_cast<NodeId>(prng.next_below(dense.n()));
+    EXPECT_EQ(dense.shortest_path(u, v), lazy.shortest_path(u, v));
+  }
+  std::vector<NodeId> candidates;
+  for (NodeId c = 0; c < dense.n(); c += 5) candidates.push_back(c);
+  for (NodeId u = 0; u < dense.n(); ++u) {
+    EXPECT_EQ(dense.nearest_in(u, candidates), lazy.nearest_in(u, candidates));
+  }
+}
+
+TEST(MetricBackend, OrderViewSurvivesEviction) {
+  // Pin a row view, then thrash the tiny cache until the pinned row is long
+  // evicted: the view must stay valid and bit-stable (shared_ptr pin).
+  const Graph graph = make_random_geometric(100, 2, 4, 3);
+  const MetricSpace lazy(graph, lazy_options(kTinyCache));
+  const OrderView pinned = lazy.sorted_by_distance(0);
+  const std::vector<NodeId> snapshot(pinned.begin(), pinned.end());
+  for (NodeId u = 0; u < lazy.n(); ++u) (void)lazy.row(u);
+  for (std::size_t k = 0; k < snapshot.size(); ++k) {
+    ASSERT_EQ(pinned[k], snapshot[k]);
+  }
+}
+
+#ifndef CR_OBS_DISABLED
+TEST(MetricBackend, CacheCountersMeterHitsMissesAndEvictions) {
+  const Graph graph = make_random_geometric(90, 2, 4, 21);
+  obs::Registry& reg = obs::Registry::global();
+
+  {
+    reg.reset();
+    const MetricSpace lazy(graph, lazy_options(MetricOptions{}.cache_bytes));
+    reg.reset();  // drop construction-sweep telemetry; meter queries only
+    (void)lazy.dist(3, 7);  // construction warmed the cache: hit
+    (void)lazy.dist(3, 9);  // same row again: hit
+    EXPECT_EQ(reg.counter("metric.cache.hits").value(), 2u);
+    EXPECT_EQ(reg.counter("metric.cache.misses").value(), 0u);
+  }
+
+  {
+    reg.reset();
+    const MetricSpace lazy(graph, lazy_options(kTinyCache));
+    EXPECT_GT(reg.counter("metric.cache.evictions").value(), 0u)
+        << "a 4 KB budget cannot hold 90 rows without evicting";
+    const std::uint64_t peak = reg.counter("metric.cache.bytes").value();
+    EXPECT_GT(peak, 0u);
+    EXPECT_LT(peak, std::uint64_t{90} * 90 * 16)
+        << "peak cache bytes must stay far below dense matrix size";
+    reg.reset();
+    // 90 roots hash over 16 shards, each retaining one row: scanning all
+    // roots in order must recompute at least the non-resident ones.
+    for (NodeId u = 0; u < lazy.n(); ++u) (void)lazy.dist(u, 0);
+    EXPECT_GT(reg.counter("metric.cache.misses").value(), 0u);
+    EXPECT_GT(reg.counter("dijkstra.settled").value(), 0u);
+  }
+}
+
+TEST(MetricBackend, BoundedQueriesSettleOnlyTheBall) {
+  const Graph graph = make_grid(16, 16);  // n = 256
+  const MetricSpace lazy(graph, lazy_options(0));  // budget 0: one row/shard
+  // Thrash the cache so root 0's row is certainly evicted (its shard's
+  // resident row becomes the last id touched below that hashes there).
+  for (NodeId u = 1; u < lazy.n(); ++u) (void)lazy.dist(u, u);
+  obs::Registry& reg = obs::Registry::global();
+  reg.reset();
+  const NodeId root = 0;
+  const std::size_t small = lazy.ball_size(root, 2.0);
+  ASSERT_LT(small, lazy.n() / 4);
+  const std::uint64_t settled = reg.counter("dijkstra.settled").value();
+  EXPECT_LE(settled, small + 1)
+      << "bounded ball_size must not settle nodes outside the ball";
+  EXPECT_GT(reg.counter("metric.ball.bounded").value(), 0u);
+}
+#endif  // CR_OBS_DISABLED
+
+// ---------------------------------------------------------------------------
+// Stack fingerprints: the full four-scheme pipeline over a lazy metric must
+// reproduce the dense pipeline bit for bit, for 1 and 4 workers, with and
+// without cache pressure.
+// ---------------------------------------------------------------------------
+
+void push(std::vector<std::uint64_t>& fp, std::uint64_t v) { fp.push_back(v); }
+
+void push_double(std::vector<std::uint64_t>& fp, double d) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &d, sizeof bits);
+  fp.push_back(bits);
+}
+
+std::vector<std::uint64_t> stack_fingerprint(std::size_t workers,
+                                             const MetricOptions& options) {
+  Executor::global().set_workers(workers);
+  const double eps = 0.5;
+  const Graph graph = make_random_geometric(110, 2, 4, 42);
+  const MetricSpace metric(graph, options);
+  const NetHierarchy hierarchy(metric);
+  const Naming naming = Naming::random(metric.n(), 4242);
+  const HierarchicalLabeledScheme hier(metric, hierarchy, eps);
+  const ScaleFreeLabeledScheme sf(metric, hierarchy, eps);
+  const SimpleNameIndependentScheme simple(metric, hierarchy, naming, hier, eps);
+  const ScaleFreeNameIndependentScheme sfni(metric, hierarchy, naming, sf, eps);
+  const std::size_t n = metric.n();
+
+  std::vector<std::uint64_t> fp;
+  push_double(fp, metric.normalization_scale());
+  push_double(fp, metric.delta());
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) push_double(fp, metric.dist(u, v));
+  }
+  for (int i = 0; i <= hierarchy.top_level(); ++i) {
+    for (const NodeId x : hierarchy.net(i)) push(fp, x);
+    for (NodeId u = 0; u < n; ++u) push(fp, hierarchy.zoom(i, u));
+  }
+  for (NodeId u = 0; u < n; ++u) push(fp, hierarchy.leaf_label(u));
+
+  for (NodeId u = 0; u < n; ++u) {
+    push(fp, hier.storage_bits(u));
+    push(fp, sf.storage_bits(u));
+    push(fp, simple.storage_bits(u));
+    push(fp, sfni.storage_bits(u));
+  }
+
+  const auto push_route = [&](const RouteResult& r) {
+    push(fp, r.delivered ? 1 : 0);
+    for (const NodeId v : r.path) push(fp, v);
+    push_double(fp, r.cost);
+  };
+  Prng pair_prng(99);
+  for (int k = 0; k < 15; ++k) {
+    const NodeId src = static_cast<NodeId>(pair_prng.next_below(n));
+    NodeId dst = static_cast<NodeId>(pair_prng.next_below(n - 1));
+    if (dst >= src) ++dst;
+    push_route(hier.route(src, hier.label(dst)));
+    push_route(sf.route(src, sf.label(dst)));
+    push_route(simple.route(src, naming.name_of(dst)));
+    push_route(sfni.route(src, naming.name_of(dst)));
+  }
+  return fp;
+}
+
+TEST(MetricBackend, FourSchemeStackFingerprintMatchesDense) {
+  WorkerGuard guard;
+  const std::vector<std::uint64_t> reference =
+      stack_fingerprint(1, MetricOptions{});
+  ASSERT_FALSE(reference.empty());
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    for (const std::size_t cache : {MetricOptions{}.cache_bytes, kTinyCache}) {
+      const std::vector<std::uint64_t> fp =
+          stack_fingerprint(workers, lazy_options(cache));
+      ASSERT_EQ(reference.size(), fp.size())
+          << "workers=" << workers << " cache=" << cache;
+      EXPECT_TRUE(reference == fp) << "lazy stack diverged from dense at "
+                                   << "workers=" << workers << " cache=" << cache;
+    }
+  }
+  // The dense stack itself must also be worker-count invariant (regression
+  // guard for the chunked min/max normalization reduction).
+  const std::vector<std::uint64_t> dense4 = stack_fingerprint(4, MetricOptions{});
+  EXPECT_TRUE(reference == dense4);
+}
+
+}  // namespace
+}  // namespace compactroute

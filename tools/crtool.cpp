@@ -12,8 +12,12 @@
 //   clusters LEVELS FANOUT SPREAD SEED | cliques NUM SIZE BRIDGE |
 //   tree N MAXW SEED | lbtree EPS N
 //
-// A global `--threads N` option (equivalent to CR_THREADS=N) pins the
-// executor's worker count; it may appear anywhere on the command line.
+// Global options (anywhere on the command line):
+//   --threads N            pin the executor's worker count (CR_THREADS=N)
+//   --metric dense|lazy    metric backend: precomputed matrices (default) or
+//                          demand-computed rows in an LRU cache
+//   --metric-cache-mb N    lazy backend row-cache budget in MiB (default 64)
+// Each option also accepts the --opt=value spelling.
 //
 // Exit codes: 0 success, 1 runtime error, 2 usage error (unknown command or
 // family, malformed or out-of-range argument).
@@ -58,9 +62,15 @@ namespace {
                "  crtool eval <graph> [samples] [eps]\n"
                "  crtool trace <graph> <src> <dst> [eps] [out.json]\n"
                "\n"
-               "global options (anywhere on the command line):\n"
-               "  --threads N     worker count for parallel construction and\n"
-               "                  evaluation (N >= 1; same as CR_THREADS=N)\n"
+               "global options (anywhere on the command line; --opt=value\n"
+               "also accepted):\n"
+               "  --threads N          worker count for parallel construction\n"
+               "                       and evaluation (N >= 1; CR_THREADS=N)\n"
+               "  --metric dense|lazy  metric backend: all-pairs matrices\n"
+               "                       (default) or demand-computed rows in a\n"
+               "                       byte-budgeted LRU cache\n"
+               "  --metric-cache-mb N  lazy row-cache budget in MiB\n"
+               "                       (default 64)\n"
                "\n"
                "gen families: grid W H | torus W H | geometric N DIM K SEED |\n"
                "  spider ARMS LEN | clusters LEVELS FANOUT SPREAD SEED |\n"
@@ -99,6 +109,10 @@ double parse_double(const std::string& token, const char* what) {
     usage();
   }
 }
+
+/// Metric backend chosen by the global --metric / --metric-cache-mb options;
+/// every command that builds a MetricSpace reads it.
+MetricOptions g_metric_options;
 
 std::uint64_t arg_u64(const std::vector<std::string>& args, std::size_t k,
                       std::uint64_t fallback, const char* what = "argument") {
@@ -151,7 +165,7 @@ int cmd_gen(const std::vector<std::string>& args) {
 int cmd_info(const std::vector<std::string>& args) {
   if (args.empty()) usage();
   const Graph graph = load_graph(args[0]);
-  const MetricSpace metric(graph);
+  const MetricSpace metric(graph, g_metric_options);
   Prng prng(1);
   const DoublingEstimate dim = estimate_doubling_dimension(
       metric, std::min<std::size_t>(metric.n(), 12), prng);
@@ -160,6 +174,8 @@ int cmd_info(const std::vector<std::string>& args) {
   std::printf("max degree       %zu\n", graph.max_degree());
   std::printf("norm. diameter   %.6g\n", metric.delta());
   std::printf("net levels       %d\n", metric.num_levels());
+  std::printf("metric backend   %s (%zu bytes)\n", metric.backend_name(),
+              metric.memory_bytes());
   std::printf("doubling dim     ~%.2f (greedy estimate)\n", dim.dimension);
   return 0;
 }
@@ -167,7 +183,7 @@ int cmd_info(const std::vector<std::string>& args) {
 struct Stack {
   explicit Stack(Graph g, double eps)
       : graph(std::move(g)),
-        metric(graph),
+        metric(graph, g_metric_options),
         hierarchy(metric),
         naming(Naming::random(metric.n(), 4242)),
         hier(metric, hierarchy, std::min(eps, 0.5)),
@@ -258,8 +274,10 @@ int cmd_trace(const std::vector<std::string>& args) {
   const NodeId src = parse_node(args[1], stack.metric, "src");
   const NodeId dst = parse_node(args[2], stack.metric, "dst");
   const Weight optimal = stack.metric.dist(src, dst);
-  std::printf("trace %u -> %u   d = %.6g   (eps = %.3f, workers = %zu)\n\n", src,
-              dst, optimal, eps, Executor::global().workers());
+  std::printf("trace %u -> %u   d = %.6g   (eps = %.3f, workers = %zu, "
+              "metric = %s)\n\n",
+              src, dst, optimal, eps, Executor::global().workers(),
+              stack.metric.backend_name());
 
   const HierarchicalHopScheme hop_hier(stack.hier);
   const ScaleFreeHopScheme hop_sf(stack.sf);
@@ -304,8 +322,9 @@ int cmd_eval(const std::vector<std::string>& args) {
   Stack stack(load_graph(args[0]), eps);
   Prng prng(7);
 
-  std::printf("eval: %zu samples, eps = %.3f, workers = %zu\n\n", samples, eps,
-              Executor::global().workers());
+  std::printf("eval: %zu samples, eps = %.3f, workers = %zu, metric = %s\n\n",
+              samples, eps, Executor::global().workers(),
+              stack.metric.backend_name());
   std::printf("%-26s %9s %9s %9s %12s %12s %8s\n", "scheme", "stretch",
               "avg-str", "p95-str", "max-bits", "avg-bits", "hdr-bits");
   const auto storage = [&](auto& s) {
@@ -330,25 +349,62 @@ int cmd_eval(const std::vector<std::string>& args) {
 
 }  // namespace
 
+namespace {
+
+/// Matches `--opt value` (value in the next token) or `--opt=value`. On a
+/// match, stores the value, erases the consumed tokens, and returns true with
+/// `i` left pointing at the next unread token.
+bool take_option(std::vector<std::string>& args, std::size_t& i,
+                 const std::string& opt, std::string& value) {
+  std::size_t consumed = 0;
+  if (args[i] == opt) {
+    if (i + 1 >= args.size()) {
+      std::fprintf(stderr, "%s requires a value\n\n", opt.c_str());
+      usage();
+    }
+    value = args[i + 1];
+    consumed = 2;
+  } else if (args[i].compare(0, opt.size() + 1, opt + "=") == 0) {
+    value = args[i].substr(opt.size() + 1);
+    consumed = 1;
+  } else {
+    return false;
+  }
+  args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+             args.begin() + static_cast<std::ptrdiff_t>(i + consumed));
+  return true;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
 
-  // Strip the global --threads option wherever it appears; it overrides the
-  // CR_THREADS environment variable for this process.
+  // Strip global options wherever they appear. --threads overrides the
+  // CR_THREADS environment variable for this process; --metric and
+  // --metric-cache-mb select the MetricSpace backend for every command.
+  std::string value;
   for (std::size_t i = 0; i < args.size();) {
-    if (args[i] == "--threads") {
-      if (i + 1 >= args.size()) {
-        std::fprintf(stderr, "--threads requires a value\n\n");
-        usage();
-      }
-      const std::uint64_t v = parse_u64(args[i + 1], "--threads value");
+    if (take_option(args, i, "--threads", value)) {
+      const std::uint64_t v = parse_u64(value, "--threads value");
       if (v == 0) {
         std::fprintf(stderr, "--threads value must be >= 1\n\n");
         usage();
       }
       Executor::global().set_workers(static_cast<std::size_t>(v));
-      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
-                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+    } else if (take_option(args, i, "--metric", value)) {
+      if (value == "dense") {
+        g_metric_options.backend = MetricBackendKind::kDense;
+      } else if (value == "lazy") {
+        g_metric_options.backend = MetricBackendKind::kLazy;
+      } else {
+        std::fprintf(stderr, "--metric must be 'dense' or 'lazy', got '%s'\n\n",
+                     value.c_str());
+        usage();
+      }
+    } else if (take_option(args, i, "--metric-cache-mb", value)) {
+      const std::uint64_t mb = parse_u64(value, "--metric-cache-mb value");
+      g_metric_options.cache_bytes = static_cast<std::size_t>(mb) * 1024 * 1024;
     } else {
       ++i;
     }

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+#
+# Builds the Release tree and runs every experiment bench, collecting the
+# BENCH_*.json documents into one artifact directory. This is the script CI
+# runs to accumulate the bench trajectory; it is equally usable locally:
+#
+#   tools/run_benches.sh                 # build + run everything -> bench_artifacts/
+#   tools/run_benches.sh out/            # custom artifact directory
+#   BENCHES="bench_preprocessing" tools/run_benches.sh   # subset
+#
+# Environment knobs:
+#   BUILD_DIR   build tree to use/create          (default: build-bench)
+#   BENCHES     space-separated bench executables (default: all JSON benches)
+#   CR_THREADS  forwarded to the benches' executor
+set -euo pipefail
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+build_dir=${BUILD_DIR:-"$repo_root/build-bench"}
+artifact_dir=${1:-"$repo_root/bench_artifacts"}
+
+# The benches that write BENCH_*.json documents (the others only print
+# tables; add them via BENCHES= when their output is wanted in the log).
+default_benches="bench_table1_name_independent bench_table2_labeled \
+bench_preprocessing"
+benches=${BENCHES:-$default_benches}
+
+cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build_dir" -j"$(nproc)"
+
+mkdir -p "$artifact_dir"
+cd "$build_dir/bench"
+
+for bench in $benches; do
+  echo "=== $bench ==="
+  "./$bench"
+done
+
+# Every bench writes its JSON next to itself; validate and collect them.
+for json in BENCH_*.json; do
+  [ -e "$json" ] || { echo "no BENCH_*.json produced" >&2; exit 1; }
+  python3 -m json.tool "$json" > /dev/null
+  cp "$json" "$artifact_dir/"
+done
+
+echo "artifacts in $artifact_dir:"
+ls -l "$artifact_dir"
