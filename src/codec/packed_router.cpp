@@ -10,6 +10,7 @@ namespace compactroute {
 PackedHierarchicalRouter::PackedHierarchicalRouter(
     const HierarchicalLabeledScheme& scheme, const MetricSpace& metric)
     : graph_(&metric.graph()),
+      metric_(&metric),
       n_(metric.n()),
       num_levels_(scheme.hierarchy().top_level() + 1) {
   CR_OBS_SCOPED_TIMER("preprocess.codec.pack");
@@ -61,6 +62,7 @@ RouteResult PackedHierarchicalRouter::route(NodeId src, NodeId dest_label) const
     const auto [own_label, rings] = decode(pos);
     if (own_label == dest_label) {
       result.delivered = true;
+      result.cost = path_cost(*metric_, result.path);
       return result;
     }
     NodeId next = kInvalidNode;

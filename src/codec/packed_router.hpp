@@ -34,16 +34,29 @@ class PackedHierarchicalRouter {
   /// and the graph's adjacency lists.
   RouteResult route(NodeId src, NodeId dest_label) const;
 
- private:
   struct Entry {
     LeafRange range;
     std::uint32_t port = 0;  // adjacency index; degree(u) encodes "self"
   };
 
+  /// Mutation-test hook (src/audit): mutable wire blobs so tests can flip
+  /// bits on the serialized state, plus on-demand decoding to compare the
+  /// wire view with the in-memory scheme.
+  struct AuditView {
+    PackedHierarchicalRouter* router;
+    std::vector<std::uint8_t>& blob(NodeId u) { return router->blobs_[u]; }
+    std::pair<NodeId, std::vector<std::vector<Entry>>> decode(NodeId u) const {
+      return router->decode(u);
+    }
+  };
+  AuditView audit_view() { return {this}; }
+
+ private:
   /// Decodes node u's blob (done on demand during routing).
   std::pair<NodeId, std::vector<std::vector<Entry>>> decode(NodeId u) const;
 
   const Graph* graph_;
+  const MetricSpace* metric_;  // cost accounting only; forwarding is wire-only
   std::size_t n_ = 0;
   int num_levels_ = 0;
   std::vector<std::vector<std::uint8_t>> blobs_;

@@ -1,6 +1,8 @@
 #include "io/graph_io.hpp"
 
+#include <cmath>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "core/check.hpp"
@@ -22,17 +24,42 @@ bool next_token(std::istream& in, std::string& token) {
   return false;
 }
 
+// Both parsers reject rather than coerce: std::stoull silently wraps
+// negative input and both throw std::invalid_argument on garbage, so every
+// failure mode is funneled into one InvariantError with the offending token.
 std::uint64_t parse_count(const std::string& token) {
-  std::size_t pos = 0;
-  const std::uint64_t value = std::stoull(token, &pos);
-  CR_CHECK_MSG(pos == token.size(), "malformed integer in graph file");
-  return value;
+  CR_CHECK_MSG(!token.empty() && token[0] != '-' && token[0] != '+',
+               "malformed integer in graph file: '" + token + "'");
+  try {
+    std::size_t pos = 0;
+    const std::uint64_t value = std::stoull(token, &pos);
+    CR_CHECK_MSG(pos == token.size(),
+                 "malformed integer in graph file: '" + token + "'");
+    return value;
+  } catch (const InvariantError&) {
+    throw;
+  } catch (const std::exception&) {
+    CR_CHECK_MSG(false, "malformed integer in graph file: '" + token + "'");
+  }
+  return 0;  // unreachable
 }
 
 double parse_weight(const std::string& token) {
-  std::size_t pos = 0;
-  const double value = std::stod(token, &pos);
-  CR_CHECK_MSG(pos == token.size(), "malformed weight in graph file");
+  double value = 0;
+  try {
+    std::size_t pos = 0;
+    value = std::stod(token, &pos);
+    CR_CHECK_MSG(pos == token.size(),
+                 "malformed weight in graph file: '" + token + "'");
+  } catch (const InvariantError&) {
+    throw;
+  } catch (const std::exception&) {
+    CR_CHECK_MSG(false, "malformed weight in graph file: '" + token + "'");
+  }
+  CR_CHECK_MSG(std::isfinite(value),
+               "non-finite edge weight in graph file: '" + token + "'");
+  CR_CHECK_MSG(value >= 0,
+               "negative edge weight in graph file: '" + token + "'");
   return value;
 }
 
@@ -53,6 +80,8 @@ Graph read_edge_list(std::istream& in) {
   std::string token;
   CR_CHECK_MSG(next_token(in, token), "empty graph file");
   const std::uint64_t n = parse_count(token);
+  CR_CHECK_MSG(n <= std::numeric_limits<NodeId>::max(),
+               "node count overflows NodeId");
   CR_CHECK_MSG(next_token(in, token), "missing edge count");
   const std::uint64_t m = parse_count(token);
 

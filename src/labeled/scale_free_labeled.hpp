@@ -90,6 +90,12 @@ class ScaleFreeLabeledScheme final : public LabeledScheme {
     NodeId next_hop = kInvalidNode;
   };
 
+  /// Ring tables of node u; rings(u)[k] belongs to level level_set(u)[k].
+  /// Exposed for the audit subsystem.
+  const std::vector<std::vector<RingEntry>>& rings(NodeId u) const {
+    return rings_[u];
+  }
+
   struct Region {
     NodeId center = kInvalidNode;
     std::unique_ptr<RootedTree> tree;           // T_c(j): spans V(c, j)

@@ -92,6 +92,12 @@ class ScaleFreeNameIndependentScheme final : public NameIndependentScheme {
   const NetHierarchy& hierarchy() const { return *hierarchy_; }
   const Naming& naming() const { return *naming_; }
 
+  /// The packing ℬ_j actually deployed by the scheme and the exponent range
+  /// j ∈ [0, max_exponent()] — exposed so the audit subsystem certifies the
+  /// live structures rather than rebuilding its own.
+  int max_exponent() const { return max_exponent_; }
+  const BallPacking& packing(int j) const { return *packings_[j]; }
+
  private:
   struct Membership {
     /// Own search tree for B_u(2^i/ε); null when subsumed (i ∈ S(u)).

@@ -51,7 +51,8 @@ HopRun execute_hops(const MetricSpace& metric, const HopScheme& scheme, NodeId s
 #endif
 
   HopHeader header = scheme.make_header(src, dest_key);
-  run.max_header_bits = header.encoded_bits(metric.n(), metric.num_levels());
+  run.initial_header_bits = header.encoded_bits(metric.n(), metric.num_levels());
+  run.max_header_bits = run.initial_header_bits;
 
   NodeId at = src;
   for (std::size_t hop = 0; hop <= max_hops; ++hop) {

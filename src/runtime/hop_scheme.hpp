@@ -89,6 +89,10 @@ struct HopRun {
   Path path;        // every consecutive pair is a graph edge
   Weight cost = 0;  // sum of traversed edge weights (normalized)
   std::size_t max_header_bits = 0;
+  /// Bits of the header the source attached, before any hop mutated it.
+  /// Recorded even under CR_OBS_DISABLED, so the metering invariant
+  /// max_header_bits >= initial_header_bits stays auditable without traces.
+  std::size_t initial_header_bits = 0;
   RouteTrace trace;  // phase-tagged hops; empty under CR_OBS_DISABLED
 };
 

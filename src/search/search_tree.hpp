@@ -41,6 +41,14 @@ class SearchTree {
   using Key = std::uint64_t;
   using Data = std::uint64_t;
 
+  /// Closed key interval; empty when lo > hi (the default).
+  struct KeyRange {
+    Key lo = 1;
+    Key hi = 0;
+    bool contains(Key k) const { return lo <= k && k <= hi; }
+    bool empty() const { return lo > hi; }
+  };
+
   SearchTree(const MetricSpace& metric, NodeId center, Weight radius, double epsilon,
              Variant variant = Variant::kBasic);
 
@@ -89,6 +97,28 @@ class SearchTree {
   std::size_t node_bits(int local, std::size_t key_bits, std::size_t data_bits,
                         std::size_t link_bits) const;
 
+  // ------- audit access (src/audit) -------
+
+  bool stored() const { return stored_; }
+  /// The (key, data) pairs held at one tree node (Algorithm 1 chunk).
+  const std::vector<std::pair<Key, Data>>& chunk(int local) const {
+    return chunks_[local];
+  }
+  KeyRange own_key_range(int local) const { return own_range_[local]; }
+  KeyRange subtree_key_range(int local) const { return subtree_range_[local]; }
+
+  /// Mutation-test hook: mutable access to the dictionary internals so
+  /// tests/test_audit.cpp can inject defects and certify the auditors.
+  struct AuditView {
+    SearchTree* tree;
+    std::vector<std::vector<std::pair<Key, Data>>>& chunks() {
+      return tree->chunks_;
+    }
+    std::vector<KeyRange>& own_ranges() { return tree->own_range_; }
+    std::vector<KeyRange>& subtree_ranges() { return tree->subtree_range_; }
+  };
+  AuditView audit_view() { return {this}; }
+
  private:
   void build(const MetricSpace& metric, double epsilon, Variant variant);
 
@@ -103,12 +133,6 @@ class SearchTree {
   // Dictionary state (after store()).
   bool stored_ = false;
   std::vector<std::vector<std::pair<Key, Data>>> chunks_;  // per local node
-  struct KeyRange {
-    Key lo = 1;
-    Key hi = 0;
-    bool contains(Key k) const { return lo <= k && k <= hi; }
-    bool empty() const { return lo > hi; }
-  };
   std::vector<KeyRange> own_range_;      // range of the node's own chunk
   std::vector<KeyRange> subtree_range_;  // range over the whole subtree
 };

@@ -70,4 +70,70 @@ Weight RootedTree::height() const {
   return h;
 }
 
+bool RootedTree::validate(std::string* why) const {
+  const auto fail = [why](const std::string& message) {
+    if (why != nullptr) *why = message;
+    return false;
+  };
+  const std::size_t m = global_.size();
+  if (root_ < 0 || static_cast<std::size_t>(root_) >= m) {
+    return fail("root index out of range");
+  }
+  if (parent_[root_] != -1) return fail("root has a parent");
+  for (std::size_t i = 0; i < m; ++i) {
+    const int local = static_cast<int>(i);
+    if (local_id(global_[i]) != local) {
+      return fail("global/local id maps disagree at node " +
+                  std::to_string(global_[i]));
+    }
+    const int p = parent_[i];
+    if (local != root_) {
+      if (p < 0 || static_cast<std::size_t>(p) >= m || p == local) {
+        return fail("node " + std::to_string(global_[i]) +
+                    " has an invalid parent index");
+      }
+      const auto& siblings = children_[p];
+      if (std::find(siblings.begin(), siblings.end(), local) == siblings.end()) {
+        return fail("node " + std::to_string(global_[i]) +
+                    " missing from its parent's child list");
+      }
+      if (parent_weight_[i] < 0) {
+        return fail("negative edge weight above node " +
+                    std::to_string(global_[i]));
+      }
+    }
+    for (int child : children_[i]) {
+      if (child < 0 || static_cast<std::size_t>(child) >= m ||
+          parent_[child] != local) {
+        return fail("child list of node " + std::to_string(global_[i]) +
+                    " disagrees with parent pointers");
+      }
+    }
+  }
+  // Reachability plus recomputed subtree sizes and depths.
+  std::vector<int> order;
+  order.reserve(m);
+  order.push_back(root_);
+  for (std::size_t head = 0; head < order.size() && order.size() <= m; ++head) {
+    for (int child : children_[order[head]]) order.push_back(child);
+  }
+  if (order.size() != m) return fail("not every node is reachable from the root");
+  std::vector<std::size_t> sizes(m, 1);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if (*it != root_) sizes[parent_[*it]] += sizes[*it];
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    if (sizes[i] != subtree_size_[i]) {
+      return fail("cached subtree size wrong at node " +
+                  std::to_string(global_[i]));
+    }
+    const Weight expected =
+        static_cast<int>(i) == root_ ? 0 : depth_[parent_[i]] + parent_weight_[i];
+    if (depth_[i] != expected) {
+      return fail("cached depth wrong at node " + std::to_string(global_[i]));
+    }
+  }
+  return true;
+}
+
 }  // namespace compactroute

@@ -11,6 +11,7 @@
 // virtual edges whose weight is a metric distance (search trees).
 //
 #include <cstddef>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -60,6 +61,12 @@ class RootedTree {
 
   /// Maximum depth over all nodes (the height used in Eqn (3)).
   Weight height() const;
+
+  /// Structural self-check used by the audit subsystem: exactly one root,
+  /// parent/children mutually consistent, every node reachable from the
+  /// root, and subtree sizes / depths matching a recomputation. Returns
+  /// false and describes the first defect in `why` (when non-null).
+  bool validate(std::string* why = nullptr) const;
 
  private:
   void init_nodes(const std::vector<NodeId>& nodes, NodeId root);

@@ -1,138 +1,80 @@
 #include <gtest/gtest.h>
 
-#include <cmath>
+#include <string>
 
-#include "core/prng.hpp"
-#include "gen/generators.hpp"
-#include "graph/metric.hpp"
-#include "labeled/hierarchical_labeled.hpp"
-#include "labeled/scale_free_labeled.hpp"
-#include "nameind/scale_free_nameind.hpp"
-#include "nameind/simple_nameind.hpp"
-#include "nets/ball_packing.hpp"
-#include "nets/rnet.hpp"
-#include "routing/naming.hpp"
-#include "routing/simulator.hpp"
+#include "audit/campaign.hpp"
 
 namespace compactroute {
 namespace {
 
-// Randomized instance fuzzing: for each seed, pick a family and size at
-// random, build the full Theorem 1.1/1.2 stack, and check the global
-// invariants: every route delivers, stretch bounds hold, the metric is a
-// metric, and the structures satisfy their defining properties. Seeds are
-// the test parameter, so failures name the exact reproducer.
-class FuzzTest : public ::testing::TestWithParam<std::uint64_t> {
- protected:
-  static Graph make_instance(Prng& prng) {
-    switch (prng.next_below(7)) {
-      case 0:
-        return make_grid(4 + prng.next_below(8), 4 + prng.next_below(8));
-      case 1:
-        return make_random_geometric(40 + prng.next_below(80), 2,
-                                     3 + prng.next_below(3), prng.next_u64());
-      case 2:
-        return make_random_tree(30 + prng.next_below(80),
-                                1 + prng.next_double() * 6, prng.next_u64());
-      case 3:
-        return make_exponential_spider(4 + prng.next_below(12),
-                                       2 + prng.next_below(6));
-      case 4:
-        return make_cluster_hierarchy(2 + prng.next_below(2), 3 + prng.next_below(2),
-                                      4 + prng.next_double() * 8, prng.next_u64());
-      case 5:
-        return make_ring_of_cliques(3 + prng.next_below(5), 3 + prng.next_below(5),
-                                    2 + prng.next_double() * 10);
-      default:
-        return make_grid_with_holes(8 + prng.next_below(6), 8 + prng.next_below(6),
-                                    prng.next_below(6), 1 + prng.next_below(3),
-                                    prng.next_u64());
-    }
-  }
-};
+// Model-based fuzzing via the audit campaign driver (src/audit/campaign).
+// Instead of hand-rolled random instances with ad-hoc spot checks, each
+// family sweeps fixed seeds through the deterministic campaign: build the
+// full Theorem 1.1/1.2 stack and run the complete audit battery — nets,
+// netting tree, DFS ranges, packings, search trees, codecs, the packed
+// router, the hop-by-hop runtime, and stretch certificates. A failure names
+// the exact (family, n, seed, ε, backend, workers) reproducer, and
+// `crtool audit` re-runs and shrinks it from the command line.
+class CampaignFuzz : public ::testing::TestWithParam<std::string> {};
 
-TEST_P(FuzzTest, MetricIsAMetric) {
-  Prng prng(GetParam());
-  const Graph graph = make_instance(prng);
-  const MetricSpace metric(graph);
-  for (int trial = 0; trial < 200; ++trial) {
-    const NodeId a = static_cast<NodeId>(prng.next_below(metric.n()));
-    const NodeId b = static_cast<NodeId>(prng.next_below(metric.n()));
-    const NodeId c = static_cast<NodeId>(prng.next_below(metric.n()));
-    EXPECT_DOUBLE_EQ(metric.dist(a, b), metric.dist(b, a));
-    EXPECT_LE(metric.dist(a, c), metric.dist(a, b) + metric.dist(b, c) + 1e-9);
-    if (a != b) {
-      EXPECT_GE(metric.dist(a, b), 1.0 - 1e-9);
+TEST_P(CampaignFuzz, SweepIsCleanOnBothBackendsAndWorkerCounts) {
+  audit::CampaignOptions options;
+  options.families = {GetParam()};
+  options.n_hints = {32, 64};
+  options.seeds = {1, 2, 3};
+  options.epsilons = {0.5};
+  options.backends = {MetricBackendKind::kDense, MetricBackendKind::kLazy};
+  options.worker_counts = {1, 4};
+  options.shrink = false;  // a red case is already a named reproducer
+
+  const audit::CampaignResult result = run_campaign(options);
+  EXPECT_EQ(result.cases_run, 2u * 3u * 2u * 2u);
+  EXPECT_GT(result.checks, 10000u);
+  EXPECT_TRUE(result.ok());
+  for (const audit::CaseOutcome& outcome : result.outcomes) {
+    for (const audit::Issue& issue : outcome.issues) {
+      ADD_FAILURE() << outcome.config.family << " n=" << outcome.n
+                    << " seed=" << outcome.config.seed
+                    << " workers=" << outcome.config.workers << ": ["
+                    << issue.auditor << "/" << issue.invariant << "] "
+                    << issue.detail;
     }
   }
 }
 
-TEST_P(FuzzTest, HierarchyAndPackingInvariants) {
-  Prng prng(GetParam() * 31 + 7);
-  const Graph graph = make_instance(prng);
-  const MetricSpace metric(graph);
-  const NetHierarchy hierarchy(metric);
+INSTANTIATE_TEST_SUITE_P(
+    Families, CampaignFuzz,
+    ::testing::ValuesIn(audit::campaign_families()),
+    [](const ::testing::TestParamInfo<std::string>& info) { return info.param; });
 
-  // Nets: separation at a sampled level; zoom chain well-formed.
-  const int level = 1 + static_cast<int>(prng.next_below(
-                            std::max(1, hierarchy.top_level())));
-  const auto& net = hierarchy.net(level);
-  for (int trial = 0; trial < 50 && net.size() >= 2; ++trial) {
-    const NodeId a = net[prng.next_below(net.size())];
-    const NodeId b = net[prng.next_below(net.size())];
-    if (a != b) {
-      EXPECT_GE(metric.dist(a, b), level_radius(level) - 1e-9);
+TEST(CampaignFuzzDeterminism, WorkerCountsAgreeCheckForCheck) {
+  // Determinism across parallelism: the same case audited with 1 and with 4
+  // workers must perform the identical number of checks and find nothing.
+  std::size_t baseline = 0;
+  for (std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    audit::CampaignCase config;
+    config.family = "geometric";
+    config.n_hint = 64;
+    config.seed = 5;
+    config.workers = workers;
+    const audit::Report report = run_audit_case(config, audit::Options{});
+    EXPECT_TRUE(report.ok()) << report.summary();
+    if (workers == 1) {
+      baseline = report.checks;
+    } else {
+      EXPECT_EQ(report.checks, baseline);
     }
   }
-  for (NodeId u = 0; u < metric.n(); u += 3) {
-    EXPECT_TRUE(hierarchy.in_net(level, hierarchy.zoom(level, u)));
-  }
-
-  // Packing at a sampled exponent: disjoint and covering.
-  const int j = static_cast<int>(prng.next_below(max_size_exponent(metric.n()) + 1));
-  const BallPacking packing(metric, j);
-  for (NodeId u = 0; u < metric.n(); u += 5) {
-    const int b = packing.covering_ball(metric, u);
-    const Weight ru = size_radius(metric, u, j);
-    EXPECT_LE(packing.balls()[b].radius, ru + 1e-9);
-    EXPECT_LE(metric.dist(u, packing.balls()[b].center), 2 * ru + 1e-9);
-  }
 }
 
-TEST_P(FuzzTest, FullStackDeliversWithBoundedStretch) {
-  Prng prng(GetParam() * 131 + 17);
-  const Graph graph = make_instance(prng);
-  const MetricSpace metric(graph);
-  const NetHierarchy hierarchy(metric);
-  const Naming naming = Naming::random(metric.n(), prng.next_u64());
-  const ScaleFreeLabeledScheme labeled(metric, hierarchy, 0.5);
-  const ScaleFreeNameIndependentScheme scheme(metric, hierarchy, naming, labeled,
-                                              0.5);
-  const StretchStats labeled_stats = evaluate_labeled(labeled, metric, 300, prng);
-  EXPECT_EQ(labeled_stats.failures, 0u);
-  EXPECT_LE(labeled_stats.max_stretch, 1.0 + 20 * 0.5);
-  const StretchStats ni_stats =
-      evaluate_name_independent(scheme, metric, naming, 300, prng);
-  EXPECT_EQ(ni_stats.failures, 0u);
-  EXPECT_LE(ni_stats.max_stretch, 9.0 + 70 * 0.5);
+TEST(CampaignFuzzDeterminism, ExhaustedBudgetStopsBetweenCases) {
+  audit::CampaignOptions options;
+  options.families = {"grid"};
+  options.budget_seconds = 1e-9;
+  const audit::CampaignResult result = run_campaign(options);
+  EXPECT_TRUE(result.budget_exhausted);
+  EXPECT_EQ(result.cases_run, 0u);
 }
-
-TEST_P(FuzzTest, SimpleStackDelivers) {
-  Prng prng(GetParam() * 733 + 5);
-  const Graph graph = make_instance(prng);
-  const MetricSpace metric(graph);
-  const NetHierarchy hierarchy(metric);
-  const Naming naming = Naming::random(metric.n(), prng.next_u64());
-  const HierarchicalLabeledScheme labeled(metric, hierarchy, 0.5);
-  const SimpleNameIndependentScheme scheme(metric, hierarchy, naming, labeled, 0.5);
-  const StretchStats stats =
-      evaluate_name_independent(scheme, metric, naming, 300, prng);
-  EXPECT_EQ(stats.failures, 0u);
-}
-
-INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest,
-                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12,
-                                           13, 14, 15, 16, 17, 18, 19, 20));
 
 }  // namespace
 }  // namespace compactroute

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "core/prng.hpp"
@@ -9,6 +11,7 @@
 #include "graph/doubling.hpp"
 #include "graph/graph.hpp"
 #include "graph/metric.hpp"
+#include "io/graph_io.hpp"
 #include "test_util.hpp"
 
 namespace compactroute {
@@ -251,6 +254,77 @@ TEST(Doubling, PathHasDimensionAboutOne) {
   Prng prng(2);
   const DoublingEstimate est = estimate_doubling_dimension(metric, 10, prng);
   EXPECT_LE(est.dimension, 2.0);
+}
+
+// ---- edge-list loader hardening -------------------------------------------
+
+Graph parse_graph(const std::string& text) {
+  std::istringstream in(text);
+  return read_edge_list(in);
+}
+
+TEST(GraphIo, RoundTripsThroughText) {
+  const Graph original = small_graph_zoo().front().graph;
+  std::ostringstream out;
+  write_edge_list(out, original);
+  const Graph loaded = parse_graph(out.str());
+  ASSERT_EQ(loaded.num_nodes(), original.num_nodes());
+  ASSERT_EQ(loaded.num_edges(), original.num_edges());
+  for (NodeId u = 0; u < original.num_nodes(); ++u) {
+    ASSERT_EQ(loaded.neighbors(u).size(), original.neighbors(u).size());
+    for (std::size_t k = 0; k < original.neighbors(u).size(); ++k) {
+      EXPECT_EQ(loaded.neighbors(u)[k].to, original.neighbors(u)[k].to);
+      EXPECT_EQ(loaded.neighbors(u)[k].weight, original.neighbors(u)[k].weight);
+    }
+  }
+}
+
+TEST(GraphIo, RejectsNonFiniteWeights) {
+  EXPECT_THROW(parse_graph("2 1\n0 1 nan\n"), InvariantError);
+  EXPECT_THROW(parse_graph("2 1\n0 1 inf\n"), InvariantError);
+  EXPECT_THROW(parse_graph("2 1\n0 1 -inf\n"), InvariantError);
+}
+
+TEST(GraphIo, RejectsNegativeWeight) {
+  EXPECT_THROW(parse_graph("2 1\n0 1 -3.5\n"), InvariantError);
+}
+
+TEST(GraphIo, RejectsNegativeCountsAndEndpoints) {
+  // std::stoull would silently wrap these to huge values.
+  EXPECT_THROW(parse_graph("-2 1\n0 1 1\n"), InvariantError);
+  EXPECT_THROW(parse_graph("2 -1\n0 1 1\n"), InvariantError);
+  EXPECT_THROW(parse_graph("2 1\n-1 1 1\n"), InvariantError);
+}
+
+TEST(GraphIo, RejectsOutOfRangeEndpoints) {
+  EXPECT_THROW(parse_graph("2 1\n0 2 1\n"), InvariantError);
+  EXPECT_THROW(parse_graph("2 1\n5 0 1\n"), InvariantError);
+}
+
+TEST(GraphIo, RejectsTruncatedFiles) {
+  EXPECT_THROW(parse_graph(""), InvariantError);
+  EXPECT_THROW(parse_graph("4"), InvariantError);
+  EXPECT_THROW(parse_graph("4 3\n0 1 1\n1 2"), InvariantError);
+  EXPECT_THROW(parse_graph("4 3\n0 1 1\n"), InvariantError);
+}
+
+TEST(GraphIo, RejectsMalformedTokens) {
+  EXPECT_THROW(parse_graph("two 1\n0 1 1\n"), InvariantError);
+  EXPECT_THROW(parse_graph("2 1\n0 1 heavy\n"), InvariantError);
+  EXPECT_THROW(parse_graph("2 1\n0x0 1 1\n"), InvariantError);
+  EXPECT_THROW(parse_graph("2 1\n0 1 1.5x\n"), InvariantError);
+}
+
+TEST(GraphIo, CommentsAndWhitespaceAreIgnored) {
+  const Graph g = parse_graph(
+      "# header comment\n"
+      "3 2   # trailing comment\n"
+      "\n"
+      "0 1 1.5\n"
+      "# between edges\n"
+      "1 2 2.5\n");
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
 }
 
 TEST(Doubling, StarDimensionGrowsWithUniformPoints) {

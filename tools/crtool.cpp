@@ -6,6 +6,9 @@
 //   crtool eval <graph> [samples] [eps]         stretch/storage table
 //   crtool trace <graph> <src> <dst> [eps] [out.json]
 //                                               hop-by-hop annotated trace
+//   crtool audit [options]                      deterministic fuzz campaign:
+//                                               sweep generator families and
+//                                               audit every paper invariant
 //
 // Families for `gen`:
 //   grid W H | torus W H | geometric N DIM K SEED | spider ARMS LEN |
@@ -22,11 +25,13 @@
 // Exit codes: 0 success, 1 runtime error, 2 usage error (unknown command or
 // family, malformed or out-of-range argument).
 //
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "audit/campaign.hpp"
 #include "core/bits.hpp"
 #include "core/parallel.hpp"
 #include "core/prng.hpp"
@@ -61,6 +66,7 @@ namespace {
                "  crtool route <graph> <src> <dst> [eps]\n"
                "  crtool eval <graph> [samples] [eps]\n"
                "  crtool trace <graph> <src> <dst> [eps] [out.json]\n"
+               "  crtool audit [audit options]\n"
                "\n"
                "global options (anywhere on the command line; --opt=value\n"
                "also accepted):\n"
@@ -71,6 +77,21 @@ namespace {
                "                       byte-budgeted LRU cache\n"
                "  --metric-cache-mb N  lazy row-cache budget in MiB\n"
                "                       (default 64)\n"
+               "\n"
+               "audit options (each list is comma-separated):\n"
+               "  --families LIST      generator families to sweep (default:\n"
+               "                       grid,holes,geometric,tree,spider,\n"
+               "                       clusters,cliques,torus)\n"
+               "  --n LIST             target instance sizes (default 48,96)\n"
+               "  --seeds LIST         instance seeds (default 1,2,3)\n"
+               "  --eps LIST           epsilon values (default 0.5)\n"
+               "  --backends LIST      metric backends (default dense,lazy)\n"
+               "  --workers LIST       executor worker counts (default 1,4)\n"
+               "  --budget-s S         wall-clock budget; the sweep stops\n"
+               "                       between cases (default 0 = full grid)\n"
+               "  --out FILE           write the JSON campaign report\n"
+               "  --no-shrink          skip shrinking the first failure\n"
+               "audit exits 0 when every check passes, 1 on any violation.\n"
                "\n"
                "gen families: grid W H | torus W H | geometric N DIM K SEED |\n"
                "  spider ARMS LEN | clusters LEVELS FANOUT SPREAD SEED |\n"
@@ -347,6 +368,133 @@ int cmd_eval(const std::vector<std::string>& args) {
   return 0;
 }
 
+std::vector<std::string> split_csv(const std::string& list) {
+  std::vector<std::string> items;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const std::size_t comma = list.find(',', start);
+    const std::size_t end = comma == std::string::npos ? list.size() : comma;
+    if (end > start) items.push_back(list.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (items.empty()) {
+    std::fprintf(stderr, "empty list '%s'\n\n", list.c_str());
+    usage();
+  }
+  return items;
+}
+
+bool take_option(std::vector<std::string>& args, std::size_t& i,
+                 const std::string& opt, std::string& value);
+
+int cmd_audit(std::vector<std::string> args) {
+  audit::CampaignOptions options;
+  std::string out_path;
+  std::string value;
+  for (std::size_t i = 0; i < args.size();) {
+    if (take_option(args, i, "--families", value)) {
+      options.families = split_csv(value);
+      for (const std::string& family : options.families) {
+        const auto& known = audit::campaign_families();
+        if (std::find(known.begin(), known.end(), family) == known.end()) {
+          std::fprintf(stderr, "unknown audit family '%s'\n\n", family.c_str());
+          usage();
+        }
+      }
+    } else if (take_option(args, i, "--n", value)) {
+      options.n_hints.clear();
+      for (const std::string& token : split_csv(value)) {
+        options.n_hints.push_back(parse_u64(token, "--n entry"));
+      }
+    } else if (take_option(args, i, "--seeds", value)) {
+      options.seeds.clear();
+      for (const std::string& token : split_csv(value)) {
+        options.seeds.push_back(parse_u64(token, "--seeds entry"));
+      }
+    } else if (take_option(args, i, "--eps", value)) {
+      options.epsilons.clear();
+      for (const std::string& token : split_csv(value)) {
+        const double eps = parse_double(token, "--eps entry");
+        if (eps <= 0) {
+          std::fprintf(stderr, "--eps entries must be positive\n\n");
+          usage();
+        }
+        options.epsilons.push_back(eps);
+      }
+    } else if (take_option(args, i, "--backends", value)) {
+      options.backends.clear();
+      for (const std::string& token : split_csv(value)) {
+        if (token == "dense") {
+          options.backends.push_back(MetricBackendKind::kDense);
+        } else if (token == "lazy") {
+          options.backends.push_back(MetricBackendKind::kLazy);
+        } else {
+          std::fprintf(stderr, "--backends entries must be 'dense' or 'lazy'\n\n");
+          usage();
+        }
+      }
+    } else if (take_option(args, i, "--workers", value)) {
+      options.worker_counts.clear();
+      for (const std::string& token : split_csv(value)) {
+        const std::uint64_t w = parse_u64(token, "--workers entry");
+        if (w == 0) {
+          std::fprintf(stderr, "--workers entries must be >= 1\n\n");
+          usage();
+        }
+        options.worker_counts.push_back(static_cast<std::size_t>(w));
+      }
+    } else if (take_option(args, i, "--budget-s", value)) {
+      options.budget_seconds = parse_double(value, "--budget-s value");
+    } else if (take_option(args, i, "--out", value)) {
+      out_path = value;
+    } else if (take_option(args, i, "--inject", value)) {
+      // Intentionally undocumented: plants one defect so smoke tests can
+      // demonstrate that a violation turns into exit code 1.
+      if (!audit::inject_from_string(value, &options.inject)) {
+        std::fprintf(stderr, "unknown --inject '%s'\n\n", value.c_str());
+        usage();
+      }
+    } else if (args[i] == "--no-shrink") {
+      options.shrink = false;
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      std::fprintf(stderr, "unknown audit option '%s'\n\n", args[i].c_str());
+      usage();
+    }
+  }
+
+  const audit::CampaignResult result = audit::run_campaign(options);
+  std::printf("audit: %zu cases, %zu checks, %zu violations%s\n",
+              result.cases_run, result.checks, result.violations,
+              result.budget_exhausted ? " (budget exhausted)" : "");
+  for (const audit::CaseOutcome& outcome : result.outcomes) {
+    if (outcome.ok()) continue;
+    std::printf("  FAIL %s n=%zu seed=%llu eps=%.3g %s workers=%zu: %s\n",
+                outcome.config.family.c_str(), outcome.n,
+                static_cast<unsigned long long>(outcome.config.seed),
+                outcome.config.epsilon,
+                outcome.config.backend == MetricBackendKind::kDense ? "dense"
+                                                                    : "lazy",
+                outcome.config.workers,
+                outcome.issues.front().invariant.c_str());
+  }
+  if (result.shrunk.found) {
+    std::printf("  shrunk to %s n=%zu seed=%llu eps=%.3g (%zu attempts): %s\n",
+                result.shrunk.config.family.c_str(), result.shrunk.n,
+                static_cast<unsigned long long>(result.shrunk.config.seed),
+                result.shrunk.config.epsilon, result.shrunk.attempts,
+                result.shrunk.invariant.c_str());
+  }
+  if (!out_path.empty()) {
+    const obs::JsonValue doc = audit::campaign_report_json(options, result);
+    if (obs::write_text_file(out_path, doc.dump(2) + "\n")) {
+      std::printf("wrote %s\n", out_path.c_str());
+    }
+  }
+  return result.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 namespace {
@@ -419,6 +567,7 @@ int main(int argc, char** argv) {
     if (command == "route") return cmd_route(args);
     if (command == "eval") return cmd_eval(args);
     if (command == "trace") return cmd_trace(args);
+    if (command == "audit") return cmd_audit(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
