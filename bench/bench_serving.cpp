@@ -1,0 +1,158 @@
+// Experiment E7 — serving throughput from a snapshot: the build-once /
+// serve-heavy half of the compact-routing story. One stack is built at
+// n = 1024, serialized with io/snapshot, reloaded WITHOUT the metric
+// backend, and then batch route requests are replayed against the loaded
+// tables on 4 workers through runtime/serve. Reported per scheme: routes/s,
+// latency percentiles, hops per route, and the batch fingerprint — which
+// must equal the fresh in-process build's fingerprint (checked here), the
+// same acceptance the `crtool serve --audit` path enforces.
+//
+// Headline: the hierarchical labeled scheme must clear 100k routes/s at
+// n = 1024 on 4 workers (`headline_target_met` in BENCH_serving.json).
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/check.hpp"
+#include "core/parallel.hpp"
+#include "io/snapshot.hpp"
+#include "runtime/hop_hierarchical.hpp"
+#include "runtime/hop_scale_free.hpp"
+#include "runtime/hop_scale_free_ni.hpp"
+#include "runtime/hop_simple_ni.hpp"
+#include "runtime/serve.hpp"
+
+using namespace compactroute;
+using bench::write_bench_json;
+
+namespace {
+
+constexpr std::size_t kWorkers = 4;
+constexpr std::size_t kPairs = 20000;
+constexpr std::uint64_t kSeed = 1;
+constexpr double kEps = 0.5;
+constexpr double kHeadlineRoutesPerSec = 100000.0;
+
+double elapsed_ms(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  Executor::global().set_workers(kWorkers);
+
+  std::printf("E7: snapshot serving, grid-32x32 (n = 1024), eps = %.2f, "
+              "%zu workers, %zu pairs/scheme\n\n",
+              kEps, kWorkers, kPairs);
+
+  bench::Stack stack(make_grid(32, 32), kEps);
+  stack.build_name_independent();
+  const std::size_t n = stack.metric.n();
+
+  auto start = std::chrono::steady_clock::now();
+  const std::vector<std::uint8_t> bytes = encode_snapshot(
+      stack.metric, kEps, stack.hierarchy, stack.naming, *stack.hier_labeled,
+      *stack.sf_labeled, *stack.simple_ni, *stack.sf_ni);
+  const double encode_ms = elapsed_ms(start);
+
+  start = std::chrono::steady_clock::now();
+  const SnapshotStack loaded = decode_snapshot(bytes);
+  const double decode_ms = elapsed_ms(start);
+  std::printf("snapshot: %zu bytes (%.1f bits/node), encode %.1f ms, "
+              "load %.1f ms\n\n",
+              bytes.size(), 8.0 * static_cast<double>(bytes.size()) /
+                                static_cast<double>(n),
+              encode_ms, decode_ms);
+
+  const auto labeled = make_requests(n, kPairs, kSeed, [&](NodeId v) {
+    return std::uint64_t{loaded.hierarchy->leaf_label(v)};
+  });
+  const auto named = make_requests(n, kPairs, kSeed + 1, [&](NodeId v) {
+    return loaded.naming->name_of(v);
+  });
+
+  obs::JsonValue doc = obs::JsonValue::object();
+  doc["bench"] = std::string("serving");
+  doc["graph"] = std::string("grid-32x32");
+  doc["n"] = static_cast<std::uint64_t>(n);
+  doc["epsilon"] = kEps;
+  doc["workers"] = static_cast<std::uint64_t>(kWorkers);
+  doc["pairs"] = static_cast<std::uint64_t>(kPairs);
+  doc["seed"] = kSeed;
+  doc["snapshot_bytes"] = static_cast<std::uint64_t>(bytes.size());
+  doc["encode_ms"] = encode_ms;
+  doc["decode_ms"] = decode_ms;
+  doc["schemes"] = obs::JsonValue::array();
+
+  std::printf("%-26s %12s %9s %9s %9s %10s\n", "scheme", "routes/s", "p50-us",
+              "p90-us", "p99-us", "hops/rt");
+
+  double headline_routes_per_sec = 0;
+  const auto run = [&](const HopScheme& loaded_hop, const HopScheme& fresh_hop,
+                       const std::vector<ServeRequest>& requests,
+                       bool headline) {
+    // Warm the caches and the executor before the measured batch.
+    const std::vector<ServeRequest> warmup(requests.begin(),
+                                           requests.begin() + 512);
+    (void)serve_batch(loaded.csr, loaded_hop, warmup);
+
+    const ServeStats s = serve_batch(loaded.csr, loaded_hop, requests);
+
+    // Fidelity gate: the loaded snapshot must route exactly like the fresh
+    // in-process build, request for request.
+    ServeOptions fp_only;
+    fp_only.collect_latencies = false;
+    const ServeStats fresh =
+        serve_batch(stack.metric.csr(), fresh_hop, requests, fp_only);
+    CR_CHECK_MSG(fresh.fingerprint == s.fingerprint,
+                 "loaded snapshot fingerprint diverges from fresh build");
+
+    std::printf("%-26s %12.0f %9.2f %9.2f %9.2f %10.2f\n",
+                loaded_hop.name().c_str(), s.routes_per_sec, s.p50_us, s.p90_us,
+                s.p99_us,
+                static_cast<double>(s.total_hops) /
+                    static_cast<double>(s.requests));
+    if (headline) headline_routes_per_sec = s.routes_per_sec;
+
+    obs::JsonValue entry = obs::JsonValue::object();
+    entry["scheme"] = loaded_hop.name();
+    entry["requests"] = static_cast<std::uint64_t>(s.requests);
+    entry["delivered"] = static_cast<std::uint64_t>(s.delivered);
+    entry["total_hops"] = static_cast<std::uint64_t>(s.total_hops);
+    entry["elapsed_s"] = s.elapsed_s;
+    entry["routes_per_sec"] = s.routes_per_sec;
+    entry["p50_us"] = s.p50_us;
+    entry["p90_us"] = s.p90_us;
+    entry["p99_us"] = s.p99_us;
+    entry["max_us"] = s.max_us;
+    entry["fingerprint"] = s.fingerprint;
+    entry["matches_fresh_build"] = true;  // CR_CHECK above aborts otherwise
+    doc["schemes"].push_back(std::move(entry));
+  };
+
+  run(HierarchicalHopScheme(*loaded.hier),
+      HierarchicalHopScheme(*stack.hier_labeled), labeled, /*headline=*/true);
+  run(ScaleFreeHopScheme(*loaded.sf), ScaleFreeHopScheme(*stack.sf_labeled),
+      labeled, false);
+  run(SimpleNameIndependentHopScheme(*loaded.simple, *loaded.hier),
+      SimpleNameIndependentHopScheme(*stack.simple_ni, *stack.hier_labeled),
+      named, false);
+  run(ScaleFreeNameIndependentHopScheme(*loaded.sfni, *loaded.sf),
+      ScaleFreeNameIndependentHopScheme(*stack.sf_ni, *stack.sf_labeled),
+      named, false);
+
+  const bool target_met = headline_routes_per_sec >= kHeadlineRoutesPerSec;
+  doc["headline_routes_per_sec"] = headline_routes_per_sec;
+  doc["headline_target"] = kHeadlineRoutesPerSec;
+  doc["headline_target_met"] = target_met;
+  std::printf("\nheadline: %.0f routes/s on hop/labeled-hierarchical "
+              "(target %.0f) — %s\n",
+              headline_routes_per_sec, kHeadlineRoutesPerSec,
+              target_met ? "met" : "MISSED");
+
+  write_bench_json("BENCH_serving.json", doc);
+  return 0;
+}

@@ -1,0 +1,199 @@
+#include "audit/snapshot_audit.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+#include "runtime/hop_hierarchical.hpp"
+#include "runtime/hop_scale_free.hpp"
+#include "runtime/hop_scale_free_ni.hpp"
+#include "runtime/hop_simple_ni.hpp"
+#include "runtime/serve.hpp"
+
+namespace compactroute::audit {
+
+namespace {
+
+constexpr const char* kAuditor = "snapshot";
+
+std::string hex64(std::uint64_t x) {
+  std::ostringstream out;
+  out << "0x" << std::hex << x;
+  return out.str();
+}
+
+/// decode_snapshot must reject `bytes` with SnapshotError. Files an Issue if
+/// it accepts, or if a differently-typed exception escapes.
+void expect_rejected(Report& report, const std::vector<std::uint8_t>& bytes,
+                     const std::string& what) {
+  ++report.checks;
+  try {
+    SnapshotStack stack = decode_snapshot(bytes);
+    (void)stack;
+    report.add(kAuditor, "corruption rejected",
+               what + ": corrupt snapshot was accepted");
+  } catch (const SnapshotError&) {
+    // The one acceptable outcome.
+  } catch (const std::exception& e) {
+    report.add(kAuditor, "corruption rejected",
+               what + ": escaped with non-SnapshotError: " + e.what());
+  }
+}
+
+}  // namespace
+
+ServeFingerprints serve_fingerprints(
+    const CsrGraph& csr, const NetHierarchy& hierarchy, const Naming& naming,
+    const HierarchicalLabeledScheme& hier, const ScaleFreeLabeledScheme& sf,
+    const SimpleNameIndependentScheme& simple,
+    const ScaleFreeNameIndependentScheme& sfni, std::size_t requests,
+    std::uint64_t seed) {
+  const std::size_t n = csr.num_nodes();
+  const auto labeled = make_requests(
+      n, requests, seed,
+      [&](NodeId v) { return std::uint64_t{hierarchy.leaf_label(v)}; });
+  const auto named = make_requests(
+      n, requests, seed + 1, [&](NodeId v) { return naming.name_of(v); });
+
+  ServeOptions options;
+  options.collect_latencies = false;  // fingerprints only
+
+  ServeFingerprints fps;
+  {
+    HierarchicalHopScheme hop(hier);
+    fps.hier = serve_batch(csr, hop, labeled, options).fingerprint;
+  }
+  {
+    ScaleFreeHopScheme hop(sf);
+    fps.scale_free = serve_batch(csr, hop, labeled, options).fingerprint;
+  }
+  {
+    SimpleNameIndependentHopScheme hop(simple, hier);
+    fps.simple = serve_batch(csr, hop, named, options).fingerprint;
+  }
+  {
+    ScaleFreeNameIndependentHopScheme hop(sfni, sf);
+    fps.scale_free_ni = serve_batch(csr, hop, named, options).fingerprint;
+  }
+  return fps;
+}
+
+ServeFingerprints serve_fingerprints(const SnapshotStack& stack,
+                                     std::size_t requests,
+                                     std::uint64_t seed) {
+  return serve_fingerprints(stack.csr, *stack.hierarchy, *stack.naming,
+                            *stack.hier, *stack.sf, *stack.simple, *stack.sfni,
+                            requests, seed);
+}
+
+Report audit_snapshot_corruption(const std::vector<std::uint8_t>& bytes,
+                                 const Options& options) {
+  (void)options;
+  Report report;
+
+  // The battery needs the honest directory to aim its mutations; if the
+  // input itself is invalid there is nothing meaningful to corrupt.
+  std::vector<SnapshotSection> sections;
+  try {
+    sections = snapshot_directory(bytes);
+  } catch (const SnapshotError& e) {
+    report.add(kAuditor, "battery input valid",
+               std::string("input snapshot does not parse: ") + e.what());
+    return report;
+  }
+  report.expect(!sections.empty(), kAuditor, "battery input valid",
+                "snapshot has no sections");
+  if (sections.empty()) return report;
+
+  // Truncations: empty file, mid-magic, mid-header, every section boundary
+  // (start and end of each payload), and one-byte-short. Offset tiling means
+  // each of these changes the expected exact file size.
+  std::vector<std::size_t> cuts = {0, 4, 12, bytes.size() - 1};
+  for (const SnapshotSection& s : sections) {
+    cuts.push_back(static_cast<std::size_t>(s.offset));
+    cuts.push_back(static_cast<std::size_t>(s.offset + s.size) - 1);
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+  for (std::size_t cut : cuts) {
+    if (cut >= bytes.size()) continue;
+    std::vector<std::uint8_t> truncated(bytes.begin(),
+                                        bytes.begin() + static_cast<long>(cut));
+    expect_rejected(report, truncated,
+                    "truncate to " + std::to_string(cut) + " bytes");
+  }
+
+  // Bit flips: one byte in the magic, one in the directory, and the first,
+  // middle, and last byte of every section payload. Section CRCs (and the
+  // directory CRC) must catch each one.
+  const auto flip = [&](std::size_t pos, const std::string& what) {
+    std::vector<std::uint8_t> mutated = bytes;
+    mutated[pos] ^= 0x40;
+    expect_rejected(report, mutated,
+                    what + " (byte " + std::to_string(pos) + ")");
+  };
+  flip(0, "flip magic");
+  flip(20, "flip directory");
+  for (const SnapshotSection& s : sections) {
+    const std::size_t first = static_cast<std::size_t>(s.offset);
+    const std::size_t last = static_cast<std::size_t>(s.offset + s.size) - 1;
+    flip(first, "flip first byte of section " + s.name);
+    flip(first + (last - first) / 2, "flip middle byte of section " + s.name);
+    flip(last, "flip last byte of section " + s.name);
+  }
+  return report;
+}
+
+Report audit_snapshot_roundtrip(const MetricSpace& metric,
+                                const NetHierarchy& hierarchy,
+                                const Naming& naming,
+                                const HierarchicalLabeledScheme& hier,
+                                const ScaleFreeLabeledScheme& sf,
+                                const SimpleNameIndependentScheme& simple,
+                                const ScaleFreeNameIndependentScheme& sfni,
+                                double epsilon, const Options& options) {
+  Report report;
+
+  const std::vector<std::uint8_t> bytes =
+      encode_snapshot(metric, epsilon, hierarchy, naming, hier, sf, simple, sfni);
+  const std::vector<std::uint8_t> again =
+      encode_snapshot(metric, epsilon, hierarchy, naming, hier, sf, simple, sfni);
+  report.expect(bytes == again, kAuditor, "encode deterministic",
+                "two encodes of the same stack differ");
+
+  SnapshotStack stack;
+  ++report.checks;
+  try {
+    stack = decode_snapshot(bytes);
+  } catch (const std::exception& e) {
+    report.add(kAuditor, "round trip decodes",
+               std::string("fresh encode failed to decode: ") + e.what());
+    return report;
+  }
+
+  report.expect(stack.n == metric.n() && stack.epsilon == epsilon, kAuditor,
+                "meta round trip", "n/epsilon mismatch after round trip");
+
+  const std::size_t requests = std::max<std::size_t>(options.sample_pairs, 8);
+  const ServeFingerprints fresh = serve_fingerprints(
+      metric.csr(), hierarchy, naming, hier, sf, simple, sfni, requests,
+      options.seed);
+  const ServeFingerprints loaded =
+      serve_fingerprints(stack, requests, options.seed);
+
+  const auto expect_fp = [&](const char* scheme, std::uint64_t a,
+                             std::uint64_t b) {
+    report.expect(a == b, kAuditor, "serve fingerprint matches fresh build",
+                  std::string(scheme) + ": fresh " + hex64(a) + " vs loaded " +
+                      hex64(b));
+  };
+  expect_fp("labeled/hierarchical", fresh.hier, loaded.hier);
+  expect_fp("labeled/scale-free", fresh.scale_free, loaded.scale_free);
+  expect_fp("ni/simple", fresh.simple, loaded.simple);
+  expect_fp("ni/scale-free", fresh.scale_free_ni, loaded.scale_free_ni);
+
+  report.merge(audit_snapshot_corruption(bytes, options));
+  return report;
+}
+
+}  // namespace compactroute::audit

@@ -1,0 +1,60 @@
+#pragma once
+//
+// Snapshot auditor: certifies the io/snapshot round trip.
+//
+// Two properties make a snapshot trustworthy. First, fidelity: a loaded
+// stack must *route identically* to the fresh build it was saved from —
+// checked by replaying a deterministic request batch through all four
+// hop-by-hop schemes on both stacks and comparing serve fingerprints (a
+// digest of every route taken; see runtime/serve.hpp). Second, rejection:
+// any corruption — truncation at every section boundary, a bit flip in any
+// section, header or directory damage — must surface as the typed
+// SnapshotError, never a crash, hang, or silently wrong tables.
+//
+#include <cstdint>
+#include <vector>
+
+#include "audit/audit.hpp"
+#include "io/snapshot.hpp"
+
+namespace compactroute::audit {
+
+/// Serve fingerprints of the four hop schemes over a deterministic batch —
+/// computable for a fresh stack and for a loaded SnapshotStack alike.
+struct ServeFingerprints {
+  std::uint64_t hier = 0;
+  std::uint64_t scale_free = 0;
+  std::uint64_t simple = 0;
+  std::uint64_t scale_free_ni = 0;
+};
+
+ServeFingerprints serve_fingerprints(
+    const CsrGraph& csr, const NetHierarchy& hierarchy, const Naming& naming,
+    const HierarchicalLabeledScheme& hier, const ScaleFreeLabeledScheme& sf,
+    const SimpleNameIndependentScheme& simple,
+    const ScaleFreeNameIndependentScheme& sfni, std::size_t requests,
+    std::uint64_t seed);
+
+ServeFingerprints serve_fingerprints(const SnapshotStack& stack,
+                                     std::size_t requests, std::uint64_t seed);
+
+/// Corruption battery over a valid encoded snapshot: truncations at every
+/// section boundary (plus mid-header and one-byte-short), a flipped byte in
+/// the header, the directory, and every section payload. Each variant must
+/// fail to load with SnapshotError.
+Report audit_snapshot_corruption(const std::vector<std::uint8_t>& bytes,
+                                 const Options& options);
+
+/// Full round trip for a fresh stack: encode determinism, decode meta
+/// fidelity, loaded-vs-fresh serve-fingerprint equality across all four
+/// schemes, then the corruption battery.
+Report audit_snapshot_roundtrip(const MetricSpace& metric,
+                                const NetHierarchy& hierarchy,
+                                const Naming& naming,
+                                const HierarchicalLabeledScheme& hier,
+                                const ScaleFreeLabeledScheme& sf,
+                                const SimpleNameIndependentScheme& simple,
+                                const ScaleFreeNameIndependentScheme& sfni,
+                                double epsilon, const Options& options);
+
+}  // namespace compactroute::audit

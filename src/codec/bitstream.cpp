@@ -7,7 +7,16 @@ void BitWriter::write(std::uint64_t value, int width) {
   if (width < 64) {
     CR_CHECK_MSG(value < (std::uint64_t{1} << width), "value does not fit width");
   }
-  for (int b = 0; b < width; ++b) {
+  int b = 0;
+  // Byte-aligned fast path: with the cursor on a byte boundary, LSB-first bit
+  // order makes each group of 8 bits exactly one output byte.
+  if ((bit_count_ & 7) == 0) {
+    for (; b + 8 <= width; b += 8) {
+      bytes_.push_back(static_cast<std::uint8_t>((value >> b) & 0xff));
+      bit_count_ += 8;
+    }
+  }
+  for (; b < width; ++b) {
     const std::size_t byte = bit_count_ / 8;
     if (byte == bytes_.size()) bytes_.push_back(0);
     if ((value >> b) & 1) {
@@ -30,7 +39,15 @@ std::uint64_t BitReader::read(int width) {
   CR_CHECK_MSG(cursor_ + static_cast<std::size_t>(width) <= bytes_->size() * 8,
                "bit stream underflow");
   std::uint64_t value = 0;
-  for (int b = 0; b < width; ++b) {
+  int b = 0;
+  // Byte-aligned fast path mirroring BitWriter::write.
+  if ((cursor_ & 7) == 0) {
+    for (; b + 8 <= width; b += 8) {
+      value |= std::uint64_t{(*bytes_)[cursor_ >> 3]} << b;
+      cursor_ += 8;
+    }
+  }
+  for (; b < width; ++b) {
     const std::size_t byte = cursor_ / 8;
     if (((*bytes_)[byte] >> (cursor_ % 8)) & 1) value |= std::uint64_t{1} << b;
     ++cursor_;

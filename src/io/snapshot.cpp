@@ -1,0 +1,911 @@
+#include "io/snapshot.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <unordered_map>
+
+#include "codec/bitstream.hpp"
+#include "core/check.hpp"
+#include "trees/compact_tree_router.hpp"
+
+namespace compactroute {
+
+namespace {
+
+constexpr std::uint8_t kMagic[8] = {'C', 'R', 'S', 'N', 'A', 'P', '0', '1'};
+constexpr std::uint32_t kFormatVersion = 1;
+
+enum SectionId : std::uint32_t {
+  kSectionMeta = 1,
+  kSectionGraph = 2,
+  kSectionHierarchy = 3,
+  kSectionNaming = 4,
+  kSectionHier = 5,
+  kSectionScaleFree = 6,
+  kSectionSimple = 7,
+  kSectionSfni = 8,
+};
+
+constexpr std::uint32_t kSectionIds[] = {
+    kSectionMeta, kSectionGraph, kSectionHierarchy, kSectionNaming,
+    kSectionHier, kSectionScaleFree, kSectionSimple, kSectionSfni};
+constexpr std::size_t kNumSections = sizeof(kSectionIds) / sizeof(kSectionIds[0]);
+constexpr std::size_t kEntryBytes = 4 + 8 + 8 + 4;
+constexpr std::size_t kHeaderBytes = 8 + 4 + 4 + 4;
+
+const char* section_name(std::uint32_t id) {
+  switch (id) {
+    case kSectionMeta: return "meta";
+    case kSectionGraph: return "graph";
+    case kSectionHierarchy: return "hierarchy";
+    case kSectionNaming: return "naming";
+    case kSectionHier: return "labeled-hierarchical";
+    case kSectionScaleFree: return "labeled-scale-free";
+    case kSectionSimple: return "ni-simple";
+    case kSectionSfni: return "ni-scale-free";
+  }
+  return "unknown";
+}
+
+[[noreturn]] void corrupt(const std::string& why) {
+  throw SnapshotError("corrupt snapshot: " + why);
+}
+
+// ---- little-endian byte helpers (header + directory) ----
+
+void append_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int b = 0; b < 4; ++b) out.push_back(static_cast<std::uint8_t>(v >> (8 * b)));
+}
+
+void append_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int b = 0; b < 8; ++b) out.push_back(static_cast<std::uint8_t>(v >> (8 * b)));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int b = 0; b < 4; ++b) v |= std::uint32_t{p[b]} << (8 * b);
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int b = 0; b < 8; ++b) v |= std::uint64_t{p[b]} << (8 * b);
+  return v;
+}
+
+// ---- bit-codec field helpers ----
+
+void put_f64(BitWriter& w, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  w.write(bits, 64);
+}
+
+double get_f64(BitReader& r) {
+  const std::uint64_t bits = r.read(64);
+  double v = 0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^ static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
+}
+
+void put_i64(BitWriter& w, std::int64_t v) { w.write_varint(zigzag(v)); }
+std::int64_t get_i64(BitReader& r) { return unzigzag(r.read_varint()); }
+
+/// Reads a count and bounds it — the first line of defense against a corrupt
+/// length field turning into a gigantic allocation.
+std::size_t get_count(BitReader& r, std::size_t limit, const char* what) {
+  const std::uint64_t v = r.read_varint();
+  if (v > limit) corrupt(std::string(what) + " out of range");
+  return static_cast<std::size_t>(v);
+}
+
+NodeId get_node(BitReader& r, std::size_t n) {
+  const std::uint64_t v = r.read_varint();
+  if (v >= n) corrupt("node id out of range");
+  return static_cast<NodeId>(v);
+}
+
+void put_range(BitWriter& w, const LeafRange& range) {
+  w.write_varint(range.lo);
+  w.write_varint(range.hi);
+}
+
+LeafRange get_range(BitReader& r, std::size_t n) {
+  LeafRange range;
+  const std::uint64_t lo = r.read_varint();
+  const std::uint64_t hi = r.read_varint();
+  if (lo > n || hi > n) corrupt("leaf range out of range");
+  range.lo = static_cast<NodeId>(lo);
+  range.hi = static_cast<NodeId>(hi);
+  return range;
+}
+
+// ---- RootedTree (public interface only) ----
+
+void put_tree(BitWriter& w, const RootedTree& tree) {
+  const std::size_t m = tree.size();
+  w.write_varint(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    w.write_varint(tree.global_id(static_cast<int>(i)));
+  }
+  w.write_varint(static_cast<std::uint64_t>(tree.root_local()));
+  for (std::size_t i = 0; i < m; ++i) {
+    if (static_cast<int>(i) == tree.root_local()) continue;
+    w.write_varint(static_cast<std::uint64_t>(tree.parent(static_cast<int>(i))));
+    put_f64(w, tree.parent_edge_weight(static_cast<int>(i)));
+  }
+}
+
+/// Rebuilds the tree through the public constructor: local index = position
+/// in the node list (tree.cpp init_nodes), so the restored tree is
+/// bit-identical to the saved one, derived orders included.
+RootedTree get_tree(BitReader& r, std::size_t n) {
+  const std::size_t m = get_count(r, n, "tree size");
+  if (m == 0) corrupt("empty tree");
+  std::vector<NodeId> nodes(m);
+  std::unordered_map<NodeId, std::size_t> pos;
+  pos.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    nodes[i] = get_node(r, n);
+    pos[nodes[i]] = i;
+  }
+  const std::size_t root = get_count(r, m - 1, "tree root");
+  std::vector<std::size_t> parent_pos(m, 0);
+  std::vector<Weight> weight(m, 0);
+  for (std::size_t i = 0; i < m; ++i) {
+    if (i == root) continue;
+    parent_pos[i] = get_count(r, m - 1, "tree parent");
+    weight[i] = get_f64(r);
+  }
+  return RootedTree(
+      nodes, nodes[root],
+      [&](NodeId g) { return nodes[parent_pos[pos.at(g)]]; },
+      [&](NodeId g) { return weight[pos.at(g)]; });
+}
+
+}  // namespace
+
+// SnapshotAccess is the single befriended doorway into the schemes' private
+// state. Encoders write primitive members; decoders restore them and
+// recompute the pure-derived state (compact routers, membership flags,
+// label->node inverse) rather than trusting redundant bytes.
+struct SnapshotAccess {
+  // ---- SearchTree ----
+
+  static void encode_search_tree(BitWriter& w, const SearchTree& t) {
+    w.write_varint(t.center_);
+    put_f64(w, t.radius_);
+    put_tree(w, t.tree_);
+    const std::size_t m = t.tree_.size();
+    for (std::size_t i = 0; i < m; ++i) put_i64(w, t.level_[i]);
+    for (std::size_t i = 0; i < m; ++i) w.write(t.tail_[i] ? 1 : 0, 1);
+    put_i64(w, t.num_levels_);
+    w.write(t.stored_ ? 1 : 0, 1);
+    for (std::size_t i = 0; i < m; ++i) {
+      w.write_varint(t.chunks_[i].size());
+      for (const auto& [key, data] : t.chunks_[i]) {
+        w.write_varint(key);
+        w.write_varint(data);
+      }
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      w.write_varint(t.own_range_[i].lo);
+      w.write_varint(t.own_range_[i].hi);
+      w.write_varint(t.subtree_range_[i].lo);
+      w.write_varint(t.subtree_range_[i].hi);
+    }
+  }
+
+  static SearchTree decode_search_tree(BitReader& r, std::size_t n) {
+    SearchTree t;
+    t.center_ = get_node(r, n);
+    t.radius_ = get_f64(r);
+    t.tree_ = get_tree(r, n);
+    const std::size_t m = t.tree_.size();
+    t.level_.resize(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      t.level_[i] = static_cast<int>(get_i64(r));
+    }
+    t.tail_.resize(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      t.tail_[i] = static_cast<char>(r.read(1));
+    }
+    t.num_levels_ = static_cast<int>(get_i64(r));
+    t.stored_ = r.read(1) != 0;
+    t.chunks_.resize(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::size_t k = get_count(r, n, "chunk size");
+      t.chunks_[i].resize(k);
+      for (auto& [key, data] : t.chunks_[i]) {
+        key = r.read_varint();
+        data = r.read_varint();
+      }
+    }
+    t.own_range_.resize(m);
+    t.subtree_range_.resize(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      t.own_range_[i].lo = r.read_varint();
+      t.own_range_[i].hi = r.read_varint();
+      t.subtree_range_[i].lo = r.read_varint();
+      t.subtree_range_[i].hi = r.read_varint();
+    }
+    return t;
+  }
+
+  // ---- BallPacking ----
+
+  static void encode_packing(BitWriter& w, const BallPacking& p,
+                             std::size_t n) {
+    w.write_varint(static_cast<std::uint64_t>(p.j_));
+    w.write_varint(p.balls_.size());
+    for (const PackedBall& ball : p.balls_) {
+      w.write_varint(ball.center);
+      put_f64(w, ball.radius);
+      w.write_varint(ball.nodes.size());
+      for (NodeId v : ball.nodes) w.write_varint(v);
+    }
+    CR_CHECK(p.ball_of_.size() == n);
+    for (int b : p.ball_of_) put_i64(w, b);
+  }
+
+  static std::unique_ptr<BallPacking> decode_packing(BitReader& r,
+                                                     std::size_t n) {
+    auto p = std::unique_ptr<BallPacking>(new BallPacking());
+    p->j_ = static_cast<int>(get_count(r, 64, "packing exponent"));
+    p->balls_.resize(get_count(r, n, "ball count"));
+    for (PackedBall& ball : p->balls_) {
+      ball.center = get_node(r, n);
+      ball.radius = get_f64(r);
+      ball.nodes.resize(get_count(r, n, "ball size"));
+      for (NodeId& v : ball.nodes) v = get_node(r, n);
+    }
+    p->ball_of_.resize(n);
+    for (int& b : p->ball_of_) {
+      const std::int64_t v = get_i64(r);
+      if (v < -1 || v >= static_cast<std::int64_t>(p->balls_.size())) {
+        corrupt("ball index out of range");
+      }
+      b = static_cast<int>(v);
+    }
+    return p;
+  }
+
+  // ---- NetHierarchy ----
+
+  static void encode_hierarchy(BitWriter& w, const NetHierarchy& h,
+                               std::size_t n) {
+    const int top = h.top_level_;
+    w.write_varint(static_cast<std::uint64_t>(top));
+    for (NodeId u = 0; u < n; ++u) w.write_varint(h.leaf_label_[u]);
+    for (int i = 0; i <= top; ++i) {
+      w.write_varint(h.nets_[i].size());
+      for (NodeId x : h.nets_[i]) w.write_varint(x);
+      for (NodeId u = 0; u < n; ++u) w.write_varint(h.zoom_[i][u]);
+      for (NodeId x : h.nets_[i]) {
+        if (i < top) w.write_varint(h.parent_[i][x]);
+        put_range(w, h.ranges_[i][x]);
+      }
+    }
+  }
+
+  static std::unique_ptr<NetHierarchy> decode_hierarchy(BitReader& r,
+                                                        std::size_t n) {
+    auto h = std::unique_ptr<NetHierarchy>(new NetHierarchy());
+    const int top = static_cast<int>(get_count(r, 4096, "top level"));
+    h->top_level_ = top;
+    h->leaf_label_.resize(n);
+    h->label_to_node_.assign(n, kInvalidNode);
+    for (NodeId u = 0; u < n; ++u) {
+      h->leaf_label_[u] = get_node(r, n);
+      if (h->label_to_node_[h->leaf_label_[u]] != kInvalidNode) {
+        corrupt("leaf labels are not a permutation");
+      }
+      h->label_to_node_[h->leaf_label_[u]] = u;
+    }
+    h->nets_.resize(top + 1);
+    h->membership_.assign(top + 1, std::vector<char>(n, 0));
+    h->zoom_.assign(top + 1, std::vector<NodeId>(n, kInvalidNode));
+    h->parent_.assign(top + 1, std::vector<NodeId>(n, kInvalidNode));
+    h->ranges_.assign(top + 1, std::vector<LeafRange>(n));
+    for (int i = 0; i <= top; ++i) {
+      h->nets_[i].resize(get_count(r, n, "net size"));
+      NodeId prev = kInvalidNode;
+      for (NodeId& x : h->nets_[i]) {
+        x = get_node(r, n);
+        if (prev != kInvalidNode && x <= prev) corrupt("net not sorted");
+        prev = x;
+        h->membership_[i][x] = 1;
+      }
+      for (NodeId u = 0; u < n; ++u) h->zoom_[i][u] = get_node(r, n);
+      for (NodeId x : h->nets_[i]) {
+        if (i < top) h->parent_[i][x] = get_node(r, n);
+        h->ranges_[i][x] = get_range(r, n);
+      }
+    }
+    return h;
+  }
+
+  // ---- HierarchicalLabeledScheme ----
+
+  static void encode_hier(BitWriter& w, const HierarchicalLabeledScheme& s,
+                          std::size_t n) {
+    put_f64(w, s.epsilon_);
+    for (NodeId u = 0; u < n; ++u) {
+      w.write_varint(s.rings_[u].size());
+      for (const auto& ring : s.rings_[u]) {
+        w.write_varint(ring.size());
+        for (const auto& entry : ring) {
+          w.write_varint(entry.x);
+          put_range(w, entry.range);
+          w.write_varint(entry.next_hop);
+        }
+      }
+    }
+  }
+
+  static std::unique_ptr<HierarchicalLabeledScheme> decode_hier(
+      BitReader& r, std::size_t n, const NetHierarchy* hierarchy) {
+    auto s = std::unique_ptr<HierarchicalLabeledScheme>(
+        new HierarchicalLabeledScheme());
+    s->hierarchy_ = hierarchy;
+    s->epsilon_ = get_f64(r);
+    s->rings_.resize(n);
+    for (NodeId u = 0; u < n; ++u) {
+      s->rings_[u].resize(get_count(r, 4096, "ring level count"));
+      for (auto& ring : s->rings_[u]) {
+        ring.resize(get_count(r, n, "ring size"));
+        for (auto& entry : ring) {
+          entry.x = get_node(r, n);
+          entry.range = get_range(r, n);
+          entry.next_hop = get_node(r, n);
+        }
+      }
+    }
+    return s;
+  }
+
+  // ---- ScaleFreeLabeledScheme ----
+
+  static void encode_scale_free(BitWriter& w, const ScaleFreeLabeledScheme& s,
+                                std::size_t n) {
+    put_f64(w, s.epsilon_);
+    put_f64(w, s.options_.ring_window);
+    w.write(s.options_.capped_search_trees ? 1 : 0, 1);
+    w.write_varint(static_cast<std::uint64_t>(s.max_exponent_));
+    for (NodeId u = 0; u < n; ++u) {
+      w.write_varint(s.level_set_[u].size());
+      for (int level : s.level_set_[u]) put_i64(w, level);
+      for (const auto& ring : s.rings_[u]) {
+        w.write_varint(ring.size());
+        for (const auto& entry : ring) {
+          w.write_varint(entry.x);
+          put_range(w, entry.range);
+          w.write_varint(entry.next_hop);
+          put_f64(w, entry.dist_x);
+        }
+      }
+    }
+    for (const auto& per_node : s.size_radius_) {
+      for (Weight radius : per_node) put_f64(w, radius);
+    }
+    for (const auto& level : s.regions_) {
+      w.write_varint(level.size());
+      for (const auto& region : level) {
+        w.write_varint(region.center);
+        put_tree(w, *region.tree);
+        encode_search_tree(w, *region.search);
+      }
+    }
+    for (const auto& per_node : s.region_of_) {
+      for (int b : per_node) put_i64(w, b);
+    }
+    for (NodeId u = 0; u < n; ++u) w.write_varint(s.chain_bits_[u]);
+    for (NodeId u = 0; u < n; ++u) {
+      w.write_varint(s.chain_next_[u].size());
+      for (const auto& [target, next] : s.chain_next_[u]) {
+        w.write_varint(target);
+        w.write_varint(next);
+      }
+    }
+    w.write_varint(s.max_region_label_bits_);
+  }
+
+  static std::unique_ptr<ScaleFreeLabeledScheme> decode_scale_free(
+      BitReader& r, std::size_t n, const NetHierarchy* hierarchy) {
+    auto s =
+        std::unique_ptr<ScaleFreeLabeledScheme>(new ScaleFreeLabeledScheme());
+    s->hierarchy_ = hierarchy;
+    s->epsilon_ = get_f64(r);
+    s->options_.ring_window = get_f64(r);
+    s->options_.capped_search_trees = r.read(1) != 0;
+    s->max_exponent_ = static_cast<int>(get_count(r, 64, "max exponent"));
+    s->level_set_.resize(n);
+    s->rings_.resize(n);
+    for (NodeId u = 0; u < n; ++u) {
+      s->level_set_[u].resize(get_count(r, 4096, "level set size"));
+      for (int& level : s->level_set_[u]) level = static_cast<int>(get_i64(r));
+      s->rings_[u].resize(s->level_set_[u].size());
+      for (auto& ring : s->rings_[u]) {
+        ring.resize(get_count(r, n, "ring size"));
+        for (auto& entry : ring) {
+          entry.x = get_node(r, n);
+          entry.range = get_range(r, n);
+          entry.next_hop = get_node(r, n);
+          entry.dist_x = get_f64(r);
+        }
+      }
+    }
+    s->size_radius_.assign(s->max_exponent_ + 1, std::vector<Weight>(n, 0));
+    for (auto& per_node : s->size_radius_) {
+      for (Weight& radius : per_node) radius = get_f64(r);
+    }
+    s->regions_.resize(s->max_exponent_ + 1);
+    for (auto& level : s->regions_) {
+      level.resize(get_count(r, n, "region count"));
+      for (auto& region : level) {
+        region.center = get_node(r, n);
+        region.tree = std::make_unique<RootedTree>(get_tree(r, n));
+        region.router = std::make_unique<CompactTreeRouter>(*region.tree);
+        region.search = std::make_unique<SearchTree>(decode_search_tree(r, n));
+      }
+    }
+    s->region_of_.assign(s->max_exponent_ + 1, std::vector<int>(n, -1));
+    for (std::size_t j = 0; j < s->region_of_.size(); ++j) {
+      for (int& b : s->region_of_[j]) {
+        const std::int64_t v = get_i64(r);
+        if (v < 0 || v >= static_cast<std::int64_t>(s->regions_[j].size())) {
+          corrupt("region index out of range");
+        }
+        b = static_cast<int>(v);
+      }
+    }
+    s->chain_bits_.resize(n);
+    for (std::size_t& bits : s->chain_bits_) bits = r.read_varint();
+    s->chain_next_.resize(n);
+    for (NodeId u = 0; u < n; ++u) {
+      s->chain_next_[u].resize(get_count(r, n, "chain count"));
+      for (auto& [target, next] : s->chain_next_[u]) {
+        target = get_node(r, n);
+        next = get_node(r, n);
+      }
+    }
+    s->max_region_label_bits_ = r.read_varint();
+    return s;
+  }
+
+  // ---- SimpleNameIndependentScheme ----
+
+  static void encode_simple(BitWriter& w,
+                            const SimpleNameIndependentScheme& s) {
+    put_f64(w, s.epsilon_);
+    w.write_varint(s.trees_.size());
+    for (const auto& level : s.trees_) {
+      w.write_varint(level.size());
+      for (const auto& tree : level) encode_search_tree(w, *tree);
+    }
+  }
+
+  static std::unique_ptr<SimpleNameIndependentScheme> decode_simple(
+      BitReader& r, std::size_t n, const NetHierarchy* hierarchy,
+      const Naming* naming, const LabeledScheme* underlying) {
+    auto s = std::unique_ptr<SimpleNameIndependentScheme>(
+        new SimpleNameIndependentScheme());
+    s->hierarchy_ = hierarchy;
+    s->naming_ = naming;
+    s->underlying_ = underlying;
+    s->epsilon_ = get_f64(r);
+    s->trees_.resize(get_count(r, 4096, "tree level count"));
+    for (auto& level : s->trees_) {
+      level.resize(get_count(r, n, "tree count"));
+      for (auto& tree : level) {
+        tree = std::make_unique<SearchTree>(decode_search_tree(r, n));
+      }
+    }
+    return s;
+  }
+
+  // ---- ScaleFreeNameIndependentScheme ----
+
+  static void encode_sfni(BitWriter& w,
+                          const ScaleFreeNameIndependentScheme& s,
+                          std::size_t n) {
+    put_f64(w, s.epsilon_);
+    w.write_varint(static_cast<std::uint64_t>(s.max_exponent_));
+    for (const auto& packing : s.packings_) encode_packing(w, *packing, n);
+    for (const auto& level : s.ball_trees_) {
+      w.write_varint(level.size());
+      for (const auto& tree : level) encode_search_tree(w, *tree);
+    }
+    w.write_varint(s.memberships_.size());
+    for (const auto& level : s.memberships_) {
+      w.write_varint(level.size());
+      for (const auto& info : level) {
+        w.write(info.own_tree ? 1 : 0, 1);
+        if (info.own_tree) encode_search_tree(w, *info.own_tree);
+        put_i64(w, info.h_exponent);
+        put_i64(w, info.h_ball);
+      }
+    }
+  }
+
+  static std::unique_ptr<ScaleFreeNameIndependentScheme> decode_sfni(
+      BitReader& r, std::size_t n, const NetHierarchy* hierarchy,
+      const Naming* naming, const LabeledScheme* underlying) {
+    auto s = std::unique_ptr<ScaleFreeNameIndependentScheme>(
+        new ScaleFreeNameIndependentScheme());
+    s->hierarchy_ = hierarchy;
+    s->naming_ = naming;
+    s->underlying_ = underlying;
+    s->epsilon_ = get_f64(r);
+    s->max_exponent_ = static_cast<int>(get_count(r, 64, "max exponent"));
+    s->packings_.resize(s->max_exponent_ + 1);
+    for (auto& packing : s->packings_) packing = decode_packing(r, n);
+    s->ball_trees_.resize(s->max_exponent_ + 1);
+    for (std::size_t j = 0; j < s->ball_trees_.size(); ++j) {
+      s->ball_trees_[j].resize(get_count(r, n, "ball tree count"));
+      if (s->ball_trees_[j].size() != s->packings_[j]->balls().size()) {
+        corrupt("ball tree count disagrees with packing");
+      }
+      for (auto& tree : s->ball_trees_[j]) {
+        tree = std::make_unique<SearchTree>(decode_search_tree(r, n));
+      }
+    }
+    s->memberships_.resize(get_count(r, 4096, "membership level count"));
+    for (auto& level : s->memberships_) {
+      level.resize(get_count(r, n, "membership count"));
+      for (auto& info : level) {
+        if (r.read(1) != 0) {
+          info.own_tree =
+              std::make_unique<SearchTree>(decode_search_tree(r, n));
+        }
+        info.h_exponent = static_cast<int>(get_i64(r));
+        info.h_ball = static_cast<int>(get_i64(r));
+        if (!info.own_tree) {
+          if (info.h_exponent < 0 || info.h_exponent > s->max_exponent_) {
+            corrupt("delegation exponent out of range");
+          }
+          const auto& balls = s->packings_[info.h_exponent]->balls();
+          if (info.h_ball < 0 ||
+              info.h_ball >= static_cast<int>(balls.size())) {
+            corrupt("delegation ball out of range");
+          }
+        }
+      }
+    }
+    return s;
+  }
+};
+
+namespace {
+
+// ---- section payloads ----
+
+std::vector<std::uint8_t> encode_section(
+    std::uint32_t id, const MetricSpace& metric, double epsilon,
+    const NetHierarchy& hierarchy, const Naming& naming,
+    const HierarchicalLabeledScheme& hier, const ScaleFreeLabeledScheme& sf,
+    const SimpleNameIndependentScheme& simple,
+    const ScaleFreeNameIndependentScheme& sfni) {
+  const std::size_t n = metric.n();
+  BitWriter w;
+  switch (id) {
+    case kSectionMeta:
+      w.write_varint(n);
+      put_f64(w, epsilon);
+      put_f64(w, metric.normalization_scale());
+      put_f64(w, metric.delta());
+      w.write_varint(static_cast<std::uint64_t>(metric.num_levels()));
+      break;
+    case kSectionGraph: {
+      const Graph& graph = metric.graph();
+      w.write_varint(n);
+      for (NodeId u = 0; u < n; ++u) {
+        std::size_t forward = 0;
+        for (const HalfEdge& e : graph.neighbors(u)) forward += e.to > u;
+        w.write_varint(forward);
+        for (const HalfEdge& e : graph.neighbors(u)) {
+          if (e.to <= u) continue;
+          w.write_varint(e.to);
+          put_f64(w, e.weight);
+        }
+      }
+      break;
+    }
+    case kSectionHierarchy:
+      SnapshotAccess::encode_hierarchy(w, hierarchy, n);
+      break;
+    case kSectionNaming:
+      for (NodeId u = 0; u < n; ++u) w.write_varint(naming.name_of(u));
+      break;
+    case kSectionHier:
+      SnapshotAccess::encode_hier(w, hier, n);
+      break;
+    case kSectionScaleFree:
+      SnapshotAccess::encode_scale_free(w, sf, n);
+      break;
+    case kSectionSimple:
+      SnapshotAccess::encode_simple(w, simple);
+      break;
+    case kSectionSfni:
+      SnapshotAccess::encode_sfni(w, sfni, n);
+      break;
+    default:
+      CR_CHECK_MSG(false, "unknown section id");
+  }
+  return w.bytes();
+}
+
+std::vector<std::uint8_t> section_payload(const std::vector<std::uint8_t>& bytes,
+                                          const SnapshotSection& section) {
+  return std::vector<std::uint8_t>(bytes.begin() + section.offset,
+                                   bytes.begin() + section.offset + section.size);
+}
+
+}  // namespace
+
+std::uint32_t snapshot_crc32(const std::uint8_t* data, std::size_t size) {
+  // IEEE 802.3 CRC32, reflected polynomial, byte-at-a-time table.
+  static const auto table = [] {
+    std::vector<std::uint32_t> t(256);
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c >> 1) ^ ((c & 1) ? 0xEDB88320u : 0);
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::vector<std::uint8_t> encode_snapshot(
+    const MetricSpace& metric, double epsilon, const NetHierarchy& hierarchy,
+    const Naming& naming, const HierarchicalLabeledScheme& hier,
+    const ScaleFreeLabeledScheme& sf, const SimpleNameIndependentScheme& simple,
+    const ScaleFreeNameIndependentScheme& sfni) {
+  std::vector<std::vector<std::uint8_t>> payloads;
+  payloads.reserve(kNumSections);
+  for (std::uint32_t id : kSectionIds) {
+    payloads.push_back(encode_section(id, metric, epsilon, hierarchy, naming,
+                                      hier, sf, simple, sfni));
+  }
+
+  const std::size_t header_size = kHeaderBytes + kNumSections * kEntryBytes;
+  std::vector<std::uint8_t> directory;
+  directory.reserve(kNumSections * kEntryBytes);
+  std::uint64_t offset = header_size;
+  for (std::size_t i = 0; i < kNumSections; ++i) {
+    append_u32(directory, kSectionIds[i]);
+    append_u64(directory, offset);
+    append_u64(directory, payloads[i].size());
+    append_u32(directory, snapshot_crc32(payloads[i].data(), payloads[i].size()));
+    offset += payloads[i].size();
+  }
+
+  std::vector<std::uint8_t> out;
+  out.reserve(offset);
+  out.insert(out.end(), kMagic, kMagic + 8);
+  append_u32(out, kFormatVersion);
+  append_u32(out, static_cast<std::uint32_t>(kNumSections));
+  append_u32(out, snapshot_crc32(directory.data(), directory.size()));
+  out.insert(out.end(), directory.begin(), directory.end());
+  for (const auto& payload : payloads) {
+    out.insert(out.end(), payload.begin(), payload.end());
+  }
+  return out;
+}
+
+std::vector<SnapshotSection> snapshot_directory(
+    const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < kHeaderBytes) corrupt("file shorter than header");
+  if (std::memcmp(bytes.data(), kMagic, 8) != 0) corrupt("bad magic");
+  const std::uint32_t version = get_u32(bytes.data() + 8);
+  if (version != kFormatVersion) {
+    corrupt("unsupported format version " + std::to_string(version));
+  }
+  const std::uint32_t count = get_u32(bytes.data() + 12);
+  if (count == 0 || count > 64) corrupt("implausible section count");
+  const std::uint32_t directory_crc = get_u32(bytes.data() + 16);
+  const std::size_t header_size = kHeaderBytes + count * kEntryBytes;
+  if (bytes.size() < header_size) corrupt("file shorter than directory");
+  if (snapshot_crc32(bytes.data() + kHeaderBytes, count * kEntryBytes) !=
+      directory_crc) {
+    corrupt("directory CRC mismatch");
+  }
+
+  std::vector<SnapshotSection> sections(count);
+  std::uint64_t expected_offset = header_size;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint8_t* entry = bytes.data() + kHeaderBytes + i * kEntryBytes;
+    sections[i].id = get_u32(entry);
+    sections[i].name = section_name(sections[i].id);
+    sections[i].offset = get_u64(entry + 4);
+    sections[i].size = get_u64(entry + 12);
+    sections[i].crc = get_u32(entry + 20);
+    if (sections[i].offset != expected_offset) {
+      corrupt("section " + sections[i].name + " offset mismatch");
+    }
+    expected_offset += sections[i].size;
+  }
+  // Payloads must tile the file exactly: truncation (and padding) always
+  // changes the total size, so it is caught before any payload is parsed.
+  if (expected_offset != bytes.size()) {
+    corrupt("file size disagrees with directory (truncated?)");
+  }
+  for (const SnapshotSection& section : sections) {
+    if (snapshot_crc32(bytes.data() + section.offset, section.size) !=
+        section.crc) {
+      corrupt("section " + section.name + " CRC mismatch");
+    }
+  }
+  return sections;
+}
+
+namespace {
+
+SnapshotStack decode_snapshot_impl(const std::vector<std::uint8_t>& bytes) {
+  const std::vector<SnapshotSection> sections = snapshot_directory(bytes);
+  const auto find = [&](std::uint32_t id) -> const SnapshotSection& {
+    for (const SnapshotSection& section : sections) {
+      if (section.id == id) return section;
+    }
+    corrupt(std::string("missing section ") + section_name(id));
+  };
+  // Each section decoder must consume its payload exactly (up to byte
+  // padding): trailing garbage means the writer and reader disagree.
+  const auto finish = [&](BitReader& r, const std::vector<std::uint8_t>& payload,
+                          std::uint32_t id) {
+    if ((r.bits_consumed() + 7) / 8 != payload.size()) {
+      corrupt(std::string("section ") + section_name(id) +
+              " has trailing bytes");
+    }
+  };
+
+  SnapshotStack stack;
+
+  {
+    const std::vector<std::uint8_t> payload =
+        section_payload(bytes, find(kSectionMeta));
+    BitReader r(payload);
+    stack.n = get_count(r, std::size_t{1} << 28, "node count");
+    if (stack.n < 2) corrupt("node count must be at least 2");
+    stack.epsilon = get_f64(r);
+    if (!(stack.epsilon > 0) || !(stack.epsilon < 1)) {
+      corrupt("epsilon out of range");
+    }
+    stack.normalization_scale = get_f64(r);
+    stack.delta = get_f64(r);
+    stack.num_levels = static_cast<int>(get_count(r, 4096, "level count"));
+    finish(r, payload, kSectionMeta);
+  }
+  const std::size_t n = stack.n;
+
+  {
+    const std::vector<std::uint8_t> payload =
+        section_payload(bytes, find(kSectionGraph));
+    BitReader r(payload);
+    if (r.read_varint() != n) corrupt("graph node count disagrees with meta");
+    Graph graph(n);
+    for (NodeId u = 0; u < n; ++u) {
+      const std::size_t forward = get_count(r, n, "edge count");
+      for (std::size_t e = 0; e < forward; ++e) {
+        const NodeId v = get_node(r, n);
+        const Weight weight = get_f64(r);
+        if (v <= u) corrupt("graph edges must point forward");
+        if (!(weight > 0) || weight == kInfiniteWeight) {
+          corrupt("graph edge weight must be finite and positive");
+        }
+        graph.add_edge(u, v, weight);
+      }
+    }
+    stack.graph = std::move(graph);
+    stack.csr = CsrGraph(stack.graph);
+    finish(r, payload, kSectionGraph);
+  }
+
+  {
+    const std::vector<std::uint8_t> payload =
+        section_payload(bytes, find(kSectionHierarchy));
+    BitReader r(payload);
+    stack.hierarchy = SnapshotAccess::decode_hierarchy(r, n);
+    finish(r, payload, kSectionHierarchy);
+  }
+
+  {
+    const std::vector<std::uint8_t> payload =
+        section_payload(bytes, find(kSectionNaming));
+    BitReader r(payload);
+    std::vector<std::uint64_t> names(n);
+    for (std::uint64_t& name : names) name = r.read_varint();
+    stack.naming = std::make_unique<Naming>(std::move(names));
+    finish(r, payload, kSectionNaming);
+  }
+
+  {
+    const std::vector<std::uint8_t> payload =
+        section_payload(bytes, find(kSectionHier));
+    BitReader r(payload);
+    stack.hier = SnapshotAccess::decode_hier(r, n, stack.hierarchy.get());
+    finish(r, payload, kSectionHier);
+  }
+
+  {
+    const std::vector<std::uint8_t> payload =
+        section_payload(bytes, find(kSectionScaleFree));
+    BitReader r(payload);
+    stack.sf = SnapshotAccess::decode_scale_free(r, n, stack.hierarchy.get());
+    finish(r, payload, kSectionScaleFree);
+  }
+
+  {
+    const std::vector<std::uint8_t> payload =
+        section_payload(bytes, find(kSectionSimple));
+    BitReader r(payload);
+    stack.simple = SnapshotAccess::decode_simple(
+        r, n, stack.hierarchy.get(), stack.naming.get(), stack.hier.get());
+    finish(r, payload, kSectionSimple);
+  }
+
+  {
+    const std::vector<std::uint8_t> payload =
+        section_payload(bytes, find(kSectionSfni));
+    BitReader r(payload);
+    stack.sfni = SnapshotAccess::decode_sfni(
+        r, n, stack.hierarchy.get(), stack.naming.get(), stack.sf.get());
+    finish(r, payload, kSectionSfni);
+  }
+
+  return stack;
+}
+
+}  // namespace
+
+SnapshotStack decode_snapshot(const std::vector<std::uint8_t>& bytes) {
+  try {
+    return decode_snapshot_impl(bytes);
+  } catch (const SnapshotError&) {
+    throw;
+  } catch (const std::exception& e) {
+    // Any internal invariant tripping on corrupt bytes (codec underflow,
+    // tree-restore CR_CHECKs, allocation failure) surfaces as the typed
+    // loader error, never as a crash.
+    throw SnapshotError(std::string("corrupt snapshot: ") + e.what());
+  }
+}
+
+void write_snapshot_file(const std::string& path,
+                         const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw SnapshotError("cannot open " + path + " for writing");
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw SnapshotError("short write to " + path);
+}
+
+std::vector<std::uint8_t> read_snapshot_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw SnapshotError("cannot open " + path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(bytes.data()), size);
+  if (!in) throw SnapshotError("short read from " + path);
+  return bytes;
+}
+
+SnapshotStack load_snapshot_file(const std::string& path) {
+  return decode_snapshot(read_snapshot_file(path));
+}
+
+}  // namespace compactroute

@@ -1,0 +1,116 @@
+#pragma once
+//
+// Versioned binary snapshots of a built scheme stack.
+//
+// The paper's payoff is build-once/serve-heavy: preprocessing is the dominant
+// cost (BENCH_preprocessing.json), while routing uses only the compact
+// per-node tables. A snapshot serializes exactly those tables — graph, r-net
+// hierarchy, naming, and the packed routers / search trees / ring and chain
+// tables of all four hop-by-hop schemes — on the existing bit codec, so a
+// loaded stack answers routes without ever touching the metric backend
+// (no APSP, no Dijkstra, no distance matrix).
+//
+// Container layout (DESIGN.md §8), all integers little-endian:
+//
+//   magic "CRSNAP01" (8 bytes)
+//   u32 format version (currently 1)
+//   u32 section count
+//   u32 directory CRC32 (over the directory entries that follow)
+//   directory entries, 24 bytes each: u32 id, u64 offset, u64 size, u32 CRC32
+//   section payloads, concatenated in directory order
+//
+// Offsets are absolute; payloads must tile the rest of the file exactly, so
+// any truncation changes the file size and is rejected before parsing. Each
+// payload carries its own CRC32, so any bit flip is rejected too. Every
+// failure path throws the typed SnapshotError — never UB, never a crash.
+//
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/graph.hpp"
+#include "graph/metric.hpp"
+#include "labeled/hierarchical_labeled.hpp"
+#include "labeled/scale_free_labeled.hpp"
+#include "nameind/scale_free_nameind.hpp"
+#include "nameind/simple_nameind.hpp"
+#include "nets/rnet.hpp"
+#include "routing/naming.hpp"
+
+namespace compactroute {
+
+/// Thrown for every malformed-snapshot condition: bad magic, unsupported
+/// version, size mismatch, CRC failure, or inconsistent section contents.
+class SnapshotError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A scheme stack restored from a snapshot. The schemes are fully functional
+/// for hop-by-hop serving (their query-time tables are complete) but carry no
+/// metric backend — RouteResult-style route()/storage_bits() entry points,
+/// which consult the metric, are fresh-build-only.
+struct SnapshotStack {
+  std::size_t n = 0;
+  double epsilon = 0;  // the ε the stack was built with (NI schemes' value)
+  Weight normalization_scale = 1;
+  Weight delta = 0;
+  int num_levels = 0;
+
+  Graph graph;
+  CsrGraph csr;  // rebuilt from `graph` at load time
+
+  std::unique_ptr<NetHierarchy> hierarchy;
+  std::unique_ptr<Naming> naming;
+  std::unique_ptr<HierarchicalLabeledScheme> hier;
+  std::unique_ptr<ScaleFreeLabeledScheme> sf;
+  std::unique_ptr<SimpleNameIndependentScheme> simple;
+  std::unique_ptr<ScaleFreeNameIndependentScheme> sfni;
+
+  SnapshotStack() = default;
+  SnapshotStack(SnapshotStack&&) = default;
+  SnapshotStack& operator=(SnapshotStack&&) = default;
+};
+
+/// Serializes a freshly built stack. `epsilon` is the user-level ε (the one
+/// the name-independent schemes received); the labeled schemes' own clamped ε
+/// values ride in their sections.
+std::vector<std::uint8_t> encode_snapshot(
+    const MetricSpace& metric, double epsilon, const NetHierarchy& hierarchy,
+    const Naming& naming, const HierarchicalLabeledScheme& hier,
+    const ScaleFreeLabeledScheme& sf, const SimpleNameIndependentScheme& simple,
+    const ScaleFreeNameIndependentScheme& sfni);
+
+/// Parses and validates a snapshot; throws SnapshotError on any defect.
+SnapshotStack decode_snapshot(const std::vector<std::uint8_t>& bytes);
+
+/// One directory entry, for diagnostics and the corruption battery.
+struct SnapshotSection {
+  std::uint32_t id = 0;
+  std::string name;
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;
+  std::uint32_t crc = 0;
+};
+
+/// Validates the header and directory only (magic, version, directory CRC,
+/// exact size tiling) and returns the section table; throws SnapshotError.
+std::vector<SnapshotSection> snapshot_directory(
+    const std::vector<std::uint8_t>& bytes);
+
+/// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `size` bytes.
+std::uint32_t snapshot_crc32(const std::uint8_t* data, std::size_t size);
+
+/// Whole-file IO helpers; both throw SnapshotError on filesystem failure.
+void write_snapshot_file(const std::string& path,
+                         const std::vector<std::uint8_t>& bytes);
+std::vector<std::uint8_t> read_snapshot_file(const std::string& path);
+
+/// read_snapshot_file + decode_snapshot.
+SnapshotStack load_snapshot_file(const std::string& path);
+
+}  // namespace compactroute

@@ -56,6 +56,9 @@ class HierarchicalLabeledScheme final : public LabeledScheme {
   }
 
  private:
+  friend struct SnapshotAccess;
+  HierarchicalLabeledScheme() = default;
+
   /// Builds u's complete per-node table (rings for every level). Reads only
   /// the metric and hierarchy and writes rings_[u], so the constructor maps
   /// it over nodes on the parallel executor.
@@ -66,9 +69,9 @@ class HierarchicalLabeledScheme final : public LabeledScheme {
   /// hierarchy root, whose range is all of V).
   std::pair<int, const RingEntry*> minimal_hit(NodeId u, NodeId dest_label) const;
 
-  const MetricSpace* metric_;
-  const NetHierarchy* hierarchy_;
-  double epsilon_;
+  const MetricSpace* metric_ = nullptr;
+  const NetHierarchy* hierarchy_ = nullptr;
+  double epsilon_ = 0;
   std::vector<std::vector<std::vector<RingEntry>>> rings_;  // [node][level]
 };
 

@@ -77,9 +77,10 @@ void ScaleFreeLabeledScheme::build_node_rings(NodeId u) {
     const int i = level_set_[u][k];
     const Weight reach = level_radius(i) / epsilon_;
     for (NodeId x : hierarchy_->net(i)) {
-      if (metric_->dist(u, x) > reach) continue;
+      const Weight d = metric_->dist(u, x);
+      if (d > reach) continue;
       rings_[u][k].push_back(
-          {x, hierarchy_->range(i, x), x == u ? u : metric_->next_hop(u, x)});
+          {x, hierarchy_->range(i, x), x == u ? u : metric_->next_hop(u, x), d});
     }
   }
 }
@@ -88,8 +89,20 @@ void ScaleFreeLabeledScheme::build_packings() {
   const std::size_t n = metric_->n();
   const std::size_t log_n = id_bits(n);
   chain_bits_.assign(n, 0);
+  chain_next_.assign(n, {});
   regions_.resize(max_exponent_ + 1);
   region_of_.assign(max_exponent_ + 1, std::vector<int>(n, -1));
+
+  // Materializes one direction of a Lemma 4.3 next-hop chain: every node on
+  // the canonical shortest path a -> b learns its next hop toward b. The hop
+  // runtime rides these instead of querying the metric.
+  const auto add_chain = [&](NodeId a, NodeId b) {
+    if (a == b) return;
+    const std::vector<NodeId> path = metric_->shortest_path(a, b);
+    for (std::size_t s = 0; s + 1 < path.size(); ++s) {
+      chain_next_[path[s]].emplace_back(b, path[s + 1]);
+    }
+  };
 
   for (int j = 0; j <= max_exponent_; ++j) {
     const BallPacking packing(*metric_, j);
@@ -167,6 +180,11 @@ void ScaleFreeLabeledScheme::build_packings() {
         } else {
           for (NodeId w : metric_->shortest_path(a, b2)) chain_bits_[w] += 2 * log_n;
         }
+        // The runtime rides every search-tree edge by iterated next hops, in
+        // both directions (descent and report-back), so both chains exist
+        // regardless of the tail/non-tail accounting split above.
+        add_chain(a, b2);
+        add_chain(b2, a);
       }
     }
 
@@ -177,10 +195,28 @@ void ScaleFreeLabeledScheme::build_packings() {
         for (NodeId b : centers) {
           if (a >= b) continue;
           for (NodeId w : metric_->shortest_path(a, b)) chain_bits_[w] += 2 * log_n;
+          add_chain(a, b);
+          add_chain(b, a);
         }
       }
     }
   }
+
+  // Deterministic lookup order; duplicates from overlapping chains collapse
+  // (the next hop toward a fixed target is unique per node).
+  for (auto& chains : chain_next_) {
+    std::sort(chains.begin(), chains.end());
+    chains.erase(std::unique(chains.begin(), chains.end()), chains.end());
+  }
+}
+
+NodeId ScaleFreeLabeledScheme::chain_next(NodeId at, NodeId target) const {
+  const auto& chains = chain_next_[at];
+  const auto it = std::lower_bound(chains.begin(), chains.end(),
+                                   std::pair<NodeId, NodeId>{target, 0});
+  CR_CHECK_MSG(it != chains.end() && it->first == target,
+               "missing Lemma 4.3 chain entry");
+  return it->second;
 }
 
 std::pair<int, const ScaleFreeLabeledScheme::RingEntry*>

@@ -88,6 +88,9 @@ class ScaleFreeLabeledScheme final : public LabeledScheme {
     NodeId x = kInvalidNode;
     LeafRange range;
     NodeId next_hop = kInvalidNode;
+    /// d(u, x) — a per-entry constant, stored so the walk threshold test
+    /// (Algorithm 5 line 3) needs no metric at query time.
+    Weight dist_x = 0;
   };
 
   /// Ring tables of node u; rings(u)[k] belongs to level level_set(u)[k].
@@ -124,7 +127,16 @@ class ScaleFreeLabeledScheme final : public LabeledScheme {
 
   int max_exponent() const { return max_exponent_; }
 
+  /// Next hop from `at` along the canonical shortest path toward `target`
+  /// (a Lemma 4.3 next-hop chain entry). Defined for every node on the
+  /// canonical path of a search-tree edge and for the top-level
+  /// center-to-center links — exactly the rides the hop runtime takes.
+  NodeId chain_next(NodeId at, NodeId target) const;
+
  private:
+  friend struct SnapshotAccess;
+  ScaleFreeLabeledScheme() = default;
+
   void build_rings();
   /// Builds u's complete ring state (size radii, R(u), rings). Writes only
   /// the u-th slot of each table, so build_rings maps it over nodes on the
@@ -132,9 +144,9 @@ class ScaleFreeLabeledScheme final : public LabeledScheme {
   void build_node_rings(NodeId u);
   void build_packings();
 
-  const MetricSpace* metric_;
-  const NetHierarchy* hierarchy_;
-  double epsilon_;
+  const MetricSpace* metric_ = nullptr;
+  const NetHierarchy* hierarchy_ = nullptr;
+  double epsilon_ = 0;
   Options options_;
 
   std::vector<std::vector<int>> level_set_;  // R(u), ascending
@@ -147,6 +159,11 @@ class ScaleFreeLabeledScheme final : public LabeledScheme {
   std::vector<std::vector<int>> region_of_;       // [j][u] -> ball index
 
   std::vector<std::size_t> chain_bits_;  // Lemma 4.3 next-hop chain storage
+  // The chain entries themselves: chain_next_[u] holds (target, next hop)
+  // pairs sorted by target, one per chain u participates in. This is the
+  // materialization of the storage chain_bits_ accounts for — with it, the
+  // hop runtime never consults the metric backend.
+  std::vector<std::vector<std::pair<NodeId, NodeId>>> chain_next_;
   std::size_t max_region_label_bits_ = 0;
 };
 

@@ -106,14 +106,17 @@ class ScaleFreeNameIndependentScheme final : public NameIndependentScheme {
     int h_ball = -1;      // ball index within ℬ_j
   };
 
+  friend struct SnapshotAccess;
+  ScaleFreeNameIndependentScheme() = default;
+
   NodeId ride_underlying(Path& path, NodeId from, NodeId to) const;
   const Membership& membership(int level, NodeId u) const;
 
-  const MetricSpace* metric_;
-  const NetHierarchy* hierarchy_;
-  const Naming* naming_;
-  const LabeledScheme* underlying_;
-  double epsilon_;
+  const MetricSpace* metric_ = nullptr;
+  const NetHierarchy* hierarchy_ = nullptr;
+  const Naming* naming_ = nullptr;
+  const LabeledScheme* underlying_ = nullptr;
+  double epsilon_ = 0;
   int max_exponent_ = 0;
 
   std::vector<std::unique_ptr<BallPacking>> packings_;  // [j]

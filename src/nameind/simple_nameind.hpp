@@ -62,6 +62,9 @@ class SimpleNameIndependentScheme final : public NameIndependentScheme {
   const Naming& naming() const { return *naming_; }
 
  private:
+  friend struct SnapshotAccess;
+  SimpleNameIndependentScheme() = default;
+
   /// Builds the search tree T(u, 2^level/ε) for one net point from const
   /// inputs only, so the constructor maps it over net points on the parallel
   /// executor.
@@ -71,11 +74,11 @@ class SimpleNameIndependentScheme final : public NameIndependentScheme {
   /// node) to path; returns the node reached (== to).
   NodeId ride_underlying(Path& path, NodeId from, NodeId to) const;
 
-  const MetricSpace* metric_;
-  const NetHierarchy* hierarchy_;
-  const Naming* naming_;
-  const LabeledScheme* underlying_;
-  double epsilon_;
+  const MetricSpace* metric_ = nullptr;
+  const NetHierarchy* hierarchy_ = nullptr;
+  const Naming* naming_ = nullptr;
+  const LabeledScheme* underlying_ = nullptr;
+  double epsilon_ = 0;
 
   // trees_[i][k] = search tree of the k-th point of Y_i (net order).
   std::vector<std::vector<std::unique_ptr<SearchTree>>> trees_;

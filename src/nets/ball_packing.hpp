@@ -45,6 +45,9 @@ class BallPacking {
   int covering_ball(const MetricSpace& metric, NodeId u) const;
 
  private:
+  friend struct SnapshotAccess;
+  BallPacking() = default;
+
   int j_ = 0;
   std::vector<PackedBall> balls_;
   std::vector<int> ball_of_;

@@ -70,11 +70,14 @@ class NetHierarchy {
   LeafRange range(int level, NodeId x) const;
 
  private:
+  friend struct SnapshotAccess;
+  NetHierarchy() = default;
+
   void build_nets();
   void build_zoom();
   void build_dfs_labels();
 
-  const MetricSpace* metric_;
+  const MetricSpace* metric_ = nullptr;
   int top_level_ = 0;
   std::vector<std::vector<NodeId>> nets_;        // per level, sorted by id
   std::vector<std::vector<char>> membership_;    // [level][node]

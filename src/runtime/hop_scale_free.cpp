@@ -39,7 +39,6 @@ TracePhase ScaleFreeHopScheme::phase_of(const HopHeader& header) const {
 
 HopScheme::Decision ScaleFreeHopScheme::step(NodeId at,
                                              const HopHeader& in) const {
-  const MetricSpace& metric = scheme_->hierarchy().metric();
   const NodeId dest_label = static_cast<NodeId>(in.dest);
   Decision decision;
   decision.header = in;
@@ -66,8 +65,7 @@ HopScheme::Decision ScaleFreeHopScheme::step(NodeId at,
         const auto [level, entry] = scheme_->minimal_hit(at, dest_label);
         const Weight threshold =
             level_radius(level) / (2 * scheme_->epsilon()) - level_radius(level);
-        if (entry->x != at && level <= h.level &&
-            metric.dist(at, entry->x) >= threshold) {
+        if (entry->x != at && level <= h.level && entry->dist_x >= threshold) {
           h.level = static_cast<std::int16_t>(level);
           decision.next = entry->next_hop;
           return decision;
@@ -97,7 +95,7 @@ HopScheme::Decision ScaleFreeHopScheme::step(NodeId at,
         if (at != h.target) {
           // Riding the next-hop chain of a virtual search-tree edge
           // (Lemma 4.3).
-          decision.next = metric.next_hop(at, h.target);
+          decision.next = scheme_->chain_next(at, h.target);
           return decision;
         }
         const auto& region = scheme_->region_of(h.exponent, h.aux);
@@ -129,7 +127,7 @@ HopScheme::Decision ScaleFreeHopScheme::step(NodeId at,
 
       case kReturn: {
         if (at != h.target) {
-          decision.next = metric.next_hop(at, h.target);
+          decision.next = scheme_->chain_next(at, h.target);
           return decision;
         }
         const auto& region = scheme_->region_of(h.exponent, h.aux);
@@ -167,7 +165,7 @@ HopScheme::Decision ScaleFreeHopScheme::step(NodeId at,
 
       case kFallbackMove: {
         if (at != h.target) {
-          decision.next = metric.next_hop(at, h.target);
+          decision.next = scheme_->chain_next(at, h.target);
           return decision;
         }
         h.phase = kSearch;  // target == aux == this center (the search root)

@@ -1,0 +1,141 @@
+#include "runtime/serve.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "core/check.hpp"
+#include "core/parallel.hpp"
+#include "core/prng.hpp"
+#include "obs/metrics.hpp"
+
+namespace compactroute {
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+std::vector<ServeRequest> make_requests(
+    std::size_t n, std::size_t count, std::uint64_t seed,
+    const std::function<std::uint64_t(NodeId)>& dest_key_of) {
+  CR_CHECK(n >= 2);
+  Prng prng(seed);
+  std::vector<ServeRequest> requests(count);
+  for (ServeRequest& request : requests) {
+    request.src = static_cast<NodeId>(prng.next_below(n));
+    NodeId dest = static_cast<NodeId>(prng.next_below(n - 1));
+    if (dest >= request.src) ++dest;  // uniform over nodes != src
+    request.dest_key = dest_key_of(dest);
+  }
+  return requests;
+}
+
+std::uint64_t serve_one(const CsrGraph& csr, const HopScheme& scheme,
+                        const ServeRequest& request, std::size_t max_hops,
+                        std::size_t* hops, bool* delivered) {
+  constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+  NodeId at = request.src;
+  HopHeader header = scheme.make_header(request.src, request.dest_key);
+  std::uint64_t fp = (request.dest_key * kFnvPrime) ^ request.src;
+  std::size_t hop_count = 0;
+  bool done = false;
+  while (hop_count <= max_hops) {
+    HopScheme::Decision decision = scheme.step(at, header);
+    if (decision.deliver) {
+      done = true;
+      break;
+    }
+    // The locality contract: every forwarded hop must be a real graph edge.
+    // CSR targets are sorted ascending, so one binary search certifies it.
+    const auto targets = csr.arc_targets(at);
+    CR_CHECK_MSG(
+        std::binary_search(targets.begin(), targets.end(), decision.next),
+        "serve: scheme forwarded to a non-neighbor");
+    at = decision.next;
+    header = std::move(decision.header);
+    fp = (fp ^ at) * kFnvPrime;
+    ++hop_count;
+  }
+  CR_CHECK_MSG(done, "serve: hop budget exceeded");
+  if (hops != nullptr) *hops = hop_count;
+  if (delivered != nullptr) *delivered = done;
+  return fp;
+}
+
+ServeStats serve_batch(const CsrGraph& csr, const HopScheme& scheme,
+                       const std::vector<ServeRequest>& requests,
+                       const ServeOptions& options) {
+  CR_OBS_SCOPED_TIMER("serve.batch");
+  using Clock = std::chrono::steady_clock;
+
+  const std::size_t count = requests.size();
+  const std::size_t n = csr.num_nodes();
+  const std::size_t max_hops =
+      options.max_hops != 0 ? options.max_hops : 64 * n + 1024;
+
+  // Per-request output slots, preallocated so workers write disjoint state
+  // and the hop loop itself never allocates.
+  std::vector<std::uint64_t> fingerprints(count, 0);
+  std::vector<std::uint32_t> hop_counts(count, 0);
+  std::vector<double> latencies_us(options.collect_latencies ? count : 0, 0);
+
+  const auto wall_start = Clock::now();
+  parallel_for("serve.batch", count, 64, [&](std::size_t first,
+                                             std::size_t last) {
+    for (std::size_t i = first; i < last; ++i) {
+      const auto start =
+          options.collect_latencies ? Clock::now() : Clock::time_point{};
+      std::size_t hops = 0;
+      fingerprints[i] =
+          serve_one(csr, scheme, requests[i], max_hops, &hops, nullptr);
+      hop_counts[i] = static_cast<std::uint32_t>(hops);
+      if (options.collect_latencies) {
+        latencies_us[i] =
+            std::chrono::duration<double, std::micro>(Clock::now() - start)
+                .count();
+      }
+    }
+  });
+  const double elapsed_s =
+      std::chrono::duration<double>(Clock::now() - wall_start).count();
+
+  ServeStats stats;
+  stats.requests = count;
+  stats.delivered = count;  // serve_one throws on any non-delivery
+  stats.workers = Executor::global().workers();
+  stats.elapsed_s = elapsed_s;
+  stats.routes_per_sec =
+      elapsed_s > 0 ? static_cast<double>(count) / elapsed_s : 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    stats.total_hops += hop_counts[i];
+    stats.fingerprint ^= mix64(fingerprints[i] + 0x9e3779b97f4a7c15ULL * (i + 1));
+  }
+  if (options.collect_latencies && count > 0) {
+    std::sort(latencies_us.begin(), latencies_us.end());
+    stats.p50_us = percentile(latencies_us, 0.50);
+    stats.p90_us = percentile(latencies_us, 0.90);
+    stats.p99_us = percentile(latencies_us, 0.99);
+    stats.max_us = latencies_us.back();
+  }
+  CR_OBS_ADD("serve.requests", count);
+  CR_OBS_ADD("serve.hops", stats.total_hops);
+  return stats;
+}
+
+}  // namespace compactroute

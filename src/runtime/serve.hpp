@@ -1,0 +1,80 @@
+#pragma once
+//
+// Batch query engine over a loaded (or fresh) scheme stack.
+//
+// This is the build-once/serve-heavy half of the compact-routing story: the
+// hop schemes are pure step functions over per-node tables, so replaying a
+// batch of route requests needs only the CSR graph (to certify that every
+// forwarded hop is a real edge) and the scheme — no metric backend, no
+// preprocessing. Requests shard across the core/parallel Executor in fixed
+// chunks; each worker runs the hop loop with no allocation of its own (paths
+// and traces are never materialized — the per-request outputs are a hop
+// count and a running fingerprint).
+//
+// Fingerprints: each request folds its visited node sequence into a 64-bit
+// FNV-style hash; the batch combines per-request fingerprints XOR-wise after
+// mixing in the request index, so the total is independent of both worker
+// count and scheduling order, and equal between a fresh build and a loaded
+// snapshot exactly when every route taken is identical.
+//
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/types.hpp"
+#include "graph/csr.hpp"
+#include "runtime/hop_scheme.hpp"
+
+namespace compactroute {
+
+struct ServeRequest {
+  NodeId src = 0;
+  std::uint64_t dest_key = 0;  // label (labeled schemes) or name (NI schemes)
+};
+
+struct ServeOptions {
+  /// 0 means the execute_hops default budget of 64 n + 1024.
+  std::size_t max_hops = 0;
+  /// Record per-request wall-clock latency (steady_clock, microseconds).
+  /// Costs two clock reads per request; disable for pure-throughput runs.
+  bool collect_latencies = true;
+};
+
+struct ServeStats {
+  std::size_t requests = 0;
+  std::size_t delivered = 0;
+  std::size_t total_hops = 0;
+  std::size_t workers = 0;
+  double elapsed_s = 0;
+  double routes_per_sec = 0;
+  // Latency percentiles in microseconds (0 when collect_latencies is off).
+  double p50_us = 0;
+  double p90_us = 0;
+  double p99_us = 0;
+  double max_us = 0;
+  /// Order- and thread-count-independent digest of every route taken.
+  std::uint64_t fingerprint = 0;
+};
+
+/// Deterministic request batch: `count` (src, dest) pairs with src != dest,
+/// drawn from a seeded Prng; dest_key_of maps the destination node to the
+/// scheme's key space (leaf label or original name).
+std::vector<ServeRequest> make_requests(
+    std::size_t n, std::size_t count, std::uint64_t seed,
+    const std::function<std::uint64_t(NodeId)>& dest_key_of);
+
+/// Replays the batch and aggregates throughput/latency/fingerprint. Throws
+/// InvariantError if the scheme ever forwards to a non-neighbor or exceeds
+/// the hop budget (the same contract execute_hops enforces).
+ServeStats serve_batch(const CsrGraph& csr, const HopScheme& scheme,
+                       const std::vector<ServeRequest>& requests,
+                       const ServeOptions& options = {});
+
+/// Fingerprint of one request's route (the serve_batch inner loop, exposed
+/// so audits can compare individual routes); outputs the hop count.
+std::uint64_t serve_one(const CsrGraph& csr, const HopScheme& scheme,
+                        const ServeRequest& request, std::size_t max_hops,
+                        std::size_t* hops, bool* delivered);
+
+}  // namespace compactroute

@@ -120,10 +120,13 @@ class SearchTree {
   AuditView audit_view() { return {this}; }
 
  private:
+  friend struct SnapshotAccess;
+  SearchTree() = default;
+
   void build(const MetricSpace& metric, double epsilon, Variant variant);
 
-  NodeId center_;
-  Weight radius_;
+  NodeId center_ = kInvalidNode;
+  Weight radius_ = 0;
   RootedTree tree_{std::vector<NodeId>{0}, 0, [](NodeId) { return 0; },
                    [](NodeId) { return Weight{0}; }};
   std::vector<int> level_;

@@ -219,6 +219,85 @@ TEST(PackedRouter, WorksOnDeepSpider) {
   }
 }
 
+// Golden byte patterns pin the LSB-first wire format: the byte-aligned fast
+// paths in BitWriter::write / BitReader::read must be bit-identical to the
+// per-bit definition, so these arrays must never change.
+TEST(BitStream, GoldenAlignedBytes) {
+  BitWriter w;
+  w.write(0xDEADBEEFCAFEBABEULL, 64);  // fully aligned: pure fast path
+  const std::vector<std::uint8_t> expected = {0xBE, 0xBA, 0xFE, 0xCA,
+                                              0xEF, 0xBE, 0xAD, 0xDE};
+  EXPECT_EQ(w.bytes(), expected);
+  BitReader r(w.bytes());
+  EXPECT_EQ(r.read(64), 0xDEADBEEFCAFEBABEULL);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BitStream, GoldenUnalignedSpill) {
+  BitWriter w;
+  w.write(1, 1);
+  w.write(0xAB, 8);  // straddles a byte boundary: per-bit path only
+  const std::vector<std::uint8_t> expected = {0x57, 0x01};
+  EXPECT_EQ(w.bytes(), expected);
+  EXPECT_EQ(w.bit_count(), 9u);
+  BitReader r(w.bytes());
+  EXPECT_EQ(r.read(1), 1u);
+  EXPECT_EQ(r.read(8), 0xABu);
+}
+
+TEST(BitStream, GoldenMixedWidths) {
+  BitWriter w;
+  w.write(0b101, 3);     // unaligned
+  w.write(0b00010, 5);   // re-aligns the cursor at bit 8
+  w.write(0xBEEF, 16);   // aligned: fast path
+  w.write(0x0DDC0FFEULL, 32);
+  const std::vector<std::uint8_t> expected = {0x15, 0xEF, 0xBE, 0xFE,
+                                              0x0F, 0xDC, 0x0D};
+  EXPECT_EQ(w.bytes(), expected);
+  BitReader r(w.bytes());
+  EXPECT_EQ(r.read(3), 0b101u);
+  EXPECT_EQ(r.read(5), 0b00010u);
+  EXPECT_EQ(r.read(16), 0xBEEFu);
+  EXPECT_EQ(r.read(32), 0x0DDC0FFEu);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BitStream, FastPathMatchesBitwiseDefinition) {
+  // Differential check: random mixed-width token streams against a per-bit
+  // reference writer, covering every alignment the fast path can hit.
+  Prng prng(4242);
+  for (int iter = 0; iter < 25; ++iter) {
+    BitWriter w;
+    std::vector<std::uint8_t> ref;
+    std::size_t ref_bits = 0;
+    const auto ref_write = [&](std::uint64_t value, int width) {
+      for (int b = 0; b < width; ++b) {
+        if (ref_bits % 8 == 0) ref.push_back(0);
+        if ((value >> b) & 1) {
+          ref[ref_bits / 8] |= static_cast<std::uint8_t>(1u << (ref_bits % 8));
+        }
+        ++ref_bits;
+      }
+    };
+    std::vector<std::pair<std::uint64_t, int>> tokens;
+    for (int i = 0; i < 400; ++i) {
+      const int width = static_cast<int>(prng.next_below(65));
+      const std::uint64_t value =
+          width == 64 ? prng.next_u64()
+                      : prng.next_u64() & ((1ULL << width) - 1);
+      w.write(value, width);
+      ref_write(value, width);
+      tokens.emplace_back(value, width);
+    }
+    ASSERT_EQ(w.bytes(), ref);
+    ASSERT_EQ(w.bit_count(), ref_bits);
+    BitReader r(w.bytes());
+    for (const auto& [value, width] : tokens) {
+      ASSERT_EQ(r.read(width), value);
+    }
+  }
+}
+
 TEST(TableCodec, EncodedSizeTracksAccountedSize) {
   // The packed table must be in the same ballpark as (and not wildly larger
   // than) the storage_bits() accounting for the ring component.

@@ -9,6 +9,11 @@
 //   crtool audit [options]                      deterministic fuzz campaign:
 //                                               sweep generator families and
 //                                               audit every paper invariant
+//   crtool save <graph> <out.snap> [eps]        build the stack and write a
+//                                               versioned binary snapshot
+//   crtool load-info <snap>                     snapshot header + section table
+//   crtool serve <snap> [options]               replay route batches against a
+//                                               loaded snapshot (no metric)
 //
 // Families for `gen`:
 //   grid W H | torus W H | geometric N DIM K SEED | spider ARMS LEN |
@@ -26,10 +31,13 @@
 // family, malformed or out-of-range argument).
 //
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
+
+#include "audit/snapshot_audit.hpp"
 
 #include "audit/campaign.hpp"
 #include "core/bits.hpp"
@@ -40,6 +48,7 @@
 #include "graph/doubling.hpp"
 #include "graph/metric.hpp"
 #include "io/graph_io.hpp"
+#include "io/snapshot.hpp"
 #include "labeled/hierarchical_labeled.hpp"
 #include "labeled/scale_free_labeled.hpp"
 #include "nameind/scale_free_nameind.hpp"
@@ -53,6 +62,7 @@
 #include "runtime/hop_scale_free_ni.hpp"
 #include "runtime/hop_scheme.hpp"
 #include "runtime/hop_simple_ni.hpp"
+#include "runtime/serve.hpp"
 
 using namespace compactroute;
 
@@ -67,6 +77,9 @@ namespace {
                "  crtool eval <graph> [samples] [eps]\n"
                "  crtool trace <graph> <src> <dst> [eps] [out.json]\n"
                "  crtool audit [audit options]\n"
+               "  crtool save <graph> <out.snap> [eps]\n"
+               "  crtool load-info <snap>\n"
+               "  crtool serve <snap> [serve options]\n"
                "\n"
                "global options (anywhere on the command line; --opt=value\n"
                "also accepted):\n"
@@ -92,6 +105,20 @@ namespace {
                "  --out FILE           write the JSON campaign report\n"
                "  --no-shrink          skip shrinking the first failure\n"
                "audit exits 0 when every check passes, 1 on any violation.\n"
+               "\n"
+               "serve options:\n"
+               "  --scheme NAME        hier | sf | simple | sfni | all\n"
+               "                       (default all)\n"
+               "  --pairs N            route requests per scheme (default\n"
+               "                       10000; N >= 1)\n"
+               "  --seed S             request-batch seed (default 1)\n"
+               "  --audit              rebuild the stack fresh from the\n"
+               "                       snapshot's graph, require identical\n"
+               "                       serve fingerprints, and run the\n"
+               "                       corruption battery; exit 1 on failure\n"
+               "  --out FILE           write BENCH_serving-style JSON\n"
+               "serve never touches the metric backend: routing uses only the\n"
+               "tables restored from the snapshot.\n"
                "\n"
                "gen families: grid W H | torus W H | geometric N DIM K SEED |\n"
                "  spider ARMS LEN | clusters LEVELS FANOUT SPREAD SEED |\n"
@@ -122,13 +149,30 @@ double parse_double(const std::string& token, const char* what) {
   try {
     std::size_t pos = 0;
     const double v = std::stod(token, &pos);
-    if (pos != token.size()) throw std::invalid_argument(token);
+    // std::stod happily parses "nan", "inf", and overflowing literals; none
+    // of those is a usable parameter anywhere in the CLI, so reject them at
+    // the boundary instead of letting them poison a build downstream.
+    if (pos != token.size() || !std::isfinite(v)) {
+      throw std::invalid_argument(token);
+    }
     return v;
   } catch (const std::exception&) {
-    std::fprintf(stderr, "malformed %s '%s' (expected a number)\n\n", what,
+    std::fprintf(stderr, "malformed %s '%s' (expected a finite number)\n\n",
+                 what, token.c_str());
+    usage();
+  }
+}
+
+/// For parameters that are meaningless unless strictly positive (eps, edge
+/// weights, spreads): finite and > 0, else exit 2.
+double parse_positive_double(const std::string& token, const char* what) {
+  const double v = parse_double(token, what);
+  if (v <= 0) {
+    std::fprintf(stderr, "%s must be positive, got '%s'\n\n", what,
                  token.c_str());
     usage();
   }
+  return v;
 }
 
 /// Metric backend chosen by the global --metric / --metric-cache-mb options;
@@ -140,9 +184,9 @@ std::uint64_t arg_u64(const std::vector<std::string>& args, std::size_t k,
   return k < args.size() ? parse_u64(args[k], what) : fallback;
 }
 
-double arg_double(const std::vector<std::string>& args, std::size_t k,
-                  double fallback, const char* what = "argument") {
-  return k < args.size() ? parse_double(args[k], what) : fallback;
+double arg_positive_double(const std::vector<std::string>& args, std::size_t k,
+                           double fallback, const char* what = "argument") {
+  return k < args.size() ? parse_positive_double(args[k], what) : fallback;
 }
 
 int cmd_gen(const std::vector<std::string>& args) {
@@ -163,15 +207,15 @@ int cmd_gen(const std::vector<std::string>& args) {
     graph = make_exponential_spider(arg_u64(rest, 0, 12), arg_u64(rest, 1, 8));
   } else if (family == "clusters") {
     graph = make_cluster_hierarchy(arg_u64(rest, 0, 4), arg_u64(rest, 1, 4),
-                                   arg_double(rest, 2, 8), arg_u64(rest, 3, 1));
+                                   arg_positive_double(rest, 2, 8), arg_u64(rest, 3, 1));
   } else if (family == "cliques") {
     graph = make_ring_of_cliques(arg_u64(rest, 0, 16), arg_u64(rest, 1, 8),
-                                 arg_double(rest, 2, 10));
+                                 arg_positive_double(rest, 2, 10));
   } else if (family == "tree") {
-    graph = make_random_tree(arg_u64(rest, 0, 200), arg_double(rest, 1, 4),
+    graph = make_random_tree(arg_u64(rest, 0, 200), arg_positive_double(rest, 1, 4),
                              arg_u64(rest, 2, 1));
   } else if (family == "lbtree") {
-    graph = make_lower_bound_tree(arg_double(rest, 0, 4.0), arg_u64(rest, 1, 1000))
+    graph = make_lower_bound_tree(arg_positive_double(rest, 0, 4.0), arg_u64(rest, 1, 1000))
                 .graph;
   } else {
     std::fprintf(stderr, "unknown gen family '%s'\n\n", family.c_str());
@@ -234,7 +278,7 @@ NodeId parse_node(const std::string& token, const MetricSpace& metric,
 
 int cmd_route(const std::vector<std::string>& args) {
   if (args.size() < 3) usage();
-  const double eps = arg_double(args, 3, 0.5, "eps");
+  const double eps = arg_positive_double(args, 3, 0.5, "eps");
   Stack stack(load_graph(args[0]), eps);
   const NodeId src = parse_node(args[1], stack.metric, "src");
   const NodeId dst = parse_node(args[2], stack.metric, "dst");
@@ -290,7 +334,7 @@ void print_trace(const RouteResult& r, Weight optimal) {
 
 int cmd_trace(const std::vector<std::string>& args) {
   if (args.size() < 3) usage();
-  const double eps = arg_double(args, 3, 0.5, "eps");
+  const double eps = arg_positive_double(args, 3, 0.5, "eps");
   Stack stack(load_graph(args[0]), eps);
   const NodeId src = parse_node(args[1], stack.metric, "src");
   const NodeId dst = parse_node(args[2], stack.metric, "dst");
@@ -339,7 +383,7 @@ int cmd_trace(const std::vector<std::string>& args) {
 int cmd_eval(const std::vector<std::string>& args) {
   if (args.empty()) usage();
   const std::size_t samples = arg_u64(args, 1, 2000, "samples");
-  const double eps = arg_double(args, 2, 0.5, "eps");
+  const double eps = arg_positive_double(args, 2, 0.5, "eps");
   Stack stack(load_graph(args[0]), eps);
   Prng prng(7);
 
@@ -415,7 +459,7 @@ int cmd_audit(std::vector<std::string> args) {
     } else if (take_option(args, i, "--eps", value)) {
       options.epsilons.clear();
       for (const std::string& token : split_csv(value)) {
-        const double eps = parse_double(token, "--eps entry");
+        const double eps = parse_positive_double(token, "--eps entry");
         if (eps <= 0) {
           std::fprintf(stderr, "--eps entries must be positive\n\n");
           usage();
@@ -495,6 +539,187 @@ int cmd_audit(std::vector<std::string> args) {
   return result.ok() ? 0 : 1;
 }
 
+int cmd_save(const std::vector<std::string>& args) {
+  if (args.size() < 2) usage();
+  const double eps = arg_positive_double(args, 2, 0.5, "eps");
+  Stack stack(load_graph(args[0]), eps);
+  const std::vector<std::uint8_t> bytes =
+      encode_snapshot(stack.metric, eps, stack.hierarchy, stack.naming,
+                      stack.hier, stack.sf, stack.simple, stack.sfni);
+  write_snapshot_file(args[1], bytes);
+  const auto sections = snapshot_directory(bytes);
+  std::printf("wrote %s: %zu bytes, %zu sections (n = %zu, eps = %.3f)\n",
+              args[1].c_str(), bytes.size(), sections.size(), stack.metric.n(),
+              eps);
+  return 0;
+}
+
+int cmd_load_info(const std::vector<std::string>& args) {
+  if (args.empty()) usage();
+  const std::vector<std::uint8_t> bytes = read_snapshot_file(args[0]);
+  const auto sections = snapshot_directory(bytes);
+  const SnapshotStack stack = decode_snapshot(bytes);
+  std::printf("%s: %zu bytes, format v1\n", args[0].c_str(), bytes.size());
+  std::printf("nodes       %zu\n", stack.n);
+  std::printf("edges       %zu\n", stack.graph.num_edges());
+  std::printf("epsilon     %.6g\n", stack.epsilon);
+  std::printf("net levels  %d\n\n", stack.num_levels);
+  std::printf("%4s  %-22s %10s %10s  %10s\n", "id", "section", "offset", "size",
+              "crc32");
+  for (const SnapshotSection& s : sections) {
+    std::printf("%4u  %-22s %10llu %10llu  0x%08x\n", s.id, s.name.c_str(),
+                static_cast<unsigned long long>(s.offset),
+                static_cast<unsigned long long>(s.size), s.crc);
+  }
+  return 0;
+}
+
+int cmd_serve(std::vector<std::string> args) {
+  std::string scheme_sel = "all";
+  std::string out_path;
+  std::uint64_t pairs = 10000;
+  std::uint64_t seed = 1;
+  bool do_audit = false;
+  std::string value;
+  for (std::size_t i = 0; i < args.size();) {
+    if (take_option(args, i, "--scheme", value)) {
+      scheme_sel = value;
+    } else if (take_option(args, i, "--pairs", value)) {
+      pairs = parse_u64(value, "--pairs value");
+    } else if (take_option(args, i, "--seed", value)) {
+      seed = parse_u64(value, "--seed value");
+    } else if (take_option(args, i, "--out", value)) {
+      out_path = value;
+    } else if (args[i] == "--audit") {
+      do_audit = true;
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+  if (args.empty()) usage();
+  if (pairs == 0) {
+    std::fprintf(stderr, "--pairs must be >= 1\n\n");
+    usage();
+  }
+  const bool all = scheme_sel == "all";
+  if (!all && scheme_sel != "hier" && scheme_sel != "sf" &&
+      scheme_sel != "simple" && scheme_sel != "sfni") {
+    std::fprintf(stderr, "unknown --scheme '%s'\n\n", scheme_sel.c_str());
+    usage();
+  }
+
+  const std::vector<std::uint8_t> bytes = read_snapshot_file(args[0]);
+  const SnapshotStack stack = decode_snapshot(bytes);
+  std::printf("serve: %s (n = %zu, eps = %.3g), %llu pairs/scheme, seed %llu, "
+              "workers = %zu\n\n",
+              args[0].c_str(), stack.n, stack.epsilon,
+              static_cast<unsigned long long>(pairs),
+              static_cast<unsigned long long>(seed),
+              Executor::global().workers());
+
+  const auto labeled = make_requests(stack.n, pairs, seed, [&](NodeId v) {
+    return std::uint64_t{stack.hierarchy->leaf_label(v)};
+  });
+  const auto named = make_requests(stack.n, pairs, seed + 1, [&](NodeId v) {
+    return stack.naming->name_of(v);
+  });
+
+  obs::JsonValue doc = obs::JsonValue::object();
+  doc["bench"] = std::string("serving");
+  doc["snapshot"] = args[0];
+  doc["n"] = static_cast<std::uint64_t>(stack.n);
+  doc["epsilon"] = stack.epsilon;
+  doc["pairs"] = pairs;
+  doc["seed"] = seed;
+  doc["workers"] = static_cast<std::uint64_t>(Executor::global().workers());
+  doc["schemes"] = obs::JsonValue::array();
+
+  std::printf("%-26s %12s %9s %9s %9s %10s\n", "scheme", "routes/s", "p50-us",
+              "p90-us", "p99-us", "hops/rt");
+  const auto run = [&](const HopScheme& hop,
+                       const std::vector<ServeRequest>& requests) {
+    const ServeStats s = serve_batch(stack.csr, hop, requests);
+    std::printf("%-26s %12.0f %9.2f %9.2f %9.2f %10.2f\n", hop.name().c_str(),
+                s.routes_per_sec, s.p50_us, s.p90_us, s.p99_us,
+                static_cast<double>(s.total_hops) /
+                    static_cast<double>(s.requests));
+    obs::JsonValue entry = obs::JsonValue::object();
+    entry["scheme"] = hop.name();
+    entry["requests"] = static_cast<std::uint64_t>(s.requests);
+    entry["delivered"] = static_cast<std::uint64_t>(s.delivered);
+    entry["total_hops"] = static_cast<std::uint64_t>(s.total_hops);
+    entry["elapsed_s"] = s.elapsed_s;
+    entry["routes_per_sec"] = s.routes_per_sec;
+    entry["p50_us"] = s.p50_us;
+    entry["p90_us"] = s.p90_us;
+    entry["p99_us"] = s.p99_us;
+    entry["max_us"] = s.max_us;
+    entry["fingerprint"] = s.fingerprint;
+    doc["schemes"].push_back(std::move(entry));
+  };
+  if (all || scheme_sel == "hier") {
+    run(HierarchicalHopScheme(*stack.hier), labeled);
+  }
+  if (all || scheme_sel == "sf") {
+    run(ScaleFreeHopScheme(*stack.sf), labeled);
+  }
+  if (all || scheme_sel == "simple") {
+    run(SimpleNameIndependentHopScheme(*stack.simple, *stack.hier), named);
+  }
+  if (all || scheme_sel == "sfni") {
+    run(ScaleFreeNameIndependentHopScheme(*stack.sfni, *stack.sf), named);
+  }
+
+  if (!out_path.empty()) {
+    if (obs::write_text_file(out_path, doc.dump(2) + "\n")) {
+      std::printf("wrote %s\n", out_path.c_str());
+    }
+  }
+  if (!do_audit) return 0;
+
+  // --audit: the acceptance gate. Rebuild the whole stack fresh from the
+  // snapshot's own graph (same naming, same ε clamp the builders use) and
+  // require every scheme's serve fingerprint to match the loaded one, then
+  // prove the container rejects a battery of truncations and bit flips.
+  std::printf("\naudit: rebuilding fresh stack from the snapshot graph...\n");
+  const MetricSpace metric(stack.graph, g_metric_options);
+  const NetHierarchy hierarchy(metric);
+  const Naming naming(*stack.naming);
+  const double eps_labeled = std::min(stack.epsilon, 0.5);
+  const HierarchicalLabeledScheme hier(metric, hierarchy, eps_labeled);
+  const ScaleFreeLabeledScheme sf(metric, hierarchy, eps_labeled);
+  const SimpleNameIndependentScheme simple(metric, hierarchy, naming, hier,
+                                           stack.epsilon);
+  const ScaleFreeNameIndependentScheme sfni(metric, hierarchy, naming, sf,
+                                            stack.epsilon);
+
+  const std::size_t audit_pairs =
+      std::min<std::size_t>(static_cast<std::size_t>(pairs), 512);
+  const audit::ServeFingerprints fresh =
+      audit::serve_fingerprints(metric.csr(), hierarchy, naming, hier, sf,
+                                simple, sfni, audit_pairs, seed);
+  const audit::ServeFingerprints loaded =
+      audit::serve_fingerprints(stack, audit_pairs, seed);
+
+  audit::Report report;
+  const auto expect_fp = [&](const char* scheme, std::uint64_t a,
+                             std::uint64_t b) {
+    report.expect(a == b, "serve", "loaded fingerprint matches fresh build",
+                  scheme);
+  };
+  expect_fp("labeled/hierarchical", fresh.hier, loaded.hier);
+  expect_fp("labeled/scale-free", fresh.scale_free, loaded.scale_free);
+  expect_fp("ni/simple", fresh.simple, loaded.simple);
+  expect_fp("ni/scale-free", fresh.scale_free_ni, loaded.scale_free_ni);
+  report.merge(audit::audit_snapshot_corruption(bytes, audit::Options{}));
+
+  std::printf("audit: %zu checks, %zu issues\n", report.checks,
+              report.issues.size());
+  if (!report.ok()) std::printf("%s", report.summary().c_str());
+  return report.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 namespace {
@@ -568,6 +793,9 @@ int main(int argc, char** argv) {
     if (command == "eval") return cmd_eval(args);
     if (command == "trace") return cmd_trace(args);
     if (command == "audit") return cmd_audit(args);
+    if (command == "save") return cmd_save(args);
+    if (command == "load-info") return cmd_load_info(args);
+    if (command == "serve") return cmd_serve(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
