@@ -23,14 +23,16 @@
 #include "core/parallel.hpp"
 #include "graph/dijkstra.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sharded.hpp"
 
 using namespace compactroute;
 using namespace compactroute::bench;
 
 namespace {
 
-double phase_ms(const char* name) {
-  return obs::Registry::global().timer(name).total_ms();
+double phase_ms(const obs::Registry& scraped, const char* name) {
+  const auto it = scraped.timers().find(name);
+  return it == scraped.timers().end() ? 0 : it->second.total_ms();
 }
 
 /// Wall-clock of one full-stack build (metric through codec) at the current
@@ -129,7 +131,7 @@ int main() {
   doc["rows"] = obs::JsonValue::array();
 
   for (const std::size_t n : {128u, 256u, 512u, 768u}) {
-    obs::Registry::global().reset();
+    obs::reset_global();
     const Graph graph = make_random_geometric(n, 2, 5, 9000 + n);
 
     const MetricSpace metric(graph);
@@ -142,13 +144,14 @@ int main() {
                                             eps);
     const PackedHierarchicalRouter packed(hier, metric);
 
-    const double metric_ms = phase_ms("preprocess.metric");
-    const double nets_ms = phase_ms("preprocess.nets");
-    const double labeled_ms = phase_ms("preprocess.labeled.hierarchical") +
-                              phase_ms("preprocess.labeled.scale_free");
-    const double ni_ms = phase_ms("preprocess.nameind.simple") +
-                         phase_ms("preprocess.nameind.scale_free");
-    const double codec_ms = phase_ms("preprocess.codec.pack");
+    const auto scraped = obs::scrape_global();
+    const double metric_ms = phase_ms(*scraped, "preprocess.metric");
+    const double nets_ms = phase_ms(*scraped, "preprocess.nets");
+    const double labeled_ms = phase_ms(*scraped, "preprocess.labeled.hierarchical") +
+                              phase_ms(*scraped, "preprocess.labeled.scale_free");
+    const double ni_ms = phase_ms(*scraped, "preprocess.nameind.simple") +
+                         phase_ms(*scraped, "preprocess.nameind.scale_free");
+    const double codec_ms = phase_ms(*scraped, "preprocess.codec.pack");
 
     std::size_t balls = 0;
     for (int j = 0; j <= labeled.max_exponent(); ++j) {
@@ -165,7 +168,7 @@ int main() {
     entry["balls"] = balls;
     entry["mem_bytes"] = mem_bytes;
     entry["phases_ms"] = obs::JsonValue::object();
-    for (const auto& [name, timer] : obs::Registry::global().timers()) {
+    for (const auto& [name, timer] : scraped->timers()) {
       obs::JsonValue span = obs::JsonValue::object();
       span["total_ms"] = timer.total_ms();
       span["spans"] = timer.spans();
@@ -189,7 +192,7 @@ int main() {
     double ms_1 = 0, ms_4 = 0;
     for (const std::size_t workers : {1u, 4u}) {
       Executor::global().set_workers(workers);
-      obs::Registry::global().reset();
+      obs::reset_global();
       const double ms = build_stack_ms(graph, eps);
       (workers == 1 ? ms_1 : ms_4) = ms;
       std::printf("  workers=%zu  %9.1f ms  (effective %zu)\n", workers, ms,

@@ -18,6 +18,7 @@
 #include "nameind/simple_nameind.hpp"
 #include "nets/rnet.hpp"
 #include "obs/json_export.hpp"
+#include "obs/sharded.hpp"
 #include "routing/baselines.hpp"
 #include "routing/naming.hpp"
 #include "routing/simulator.hpp"
@@ -26,9 +27,9 @@ namespace compactroute::bench {
 
 /// Everything the experiments need for one (graph, ε) configuration.
 ///
-/// Phase timings: the constructors meter themselves into the global registry
+/// Phase timings: the constructors meter themselves into the sharded registry
 /// (CR_OBS_SCOPED_TIMER), but benches sweep many graph families through one
-/// process, so the raw registry totals conflate families. The Stack snapshots
+/// process, so the raw scraped totals conflate families. The Stack snapshots
 /// every `preprocess.*` timer before building anything; phases_to_json()
 /// reports the deltas accumulated since — i.e. this Stack's own construction
 /// cost, per phase, regardless of what ran before it in the process.
@@ -67,7 +68,8 @@ struct Stack {
   /// interest; under CR_OBS_DISABLED every delta is 0.
   obs::JsonValue phases_to_json() const {
     obs::JsonValue v = obs::JsonValue::object();
-    for (const auto& [name, timer] : obs::Registry::global().timers()) {
+    const auto scraped = obs::scrape_global();
+    for (const auto& [name, timer] : scraped->timers()) {
       if (name.rfind("preprocess.", 0) != 0) continue;
       const auto it = phase_snapshot_.find(name);
       const double before = it == phase_snapshot_.end() ? 0 : it->second;
@@ -78,7 +80,8 @@ struct Stack {
 
   static std::map<std::string, double> snapshot_preprocess_timers() {
     std::map<std::string, double> snap;
-    for (const auto& [name, timer] : obs::Registry::global().timers()) {
+    const auto scraped = obs::scrape_global();
+    for (const auto& [name, timer] : scraped->timers()) {
       if (name.rfind("preprocess.", 0) == 0) snap[name] = timer.total_ms();
     }
     return snap;
@@ -136,10 +139,14 @@ inline obs::JsonValue storage_to_json(const StorageStats& storage) {
   return v;
 }
 
-/// Writes a bench's JSON document next to its printed table.
+/// Writes a bench's JSON document next to its printed table. A failure is
+/// loud (the run's artifact is missing) but not fatal — the printed table
+/// already carried the results.
 inline void write_bench_json(const std::string& path, const obs::JsonValue& doc) {
   if (obs::write_text_file(path, doc.dump(2) + "\n")) {
     std::printf("wrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "warning: bench JSON not written: %s\n", path.c_str());
   }
 }
 

@@ -4,6 +4,7 @@
 #include "codec/table_codec.hpp"
 #include "core/check.hpp"
 #include "obs/metrics.hpp"
+#include "obs/spans.hpp"
 
 namespace compactroute {
 
@@ -14,6 +15,7 @@ PackedHierarchicalRouter::PackedHierarchicalRouter(
       n_(metric.n()),
       num_levels_(scheme.hierarchy().top_level() + 1) {
   CR_OBS_SCOPED_TIMER("preprocess.codec.pack");
+  CR_OBS_SPAN("preprocess.codec.pack", "construct");
   blobs_.resize(n_);
   blob_bits_.resize(n_);
   const IdCodec labels(n_);

@@ -169,7 +169,7 @@ void Executor::run(const char* region, std::size_t n, std::size_t chunk,
   const std::size_t num_chunks = (n + chunk - 1) / chunk;
 
 #ifndef CR_OBS_DISABLED
-  obs::Registry& registry = obs::Registry::global();
+  obs::Registry& registry = obs::local_registry();
   registry.counter("parallel.tasks").inc();
   registry.counter("parallel.chunks").inc(num_chunks);
   obs::ScopedTimer span(registry.timer(std::string("parallel.") + region));

@@ -4,6 +4,7 @@
 
 #include "core/check.hpp"
 #include "obs/metrics.hpp"
+#include "obs/spans.hpp"
 
 namespace compactroute {
 
@@ -12,6 +13,7 @@ MetricSpace::MetricSpace(const Graph& graph, MetricOptions options)
       n_(graph.num_nodes()),
       csr_(std::make_unique<CsrGraph>(graph_)) {
   CR_OBS_SCOPED_TIMER("preprocess.metric");
+  CR_OBS_SPAN("preprocess.metric", "construct");
   CR_CHECK_MSG(n_ >= 2, "metric needs at least two nodes");
   CR_CHECK_MSG(graph.is_connected(), "metric requires a connected graph");
   CR_OBS_ADD("mem.metric.csr_bytes", csr_->memory_bytes());

@@ -4,6 +4,7 @@
 #include "core/check.hpp"
 #include "core/parallel.hpp"
 #include "obs/metrics.hpp"
+#include "obs/spans.hpp"
 
 namespace compactroute {
 
@@ -12,6 +13,7 @@ HierarchicalLabeledScheme::HierarchicalLabeledScheme(const MetricSpace& metric,
                                                      double epsilon)
     : metric_(&metric), hierarchy_(&hierarchy), epsilon_(epsilon) {
   CR_OBS_SCOPED_TIMER("preprocess.labeled.hierarchical");
+  CR_OBS_SPAN("preprocess.labeled.hierarchical", "construct");
   CR_CHECK_MSG(epsilon > 0 && epsilon <= 0.5, "scheme requires ε ∈ (0, 1/2]");
   const std::size_t n = metric.n();
   const int top = hierarchy.top_level();

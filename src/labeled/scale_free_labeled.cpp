@@ -9,6 +9,7 @@
 #include "core/parallel.hpp"
 #include "graph/dijkstra.hpp"
 #include "obs/metrics.hpp"
+#include "obs/spans.hpp"
 
 namespace compactroute {
 
@@ -26,6 +27,7 @@ ScaleFreeLabeledScheme::ScaleFreeLabeledScheme(const MetricSpace& metric,
       epsilon_(epsilon),
       options_(options) {
   CR_OBS_SCOPED_TIMER("preprocess.labeled.scale_free");
+  CR_OBS_SPAN("preprocess.labeled.scale_free", "construct");
   CR_CHECK_MSG(epsilon > 0 && epsilon <= 0.5, "scheme requires ε ∈ (0, 1/2]");
   CR_CHECK(options.ring_window > 0);
   max_exponent_ = max_size_exponent(metric.n());

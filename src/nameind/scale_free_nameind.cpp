@@ -7,6 +7,7 @@
 #include "core/check.hpp"
 #include "core/parallel.hpp"
 #include "obs/metrics.hpp"
+#include "obs/spans.hpp"
 
 namespace compactroute {
 
@@ -36,6 +37,7 @@ ScaleFreeNameIndependentScheme::ScaleFreeNameIndependentScheme(
       underlying_(&underlying),
       epsilon_(epsilon) {
   CR_OBS_SCOPED_TIMER("preprocess.nameind.scale_free");
+  CR_OBS_SPAN("preprocess.nameind.scale_free", "construct");
   CR_CHECK_MSG(epsilon > 0 && epsilon < 1, "Theorem 1.1 requires ε ∈ (0, 1)");
   max_exponent_ = max_size_exponent(metric.n());
 

@@ -6,6 +6,7 @@
 #include "core/check.hpp"
 #include "core/parallel.hpp"
 #include "obs/metrics.hpp"
+#include "obs/spans.hpp"
 
 namespace compactroute {
 
@@ -18,6 +19,7 @@ SimpleNameIndependentScheme::SimpleNameIndependentScheme(
       underlying_(&underlying),
       epsilon_(epsilon) {
   CR_OBS_SCOPED_TIMER("preprocess.nameind.simple");
+  CR_OBS_SPAN("preprocess.nameind.simple", "construct");
   CR_CHECK_MSG(epsilon > 0 && epsilon < 1, "Theorem 1.4 requires ε ∈ (0, 1)");
   const int top = hierarchy.top_level();
   trees_.resize(top + 1);

@@ -7,6 +7,7 @@
 #include "core/check.hpp"
 #include "core/parallel.hpp"
 #include "obs/metrics.hpp"
+#include "obs/spans.hpp"
 
 namespace compactroute {
 
@@ -36,6 +37,7 @@ std::vector<NodeId> build_rnet(const MetricSpace& metric,
 
 NetHierarchy::NetHierarchy(const MetricSpace& metric) : metric_(&metric) {
   CR_OBS_SCOPED_TIMER("preprocess.nets");
+  CR_OBS_SPAN("preprocess.nets", "construct");
   top_level_ = metric.num_levels();
   build_nets();
   build_zoom();

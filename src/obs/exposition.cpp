@@ -1,0 +1,121 @@
+#include "obs/exposition.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace compactroute::obs {
+
+namespace {
+
+void append_value(std::string& out, double v) {
+  char buf[64];
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.12g", v);
+  }
+  out += buf;
+}
+
+void append_line(std::string& out, const std::string& name, double value) {
+  out += name;
+  out += ' ';
+  append_value(out, value);
+  out += '\n';
+}
+
+void append_type(std::string& out, const std::string& name,
+                 const char* type) {
+  out += "# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+void append_bucket(std::string& out, const std::string& name, double upper,
+                   std::uint64_t cumulative) {
+  out += name;
+  out += "_bucket{le=\"";
+  if (std::isfinite(upper)) {
+    append_value(out, upper);
+  } else {
+    out += "+Inf";
+  }
+  out += "\"} ";
+  append_value(out, static_cast<double>(cumulative));
+  out += '\n';
+}
+
+double upper_edge(const Histogram& h, std::size_t b) {
+  return h.bucket_edge(b) + h.bucket_width();
+}
+
+double upper_edge(const LogHistogram& h, std::size_t b) {
+  return h.bucket_upper(b);
+}
+
+/// Emits one histogram family given bucket edges/counts via callbacks that
+/// both Histogram and LogHistogram satisfy.
+template <typename H>
+void append_histogram(std::string& out, const std::string& name, const H& h) {
+  append_type(out, name, "histogram");
+  std::uint64_t cumulative = h.underflow();
+  if (cumulative != 0) {
+    // Everything below the range counts toward the first finite edge too;
+    // surface it as its own bucket at the range's lower bound.
+    append_bucket(out, name, h.lo(), cumulative);
+  }
+  for (std::size_t b = 0; b < h.buckets(); ++b) {
+    const std::uint64_t c = h.bucket_count(b);
+    if (c == 0) continue;
+    cumulative += c;
+    append_bucket(out, name, upper_edge(h, b), cumulative);
+  }
+  cumulative += h.overflow();
+  append_bucket(out, name, std::numeric_limits<double>::infinity(),
+                cumulative);
+  append_line(out, name + "_sum", h.sum());
+  append_line(out, name + "_count", static_cast<double>(h.count()));
+}
+
+}  // namespace
+
+std::string prometheus_sanitize(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  if (!name.empty() && std::isdigit(static_cast<unsigned char>(name[0]))) {
+    out += '_';
+  }
+  for (const char c : name) {
+    const auto u = static_cast<unsigned char>(c);
+    out += (std::isalnum(u) != 0) ? c : '_';
+  }
+  return out;
+}
+
+std::string registry_to_prometheus(const Registry& registry) {
+  std::string out;
+  for (const auto& [name, c] : registry.counters()) {
+    const std::string metric = "cr_" + prometheus_sanitize(name) + "_total";
+    append_type(out, metric, "counter");
+    append_line(out, metric, static_cast<double>(c.value()));
+  }
+  for (const auto& [name, t] : registry.timers()) {
+    const std::string base = "cr_" + prometheus_sanitize(name);
+    append_type(out, base + "_ms_total", "counter");
+    append_line(out, base + "_ms_total", t.total_ms());
+    append_type(out, base + "_spans_total", "counter");
+    append_line(out, base + "_spans_total", static_cast<double>(t.spans()));
+  }
+  for (const auto& [name, h] : registry.histograms()) {
+    append_histogram(out, "cr_" + prometheus_sanitize(name), h);
+  }
+  for (const auto& [name, h] : registry.log_histograms()) {
+    append_histogram(out, "cr_" + prometheus_sanitize(name), h);
+  }
+  return out;
+}
+
+}  // namespace compactroute::obs

@@ -1,0 +1,29 @@
+#pragma once
+//
+// Prometheus-style text exposition of a Registry snapshot (normally a
+// ShardedRegistry::scrape()). Dependency-free: emits the text format by
+// hand, the same way json_export emits JSON.
+//
+// Mapping (metric names are sanitized to [a-zA-Z0-9_] and prefixed "cr_"):
+//   Counter        cr_<name>_total                    (TYPE counter)
+//   Timer          cr_<name>_ms_total                 (TYPE counter)
+//                  cr_<name>_spans_total              (TYPE counter)
+//   LogHistogram   cr_<name>_bucket{le="<upper>"}     cumulative, only
+//                  buckets with new counts, plus le="+Inf"; and
+//                  cr_<name>_sum / cr_<name>_count    (TYPE histogram)
+//   Histogram      same shape as LogHistogram         (TYPE histogram)
+//
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace compactroute::obs {
+
+/// "preprocess.nets" -> "preprocess_nets" (every non-alphanumeric byte
+/// becomes '_'; a leading digit gains a '_' prefix).
+std::string prometheus_sanitize(const std::string& name);
+
+/// The whole registry in Prometheus text exposition format v0.0.4.
+std::string registry_to_prometheus(const Registry& registry);
+
+}  // namespace compactroute::obs

@@ -1,0 +1,131 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+
+#include "obs/sharded.hpp"
+
+namespace compactroute::obs {
+
+struct FlightRecorder::Ring {
+  std::size_t tid = 0;
+  // Writer: the owning thread only. Readers (dump) race benignly on the
+  // event payloads; `written` is atomic so a dump sees a consistent count
+  // of fully-published slots in the common quiescent case.
+  std::vector<FlightEvent> slots{std::vector<FlightEvent>(kCapacity)};
+  std::atomic<std::uint64_t> written{0};
+};
+
+FlightRecorder& FlightRecorder::global() {
+  static FlightRecorder instance;
+  return instance;
+}
+
+std::uint16_t FlightRecorder::intern_scheme(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < scheme_names_.size(); ++i) {
+    if (scheme_names_[i] == name) return static_cast<std::uint16_t>(i);
+  }
+  scheme_names_.push_back(name);
+  return static_cast<std::uint16_t>(scheme_names_.size() - 1);
+}
+
+std::string FlightRecorder::scheme_name(std::uint16_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id < scheme_names_.size()) return scheme_names_[id];
+  return "scheme#" + std::to_string(id);
+}
+
+FlightRecorder::Ring& FlightRecorder::local_ring() {
+  static thread_local std::shared_ptr<Ring> cached;
+  if (!cached) {
+    cached = std::make_shared<Ring>();
+    cached->tid = thread_ordinal();
+    std::lock_guard<std::mutex> lock(mutex_);
+    rings_.push_back(cached);
+  }
+  return *cached;
+}
+
+void FlightRecorder::record(const FlightEvent& event) {
+  Ring& ring = local_ring();
+  const std::uint64_t n = ring.written.load(std::memory_order_relaxed);
+  ring.slots[n % kCapacity] = event;
+  // Release so a dump that reads `written` sees the slot contents.
+  ring.written.store(n + 1, std::memory_order_release);
+}
+
+std::vector<FlightRecorder::DumpedEvent> FlightRecorder::dump() const {
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    rings = rings_;
+  }
+  std::vector<DumpedEvent> out;
+  for (const auto& ring : rings) {
+    const std::uint64_t written = ring->written.load(std::memory_order_acquire);
+    const std::uint64_t have = std::min<std::uint64_t>(written, kCapacity);
+    for (std::uint64_t i = written - have; i < written; ++i) {
+      out.push_back(DumpedEvent{ring->slots[i % kCapacity], ring->tid});
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const DumpedEvent& a, const DumpedEvent& b) {
+                     if (a.event.t_us != b.event.t_us) {
+                       return a.event.t_us < b.event.t_us;
+                     }
+                     return a.tid < b.tid;
+                   });
+  return out;
+}
+
+std::string FlightRecorder::dump_text() const {
+  const std::vector<DumpedEvent> events = dump();
+  std::size_t workers = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    workers = rings_.size();
+  }
+  std::string out = "flight recorder: " + std::to_string(events.size()) +
+                    " events from " + std::to_string(workers) +
+                    " worker(s), oldest first\n";
+  char line[192];
+  for (const DumpedEvent& d : events) {
+    std::snprintf(line, sizeof line,
+                  "[tid %zu] t=%.3fus scheme=%s src=%u dest=0x%llx hops=%u "
+                  "lat=%.3fus\n",
+                  d.tid, d.event.t_us, scheme_name(d.event.scheme_id).c_str(),
+                  d.event.src,
+                  static_cast<unsigned long long>(d.event.dest_key),
+                  d.event.hops, static_cast<double>(d.event.lat_us));
+    out += line;
+  }
+  return out;
+}
+
+std::uint64_t FlightRecorder::recorded_total() const {
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    rings = rings_;
+  }
+  std::uint64_t total = 0;
+  for (const auto& ring : rings) {
+    total += ring->written.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void FlightRecorder::clear() {
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    rings = rings_;
+  }
+  for (const auto& ring : rings) {
+    ring->written.store(0, std::memory_order_release);
+  }
+}
+
+}  // namespace compactroute::obs

@@ -1,0 +1,82 @@
+#pragma once
+//
+// Per-worker flight recorder: a fixed-size ring buffer of the most recent
+// route events on every serving thread, kept cheap enough to stay on in
+// production (one TLS lookup + a few stores per route, no locks, no
+// allocation in steady state). When an audit or serve fingerprint check
+// fails, crtool dumps the merged rings — the last ~256 routes each worker
+// handled before the failure — as a post-mortem.
+//
+// Events carry a timestamp on the shared trace clock (obs/spans.hpp), so a
+// merged dump interleaves workers in true time order. Scheme names are
+// interned to small ids once per batch; the hot path never touches a string.
+//
+// Dump format (one line per event, oldest first):
+//   [tid N] t=<us>us scheme=<name> src=<u> dest=0x<key> hops=<h> lat=<us>us
+//
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace compactroute::obs {
+
+struct FlightEvent {
+  double t_us = 0;             // trace_now_us() at completion
+  std::uint64_t dest_key = 0;  // flat name key of the destination
+  std::uint32_t src = 0;       // source vertex
+  float lat_us = 0;            // request latency (0 when not collected)
+  std::uint16_t hops = 0;
+  std::uint16_t scheme_id = 0; // intern_scheme() id
+};
+
+class FlightRecorder {
+ public:
+  /// Events retained per worker thread.
+  static constexpr std::size_t kCapacity = 256;
+
+  static FlightRecorder& global();
+
+  /// Registers a scheme name (idempotent) and returns its event id. Cache
+  /// the id outside the per-route loop — this takes a lock.
+  std::uint16_t intern_scheme(const std::string& name);
+  std::string scheme_name(std::uint16_t id) const;
+
+  /// Appends to the calling thread's ring, overwriting the oldest event
+  /// once the ring is full. Lock-free after the first call on a thread.
+  void record(const FlightEvent& event);
+
+  struct DumpedEvent {
+    FlightEvent event;
+    std::size_t tid = 0;  // thread_ordinal() of the recording thread
+  };
+
+  /// Merged rings, oldest event first (sorted by t_us, then tid).
+  std::vector<DumpedEvent> dump() const;
+
+  /// dump() rendered in the one-line-per-event post-mortem format above,
+  /// with a leading header naming the event count and worker count.
+  std::string dump_text() const;
+
+  /// Total events ever recorded (including overwritten ones).
+  std::uint64_t recorded_total() const;
+
+  /// Empties every ring (interned scheme names survive).
+  void clear();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+ private:
+  FlightRecorder() = default;
+  struct Ring;
+  Ring& local_ring();
+
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<Ring>> rings_;
+  std::vector<std::string> scheme_names_;
+};
+
+}  // namespace compactroute::obs

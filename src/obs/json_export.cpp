@@ -177,6 +177,38 @@ JsonValue registry_to_json(const Registry& registry) {
     histograms[name] = std::move(entry);
   }
   root["histograms"] = std::move(histograms);
+
+  JsonValue log_histograms = JsonValue::object();
+  for (const auto& [name, h] : registry.log_histograms()) {
+    JsonValue entry = JsonValue::object();
+    entry["count"] = h.count();
+    entry["sum"] = h.sum();
+    entry["min"] = h.min();
+    entry["max"] = h.max();
+    entry["mean"] = h.mean();
+    entry["lo"] = h.lo();
+    entry["hi"] = h.hi();
+    entry["sub_buckets_per_octave"] = h.sub_buckets_per_octave();
+    entry["p50"] = h.percentile(0.50);
+    entry["p90"] = h.percentile(0.90);
+    entry["p99"] = h.percentile(0.99);
+    entry["p999"] = h.percentile(0.999);
+    entry["underflow"] = h.underflow();
+    entry["overflow"] = h.overflow();
+    // Sparse bucket dump: only occupied buckets, as [lower_edge, count].
+    JsonValue buckets = JsonValue::array();
+    for (std::size_t b = 0; b < h.buckets(); ++b) {
+      const std::uint64_t c = h.bucket_count(b);
+      if (c == 0) continue;
+      JsonValue pair = JsonValue::array();
+      pair.push_back(h.bucket_lower(b));
+      pair.push_back(c);
+      buckets.push_back(std::move(pair));
+    }
+    entry["buckets"] = std::move(buckets);
+    log_histograms[name] = std::move(entry);
+  }
+  root["log_histograms"] = std::move(log_histograms);
   return root;
 }
 

@@ -2,6 +2,26 @@
 
 namespace compactroute::obs {
 
+namespace {
+
+/// Lock-free monotone update of an atomic double extreme.
+template <typename Cmp>
+void update_extreme(std::atomic<double>& slot, double x, Cmp better) {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (better(x, cur) &&
+         !slot.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
+  }
+}
+
+void add_double(std::atomic<double>& slot, double delta) {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (!slot.compare_exchange_weak(cur, cur + delta,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
 double Histogram::percentile(double q) const {
   CR_CHECK(q >= 0 && q <= 1);
   if (count_ == 0) return 0;
@@ -52,6 +72,134 @@ void Histogram::reset() {
   max_ = 0;
 }
 
+// ---------------------------------------------------------------------------
+// LogHistogram
+
+LogHistogram::LogHistogram(double lo, double hi,
+                           std::size_t sub_buckets_per_octave)
+    : lo_(lo), hi_(hi), spb_(sub_buckets_per_octave) {
+  CR_CHECK_MSG(lo > 0 && std::isfinite(lo) && std::isfinite(hi) && hi > lo,
+               "log histogram needs 0 < lo < hi, both finite");
+  CR_CHECK(spb_ >= 1);
+  octaves_ = 0;
+  for (double edge = lo_; edge < hi_; edge *= 2) ++octaves_;
+  counts_ = std::vector<std::atomic<std::uint64_t>>(octaves_ * spb_ + 2);
+}
+
+LogHistogram::LogHistogram(const LogHistogram& other)
+    : lo_(other.lo_), hi_(other.hi_), spb_(other.spb_),
+      octaves_(other.octaves_),
+      counts_(other.counts_.size()) {
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i].store(other.counts_[i].load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  }
+  count_.store(other.count(), std::memory_order_relaxed);
+  sum_.store(other.sum(), std::memory_order_relaxed);
+  min_.store(other.min_.load(std::memory_order_relaxed),
+             std::memory_order_relaxed);
+  max_.store(other.max_.load(std::memory_order_relaxed),
+             std::memory_order_relaxed);
+}
+
+double LogHistogram::min() const {
+  const double m = min_.load(std::memory_order_relaxed);
+  return std::isfinite(m) ? m : 0;
+}
+
+double LogHistogram::max() const {
+  const double m = max_.load(std::memory_order_relaxed);
+  return std::isfinite(m) ? m : 0;
+}
+
+std::size_t LogHistogram::bucket_of(double x) const {
+  if (!(x >= lo_)) return 0;                 // underflow; NaN lands here too
+  if (x >= hi_) return counts_.size() - 1;   // overflow
+  // x = lo · r with r in [1, 2^octaves). frexp gives the binary exponent
+  // exactly: r in [2^(e-1), 2^e)  =>  octave e-1.
+  int exp = 0;
+  const double r = x / lo_;
+  (void)std::frexp(r, &exp);
+  const auto octave = static_cast<std::size_t>(exp - 1);
+  const double frac = std::ldexp(r, -static_cast<int>(octave)) - 1.0;  // [0,1)
+  const auto sub = std::min(
+      static_cast<std::size_t>(frac * static_cast<double>(spb_)), spb_ - 1);
+  return 1 + std::min(octave * spb_ + sub, octaves_ * spb_ - 1);
+}
+
+double LogHistogram::bucket_lower(std::size_t b) const {
+  const std::size_t octave = b / spb_;
+  const std::size_t sub = b % spb_;
+  return lo_ * std::ldexp(1.0, static_cast<int>(octave)) *
+         (1.0 + static_cast<double>(sub) / static_cast<double>(spb_));
+}
+
+double LogHistogram::bucket_upper(std::size_t b) const {
+  if (b + 1 < buckets()) return bucket_lower(b + 1);
+  return lo_ * std::ldexp(1.0, static_cast<int>(octaves_));
+}
+
+void LogHistogram::record(double x) {
+  counts_[bucket_of(x)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  add_double(sum_, x);
+  update_extreme(min_, x, [](double a, double b) { return a < b; });
+  update_extreme(max_, x, [](double a, double b) { return a > b; });
+}
+
+double LogHistogram::percentile(double q) const {
+  CR_CHECK(q >= 0 && q <= 1);
+  const std::size_t total = count();
+  if (total == 0) return 0;
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::uint64_t c = counts_[i].load(std::memory_order_relaxed);
+    if (c == 0) continue;
+    if (static_cast<double>(seen + c) >= rank) {
+      if (i == 0) return min();                   // underflow bin
+      if (i == counts_.size() - 1) return max();  // overflow bin
+      const double left = bucket_lower(i - 1);
+      const double width = bucket_upper(i - 1) - left;
+      const double inside =
+          (rank - static_cast<double>(seen)) / static_cast<double>(c);
+      const double x = left + std::clamp(inside, 0.0, 1.0) * width;
+      return std::clamp(x, min(), max());
+    }
+    seen += c;
+  }
+  return max();
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  CR_CHECK_MSG(other.lo_ == lo_ && other.hi_ == hi_ && other.spb_ == spb_,
+               "log histogram merge requires identical geometry");
+  if (other.count() == 0) return;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i].fetch_add(other.counts_[i].load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  add_double(sum_, other.sum());
+  update_extreme(min_, other.min_.load(std::memory_order_relaxed),
+                 [](double a, double b) { return a < b; });
+  update_extreme(max_, other.max_.load(std::memory_order_relaxed),
+                 [](double a, double b) { return a > b; });
+}
+
+void LogHistogram::reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
 Counter& Registry::counter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
   return counters_[name];
@@ -72,16 +220,43 @@ Histogram& Registry::histogram(const std::string& name, double lo, double hi,
   return it->second;
 }
 
+LogHistogram& Registry::log_histogram(const std::string& name, double lo,
+                                      double hi,
+                                      std::size_t sub_buckets_per_octave) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = log_histograms_.find(name);
+  if (it == log_histograms_.end()) {
+    it = log_histograms_
+             .emplace(std::piecewise_construct, std::forward_as_tuple(name),
+                      std::forward_as_tuple(lo, hi, sub_buckets_per_octave))
+             .first;
+  }
+  return it->second;
+}
+
+void Registry::merge_into(Registry& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, c] : counters_) {
+    const std::uint64_t v = c.value();
+    if (v != 0) out.counter(name).inc(v);
+    else (void)out.counter(name);  // keep pre-registered names visible
+  }
+  for (const auto& [name, t] : timers_) out.timer(name).merge(t);
+  for (const auto& [name, h] : histograms_) {
+    out.histogram(name, h.lo(), h.hi(), h.buckets()).merge(h);
+  }
+  for (const auto& [name, h] : log_histograms_) {
+    out.log_histogram(name, h.lo(), h.hi(), h.sub_buckets_per_octave())
+        .merge(h);
+  }
+}
+
 void Registry::reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto& [name, c] : counters_) c.reset();
   for (auto& [name, t] : timers_) t.reset();
   for (auto& [name, h] : histograms_) h.reset();
-}
-
-Registry& Registry::global() {
-  static Registry registry;
-  return registry;
+  for (auto& [name, h] : log_histograms_) h.reset();
 }
 
 }  // namespace compactroute::obs

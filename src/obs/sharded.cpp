@@ -1,0 +1,87 @@
+#include "obs/sharded.hpp"
+
+#include <atomic>
+#include <cstdint>
+
+namespace compactroute::obs {
+
+namespace {
+
+std::uint64_t next_instance_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+ShardedRegistry::ShardedRegistry() : instance_id_(next_instance_id()) {}
+
+ShardedRegistry& ShardedRegistry::global() {
+  static ShardedRegistry instance;
+  return instance;
+}
+
+Registry& ShardedRegistry::local() {
+  // Per-thread cache keyed on the instance id, not the object address: a
+  // test-scoped ShardedRegistry can die and a new one can reuse its address,
+  // and the stale shard pointer must not survive that. The shared_ptr keeps
+  // the shard alive even if the registry is destroyed first, so a stale
+  // entry is never dereferenced-after-free (it is simply never hit again).
+  struct Entry {
+    std::uint64_t instance_id;
+    std::shared_ptr<Registry> shard;
+  };
+  static thread_local std::vector<Entry> cache;
+  for (const auto& e : cache) {
+    if (e.instance_id == instance_id_) return *e.shard;
+  }
+  auto shard = std::make_shared<Registry>();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shards_.push_back(shard);
+  }
+  cache.push_back(Entry{instance_id_, shard});
+  return *shard;
+}
+
+std::shared_ptr<Registry> ShardedRegistry::scrape() const {
+  std::vector<std::shared_ptr<Registry>> shards;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shards = shards_;
+  }
+  auto out = std::make_shared<Registry>();
+  for (const auto& shard : shards) shard->merge_into(*out);
+  return out;
+}
+
+void ShardedRegistry::reset() {
+  std::vector<std::shared_ptr<Registry>> shards;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shards = shards_;
+  }
+  for (const auto& shard : shards) shard->reset();
+}
+
+std::size_t ShardedRegistry::shard_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shards_.size();
+}
+
+Registry& local_registry() { return ShardedRegistry::global().local(); }
+
+std::shared_ptr<Registry> scrape_global() {
+  return ShardedRegistry::global().scrape();
+}
+
+void reset_global() { ShardedRegistry::global().reset(); }
+
+std::size_t thread_ordinal() {
+  static std::atomic<std::size_t> next{0};
+  static thread_local std::size_t ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+}  // namespace compactroute::obs

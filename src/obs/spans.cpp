@@ -1,0 +1,137 @@
+#include "obs/spans.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+
+#include "obs/sharded.hpp"
+
+namespace compactroute::obs {
+
+namespace {
+
+std::atomic<bool> g_spans_enabled{false};
+
+thread_local int t_span_depth = 0;
+
+}  // namespace
+
+double trace_now_us() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+struct SpanCollector::Buffer {
+  std::mutex mutex;  // uncontended writer lock; scrapers take it briefly
+  std::vector<SpanEvent> events;
+};
+
+SpanCollector& SpanCollector::global() {
+  static SpanCollector instance;
+  return instance;
+}
+
+void SpanCollector::enable(bool on) {
+  g_spans_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool SpanCollector::enabled() const {
+  return g_spans_enabled.load(std::memory_order_relaxed);
+}
+
+SpanCollector::Buffer& SpanCollector::local_buffer() {
+  static thread_local std::shared_ptr<Buffer> cached;
+  if (!cached) {
+    cached = std::make_shared<Buffer>();
+    std::lock_guard<std::mutex> lock(mutex_);
+    buffers_.push_back(cached);
+  }
+  return *cached;
+}
+
+void SpanCollector::emit(SpanEvent event) {
+  Buffer& buf = local_buffer();
+  std::lock_guard<std::mutex> lock(buf.mutex);
+  buf.events.push_back(std::move(event));
+}
+
+std::vector<SpanEvent> SpanCollector::snapshot() const {
+  std::vector<std::shared_ptr<Buffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    buffers = buffers_;
+  }
+  std::vector<SpanEvent> out;
+  for (const auto& buf : buffers) {
+    std::lock_guard<std::mutex> lock(buf->mutex);
+    out.insert(out.end(), buf->events.begin(), buf->events.end());
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const SpanEvent& a, const SpanEvent& b) {
+                     if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+                     return a.tid < b.tid;
+                   });
+  return out;
+}
+
+void SpanCollector::clear() {
+  std::vector<std::shared_ptr<Buffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    buffers = buffers_;
+  }
+  for (const auto& buf : buffers) {
+    std::lock_guard<std::mutex> lock(buf->mutex);
+    buf->events.clear();
+  }
+}
+
+SpanScope::SpanScope(const char* name, const char* category)
+    : name_(name), category_(category) {
+  if (!SpanCollector::global().enabled()) return;
+  active_ = true;
+  ++t_span_depth;
+  start_us_ = trace_now_us();
+}
+
+SpanScope::~SpanScope() {
+  if (!active_) return;
+  const double end_us = trace_now_us();
+  const int depth = --t_span_depth;
+  if (!SpanCollector::global().enabled()) return;  // disabled mid-span: drop
+  SpanEvent event;
+  event.name = name_;
+  event.category = category_;
+  event.tid = thread_ordinal();
+  event.ts_us = start_us_;
+  event.dur_us = end_us - start_us_;
+  event.depth = depth;
+  SpanCollector::global().emit(std::move(event));
+}
+
+JsonValue spans_to_chrome_trace(const std::vector<SpanEvent>& spans) {
+  JsonValue root = JsonValue::object();
+  root["displayTimeUnit"] = "ms";
+  JsonValue events = JsonValue::array();
+  for (const SpanEvent& s : spans) {
+    JsonValue e = JsonValue::object();
+    e["name"] = s.name;
+    e["cat"] = s.category;
+    e["ph"] = "X";  // complete event: ts + dur
+    e["pid"] = 1;
+    e["tid"] = static_cast<std::uint64_t>(s.tid);
+    e["ts"] = s.ts_us;
+    e["dur"] = s.dur_us;
+    JsonValue args = JsonValue::object();
+    args["depth"] = s.depth;
+    e["args"] = std::move(args);
+    events.push_back(std::move(e));
+  }
+  root["traceEvents"] = std::move(events);
+  return root;
+}
+
+}  // namespace compactroute::obs

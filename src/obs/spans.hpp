@@ -1,0 +1,100 @@
+#pragma once
+//
+// Structured span tracing: named, nested wall-clock spans collected across
+// threads and exported as Chrome trace-event JSON (load the file in
+// chrome://tracing or https://ui.perfetto.dev). Two producers exist today:
+//
+//   * construction phases — CR_OBS_SPAN("preprocess.nets", "construct")
+//     wraps the same scopes as the CR_OBS_SCOPED_TIMER sites, so the trace
+//     shows the parent/child phase tree of a build; and
+//   * sampled serve requests — runtime/serve records one span every
+//     ServeOptions::span_sample_every requests.
+//
+// Collection is off by default (spans cost two clock reads + a TLS append
+// when on, nothing but an atomic load when off) and is enabled explicitly by
+// tools that export a trace. Each thread appends to a private buffer that
+// survives thread exit; snapshot() merges buffers sorted by start time.
+// Nesting is tracked with a per-thread depth counter carried on each event;
+// the Chrome viewer itself nests by [ts, ts+dur) containment per tid.
+//
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/json_export.hpp"
+
+namespace compactroute::obs {
+
+struct SpanEvent {
+  std::string name;     // e.g. "preprocess.nets"
+  std::string category; // trace-viewer lane grouping, e.g. "construct"
+  std::size_t tid = 0;  // thread_ordinal() of the emitting thread
+  double ts_us = 0;     // start, microseconds since the collector epoch
+  double dur_us = 0;    // wall-clock duration
+  int depth = 0;        // nesting depth within the thread at start
+};
+
+class SpanCollector {
+ public:
+  static SpanCollector& global();
+
+  /// Collection gate; spans emitted while disabled vanish.
+  void enable(bool on);
+  bool enabled() const;
+
+  /// Appends a finished span to the calling thread's buffer.
+  void emit(SpanEvent event);
+
+  /// Merged view of every thread's spans, sorted by (ts_us, tid).
+  std::vector<SpanEvent> snapshot() const;
+
+  /// Drops all collected spans (buffers stay registered).
+  void clear();
+
+  SpanCollector(const SpanCollector&) = delete;
+  SpanCollector& operator=(const SpanCollector&) = delete;
+
+ private:
+  SpanCollector() = default;
+  struct Buffer;
+  Buffer& local_buffer();
+
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<Buffer>> buffers_;
+};
+
+/// RAII span: measures construction→destruction and emits into the global
+/// collector iff collection is enabled for the whole interval.
+class SpanScope {
+ public:
+  SpanScope(const char* name, const char* category);
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+  ~SpanScope();
+
+ private:
+  const char* name_;
+  const char* category_;
+  double start_us_ = 0;
+  bool active_ = false;
+};
+
+/// Microseconds since the process-wide trace epoch (first use). All span and
+/// flight-recorder timestamps share this clock, so they line up in a viewer.
+double trace_now_us();
+
+/// Chrome trace-event document: {"displayTimeUnit":"ms","traceEvents":[...]}
+/// with one complete ("ph":"X") event per span.
+JsonValue spans_to_chrome_trace(const std::vector<SpanEvent>& spans);
+
+}  // namespace compactroute::obs
+
+#ifdef CR_OBS_DISABLED
+#define CR_OBS_SPAN(name, category) ((void)0)
+#else
+#define CR_OBS_SPAN(name, category)          \
+  ::compactroute::obs::SpanScope CR_OBS_CONCAT(cr_obs_trace_span_, \
+                                               __LINE__)(name, category)
+#endif

@@ -1,11 +1,13 @@
 #include "runtime/hop_hierarchical.hpp"
 
 #include "core/check.hpp"
+#include "obs/metrics.hpp"
 
 namespace compactroute {
 
 HopScheme::Decision HierarchicalHopScheme::step(NodeId at,
                                                 const HopHeader& header) const {
+  CR_OBS_HOT_COUNT("hop.hierarchical.steps");
   Decision decision;
   decision.header = header;
   if (scheme_->hierarchy().leaf_label(at) == header.dest) {

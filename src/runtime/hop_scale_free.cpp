@@ -4,6 +4,7 @@
 
 #include "core/check.hpp"
 #include "nets/rnet.hpp"
+#include "obs/metrics.hpp"
 
 namespace compactroute {
 
@@ -39,6 +40,7 @@ TracePhase ScaleFreeHopScheme::phase_of(const HopHeader& header) const {
 
 HopScheme::Decision ScaleFreeHopScheme::step(NodeId at,
                                              const HopHeader& in) const {
+  CR_OBS_HOT_COUNT("hop.scale_free.steps");
   const NodeId dest_label = static_cast<NodeId>(in.dest);
   Decision decision;
   decision.header = in;

@@ -1,6 +1,7 @@
 #include "runtime/hop_scale_free_ni.hpp"
 
 #include "core/check.hpp"
+#include "obs/metrics.hpp"
 
 namespace compactroute {
 
@@ -40,6 +41,7 @@ TracePhase ScaleFreeNameIndependentHopScheme::phase_of(
 
 HopScheme::Decision ScaleFreeNameIndependentHopScheme::step(
     NodeId at, const HopHeader& in) const {
+  CR_OBS_HOT_COUNT("hop.scale_free_ni.steps");
   const NetHierarchy& hierarchy = scheme_->hierarchy();
   Decision decision;
   decision.header = in;

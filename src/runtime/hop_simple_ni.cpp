@@ -1,6 +1,7 @@
 #include "runtime/hop_simple_ni.hpp"
 
 #include "core/check.hpp"
+#include "obs/metrics.hpp"
 
 namespace compactroute {
 
@@ -33,6 +34,7 @@ TracePhase SimpleNameIndependentHopScheme::phase_of(
 
 HopScheme::Decision SimpleNameIndependentHopScheme::step(
     NodeId at, const HopHeader& in) const {
+  CR_OBS_HOT_COUNT("hop.simple_ni.steps");
   const NetHierarchy& hierarchy = scheme_->hierarchy();
   Decision decision;
   decision.header = in;

@@ -7,7 +7,10 @@
 #include "core/check.hpp"
 #include "core/parallel.hpp"
 #include "core/prng.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sharded.hpp"
+#include "obs/spans.hpp"
 
 namespace compactroute {
 
@@ -82,6 +85,7 @@ ServeStats serve_batch(const CsrGraph& csr, const HopScheme& scheme,
                        const std::vector<ServeRequest>& requests,
                        const ServeOptions& options) {
   CR_OBS_SCOPED_TIMER("serve.batch");
+  CR_OBS_SPAN("serve.batch", "serve");
   using Clock = std::chrono::steady_clock;
 
   const std::size_t count = requests.size();
@@ -96,20 +100,76 @@ ServeStats serve_batch(const CsrGraph& csr, const HopScheme& scheme,
   std::vector<double> latencies_us(options.collect_latencies ? count : 0, 0);
 
   const auto wall_start = Clock::now();
+#ifndef CR_OBS_DISABLED
+  const bool instrument = options.instrument;
+  const std::uint16_t scheme_id =
+      instrument ? obs::FlightRecorder::global().intern_scheme(scheme.name())
+                 : 0;
+  const std::size_t sample_every =
+      obs::SpanCollector::global().enabled() ? options.span_sample_every : 0;
+#endif
   parallel_for("serve.batch", count, 64, [&](std::size_t first,
                                              std::size_t last) {
-    for (std::size_t i = first; i < last; ++i) {
+#ifndef CR_OBS_DISABLED
+    // Shard handles resolve once per chunk (each lookup locks the shard's
+    // own mutex); the steady-state per-request cost is two relaxed
+    // histogram updates and one ring-buffer store.
+    obs::LogHistogram* lat_hist = nullptr;
+    obs::LogHistogram* hops_hist = nullptr;
+    double chunk_t_us = 0;
+    if (instrument) {
+      obs::Registry& shard = obs::local_registry();
+      if (options.collect_latencies) {
+        lat_hist = &shard.log_histogram("serve.latency_us", 1e-2, 1e7, 16);
+      }
+      hops_hist = &shard.log_histogram("serve.route_hops", 1.0, 65536.0, 4);
+      // Flight events share one timestamp per chunk: the ring is a crash-dump
+      // aid, chunk granularity (64 requests) orders dumps well enough, and it
+      // keeps a clock read off the per-request path.
+      chunk_t_us = obs::trace_now_us();
+    }
+#endif
+    auto run_one = [&](std::size_t i) {
       const auto start =
           options.collect_latencies ? Clock::now() : Clock::time_point{};
       std::size_t hops = 0;
       fingerprints[i] =
           serve_one(csr, scheme, requests[i], max_hops, &hops, nullptr);
       hop_counts[i] = static_cast<std::uint32_t>(hops);
+      double lat_us = 0;
       if (options.collect_latencies) {
-        latencies_us[i] =
+        lat_us =
             std::chrono::duration<double, std::micro>(Clock::now() - start)
                 .count();
+        latencies_us[i] = lat_us;
       }
+#ifndef CR_OBS_DISABLED
+      if (instrument) {
+        if (lat_hist != nullptr) lat_hist->record(lat_us);
+        hops_hist->record(static_cast<double>(hops));
+        obs::FlightEvent event;
+        event.t_us = chunk_t_us;
+        event.dest_key = requests[i].dest_key;
+        event.src = requests[i].src;
+        event.lat_us = static_cast<float>(lat_us);
+        event.hops =
+            static_cast<std::uint16_t>(std::min<std::size_t>(hops, 0xffff));
+        event.scheme_id = scheme_id;
+        obs::FlightRecorder::global().record(event);
+      }
+#else
+      (void)lat_us;
+#endif
+    };
+    for (std::size_t i = first; i < last; ++i) {
+#ifndef CR_OBS_DISABLED
+      if (sample_every != 0 && i % sample_every == 0) {
+        obs::SpanScope span("serve.request", "serve");
+        run_one(i);
+        continue;
+      }
+#endif
+      run_one(i);
     }
   });
   const double elapsed_s =
@@ -136,6 +196,18 @@ ServeStats serve_batch(const CsrGraph& csr, const HopScheme& scheme,
   CR_OBS_ADD("serve.requests", count);
   CR_OBS_ADD("serve.hops", stats.total_hops);
   return stats;
+}
+
+void preregister_serving_metrics() {
+#ifndef CR_OBS_DISABLED
+  obs::Registry& shard = obs::local_registry();
+  (void)shard.counter("serve.queue.depth");
+  (void)shard.counter("serve.queue.enqueued");
+  (void)shard.counter("serve.queue.shed");
+  (void)shard.counter("serve.epoch.swaps");
+  (void)shard.log_histogram("serve.latency_us", 1e-2, 1e7, 16);
+  (void)shard.log_histogram("serve.route_hops", 1.0, 65536.0, 4);
+#endif
 }
 
 }  // namespace compactroute

@@ -39,6 +39,16 @@ struct ServeOptions {
   /// Record per-request wall-clock latency (steady_clock, microseconds).
   /// Costs two clock reads per request; disable for pure-throughput runs.
   bool collect_latencies = true;
+  /// Feed the sharded telemetry pipeline from the serve loop: per-worker
+  /// "serve.latency_us" / "serve.route_hops" log histograms and a flight-
+  /// recorder event per route. Purely observational — route decisions,
+  /// hop counts, and fingerprints are identical with it on or off (and in a
+  /// CR_OBS_DISABLED build it is compiled out entirely).
+  bool instrument = true;
+  /// When > 0 and span collection is enabled (obs::SpanCollector), emit one
+  /// "serve.request" span for every N-th request of the batch. 0 disables
+  /// request spans.
+  std::size_t span_sample_every = 0;
 };
 
 struct ServeStats {
@@ -76,5 +86,11 @@ ServeStats serve_batch(const CsrGraph& csr, const HopScheme& scheme,
 std::uint64_t serve_one(const CsrGraph& csr, const HopScheme& scheme,
                         const ServeRequest& request, std::size_t max_hops,
                         std::size_t* hops, bool* delivered);
+
+/// Registers the serving-surface metrics the upcoming server will bump
+/// (queue depth/shed/enqueue counters, epoch swaps) in the calling thread's
+/// shard, so scrapes and the Prometheus exposition surface them at zero from
+/// process start. No-op under CR_OBS_DISABLED.
+void preregister_serving_metrics();
 
 }  // namespace compactroute

@@ -20,6 +20,7 @@
 #include "nameind/simple_nameind.hpp"
 #include "nets/rnet.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sharded.hpp"
 #include "routing/naming.hpp"
 #include "routing/simulator.hpp"
 
@@ -148,35 +149,42 @@ TEST(MetricBackend, OrderViewSurvivesEviction) {
 }
 
 #ifndef CR_OBS_DISABLED
+/// Process total of one counter across every registry shard — workers bump
+/// their own shards, so only a scrape sees the whole number.
+std::uint64_t scraped_counter(const char* name) {
+  const auto scraped = obs::scrape_global();
+  const auto it = scraped->counters().find(name);
+  return it == scraped->counters().end() ? 0 : it->second.value();
+}
+
 TEST(MetricBackend, CacheCountersMeterHitsMissesAndEvictions) {
   const Graph graph = make_random_geometric(90, 2, 4, 21);
-  obs::Registry& reg = obs::Registry::global();
 
   {
-    reg.reset();
+    obs::reset_global();
     const MetricSpace lazy(graph, lazy_options(MetricOptions{}.cache_bytes));
-    reg.reset();  // drop construction-sweep telemetry; meter queries only
+    obs::reset_global();  // drop construction telemetry; meter queries only
     (void)lazy.dist(3, 7);  // construction warmed the cache: hit
     (void)lazy.dist(3, 9);  // same row again: hit
-    EXPECT_EQ(reg.counter("metric.cache.hits").value(), 2u);
-    EXPECT_EQ(reg.counter("metric.cache.misses").value(), 0u);
+    EXPECT_EQ(scraped_counter("metric.cache.hits"), 2u);
+    EXPECT_EQ(scraped_counter("metric.cache.misses"), 0u);
   }
 
   {
-    reg.reset();
+    obs::reset_global();
     const MetricSpace lazy(graph, lazy_options(kTinyCache));
-    EXPECT_GT(reg.counter("metric.cache.evictions").value(), 0u)
+    EXPECT_GT(scraped_counter("metric.cache.evictions"), 0u)
         << "a 4 KB budget cannot hold 90 rows without evicting";
-    const std::uint64_t peak = reg.counter("metric.cache.bytes").value();
+    const std::uint64_t peak = scraped_counter("metric.cache.bytes");
     EXPECT_GT(peak, 0u);
     EXPECT_LT(peak, std::uint64_t{90} * 90 * 16)
         << "peak cache bytes must stay far below dense matrix size";
-    reg.reset();
+    obs::reset_global();
     // 90 roots hash over 16 shards, each retaining one row: scanning all
     // roots in order must recompute at least the non-resident ones.
     for (NodeId u = 0; u < lazy.n(); ++u) (void)lazy.dist(u, 0);
-    EXPECT_GT(reg.counter("metric.cache.misses").value(), 0u);
-    EXPECT_GT(reg.counter("dijkstra.settled").value(), 0u);
+    EXPECT_GT(scraped_counter("metric.cache.misses"), 0u);
+    EXPECT_GT(scraped_counter("dijkstra.settled"), 0u);
   }
 }
 
@@ -186,15 +194,14 @@ TEST(MetricBackend, BoundedQueriesSettleOnlyTheBall) {
   // Thrash the cache so root 0's row is certainly evicted (its shard's
   // resident row becomes the last id touched below that hashes there).
   for (NodeId u = 1; u < lazy.n(); ++u) (void)lazy.dist(u, u);
-  obs::Registry& reg = obs::Registry::global();
-  reg.reset();
+  obs::reset_global();
   const NodeId root = 0;
   const std::size_t small = lazy.ball_size(root, 2.0);
   ASSERT_LT(small, lazy.n() / 4);
-  const std::uint64_t settled = reg.counter("dijkstra.settled").value();
+  const std::uint64_t settled = scraped_counter("dijkstra.settled");
   EXPECT_LE(settled, small + 1)
       << "bounded ball_size must not settle nodes outside the ball";
-  EXPECT_GT(reg.counter("metric.ball.bounded").value(), 0u);
+  EXPECT_GT(scraped_counter("metric.ball.bounded"), 0u);
 }
 #endif  // CR_OBS_DISABLED
 

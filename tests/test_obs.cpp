@@ -22,6 +22,7 @@
 #include "nets/rnet.hpp"
 #include "obs/json_export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sharded.hpp"
 #include "obs/trace.hpp"
 #include "routing/naming.hpp"
 #include "routing/simulator.hpp"
@@ -30,6 +31,7 @@
 #include "runtime/hop_scale_free_ni.hpp"
 #include "runtime/hop_scheme.hpp"
 #include "runtime/hop_simple_ni.hpp"
+#include "test_util.hpp"
 
 namespace compactroute {
 namespace {
@@ -138,166 +140,32 @@ TEST(Registry, CountersTimersHistogramsByName) {
 }
 
 #ifndef CR_OBS_DISABLED
-TEST(Registry, MacrosFeedGlobalRegistry) {
-  obs::Registry& global = obs::Registry::global();
-  const std::uint64_t before = global.counter("test.macro").value();
+TEST(Registry, MacrosFeedLocalShard) {
+  // The macros write to the calling thread's shard of the process-wide
+  // sharded registry; both the shard and a scrape observe the bumps.
+  obs::Registry& shard = obs::local_registry();
+  const std::uint64_t before = shard.counter("test.macro").value();
   CR_OBS_COUNT("test.macro");
   CR_OBS_ADD("test.macro", 2);
-  EXPECT_EQ(global.counter("test.macro").value(), before + 3);
+  CR_OBS_HOT_COUNT("test.macro");
+  EXPECT_EQ(shard.counter("test.macro").value(), before + 4);
 
-  const std::uint64_t spans = global.timer("test.span").spans();
+  const std::uint64_t spans = shard.timer("test.span").spans();
   {
     CR_OBS_SCOPED_TIMER("test.span");
   }
-  EXPECT_EQ(global.timer("test.span").spans(), spans + 1);
+  EXPECT_EQ(shard.timer("test.span").spans(), spans + 1);
+
+  const auto scraped = obs::scrape_global();
+  EXPECT_GE(scraped->counters().at("test.macro").value(), before + 4);
 }
 #endif
 
 // ---------------------------------------------------------------------------
-// JSON export: emit, then re-parse with a deliberately tiny recursive-descent
-// parser (numbers, strings, bools, null, arrays, objects — exactly what the
-// exporter produces).
+// JSON export: emit, then re-parse with the shared MiniParser (test_util.hpp).
 
-struct MiniJson {
-  using Ptr = std::shared_ptr<MiniJson>;
-  std::variant<std::nullptr_t, bool, double, std::string,
-               std::vector<Ptr>, std::map<std::string, Ptr>>
-      v;
-
-  bool is_object() const { return v.index() == 5; }
-  const MiniJson& at(const std::string& key) const {
-    return *std::get<5>(v).at(key);
-  }
-  bool has(const std::string& key) const {
-    return is_object() && std::get<5>(v).count(key) > 0;
-  }
-  const std::vector<Ptr>& arr() const { return std::get<4>(v); }
-  double num() const { return std::get<2>(v); }
-  const std::string& str() const { return std::get<3>(v); }
-};
-
-class MiniParser {
- public:
-  explicit MiniParser(const std::string& text) : s_(text) {}
-
-  MiniJson::Ptr parse() {
-    MiniJson::Ptr value = parse_value();
-    skip_ws();
-    EXPECT_EQ(i_, s_.size()) << "trailing garbage";
-    return value;
-  }
-
- private:
-  void skip_ws() {
-    while (i_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[i_]))) {
-      ++i_;
-    }
-  }
-  char peek() {
-    skip_ws();
-    EXPECT_LT(i_, s_.size()) << "unexpected end of input";
-    return i_ < s_.size() ? s_[i_] : '\0';
-  }
-  void expect(char c) {
-    EXPECT_EQ(peek(), c);
-    ++i_;
-  }
-  bool try_consume(const char* lit) {
-    skip_ws();
-    const std::size_t len = std::string(lit).size();
-    if (s_.compare(i_, len, lit) == 0) {
-      i_ += len;
-      return true;
-    }
-    return false;
-  }
-
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    while (i_ < s_.size() && s_[i_] != '"') {
-      char c = s_[i_++];
-      if (c == '\\' && i_ < s_.size()) {
-        const char esc = s_[i_++];
-        switch (esc) {
-          case 'n': c = '\n'; break;
-          case 't': c = '\t'; break;
-          case 'r': c = '\r'; break;
-          case 'u': {
-            // Exporter only emits \u00xx for control chars.
-            c = static_cast<char>(std::stoi(s_.substr(i_ + 2, 2), nullptr, 16));
-            i_ += 4;
-            break;
-          }
-          default: c = esc;
-        }
-      }
-      out += c;
-    }
-    expect('"');
-    return out;
-  }
-
-  MiniJson::Ptr parse_value() {
-    auto node = std::make_shared<MiniJson>();
-    const char c = peek();
-    if (c == '{') {
-      ++i_;
-      std::map<std::string, MiniJson::Ptr> obj;
-      if (peek() != '}') {
-        while (true) {
-          const std::string key = [&] {
-            skip_ws();
-            return parse_string();
-          }();
-          expect(':');
-          obj[key] = parse_value();
-          if (peek() == ',') {
-            ++i_;
-            continue;
-          }
-          break;
-        }
-      }
-      expect('}');
-      node->v = std::move(obj);
-    } else if (c == '[') {
-      ++i_;
-      std::vector<MiniJson::Ptr> arr;
-      if (peek() != ']') {
-        while (true) {
-          arr.push_back(parse_value());
-          if (peek() == ',') {
-            ++i_;
-            continue;
-          }
-          break;
-        }
-      }
-      expect(']');
-      node->v = std::move(arr);
-    } else if (c == '"') {
-      skip_ws();
-      node->v = parse_string();
-    } else if (try_consume("true")) {
-      node->v = true;
-    } else if (try_consume("false")) {
-      node->v = false;
-    } else if (try_consume("null")) {
-      node->v = nullptr;
-    } else {
-      skip_ws();
-      std::size_t consumed = 0;
-      node->v = std::stod(s_.substr(i_), &consumed);
-      EXPECT_GT(consumed, 0u);
-      i_ += consumed;
-    }
-    return node;
-  }
-
-  const std::string& s_;
-  std::size_t i_ = 0;
-};
+using testing::MiniJson;
+using testing::MiniParser;
 
 TEST(JsonExport, RoundTripsNestedDocument) {
   obs::JsonValue doc = obs::JsonValue::object();

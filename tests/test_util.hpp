@@ -1,10 +1,17 @@
 #pragma once
 //
 // Shared helpers for the test suite: the standard small-graph menagerie the
-// property tests sweep over.
+// property tests sweep over, and a deliberately tiny JSON reader used to
+// round-trip every JSON artifact the library writes without taking a parser
+// dependency.
 //
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
 #include <memory>
 #include <string>
+#include <variant>
 #include <vector>
 
 #include "gen/generators.hpp"
@@ -35,5 +42,152 @@ inline std::vector<NamedGraph> small_graph_zoo() {
   zoo.push_back({"clusters", make_cluster_hierarchy(3, 4, 8, 23)});
   return zoo;
 }
+
+// ---------------------------------------------------------------------------
+// MiniJson/MiniParser: a minimal recursive-descent JSON reader covering
+// numbers, strings, bools, null, arrays, and objects — exactly what
+// obs/json_export and the span/stats exporters produce. Parse errors surface
+// as gtest failures on the calling test.
+
+struct MiniJson {
+  using Ptr = std::shared_ptr<MiniJson>;
+  std::variant<std::nullptr_t, bool, double, std::string,
+               std::vector<Ptr>, std::map<std::string, Ptr>>
+      v;
+
+  bool is_object() const { return v.index() == 5; }
+  const MiniJson& at(const std::string& key) const {
+    return *std::get<5>(v).at(key);
+  }
+  bool has(const std::string& key) const {
+    return is_object() && std::get<5>(v).count(key) > 0;
+  }
+  const std::vector<Ptr>& arr() const { return std::get<4>(v); }
+  double num() const { return std::get<2>(v); }
+  const std::string& str() const { return std::get<3>(v); }
+};
+
+class MiniParser {
+ public:
+  explicit MiniParser(const std::string& text) : s_(text) {}
+
+  MiniJson::Ptr parse() {
+    MiniJson::Ptr value = parse_value();
+    skip_ws();
+    EXPECT_EQ(i_, s_.size()) << "trailing garbage";
+    return value;
+  }
+
+ private:
+  void skip_ws() {
+    while (i_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[i_]))) {
+      ++i_;
+    }
+  }
+  char peek() {
+    skip_ws();
+    EXPECT_LT(i_, s_.size()) << "unexpected end of input";
+    return i_ < s_.size() ? s_[i_] : '\0';
+  }
+  void expect(char c) {
+    EXPECT_EQ(peek(), c);
+    ++i_;
+  }
+  bool try_consume(const char* lit) {
+    skip_ws();
+    const std::size_t len = std::string(lit).size();
+    if (s_.compare(i_, len, lit) == 0) {
+      i_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (i_ < s_.size() && s_[i_] != '"') {
+      char c = s_[i_++];
+      if (c == '\\' && i_ < s_.size()) {
+        const char esc = s_[i_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'u': {
+            // Exporter only emits \u00xx for control chars.
+            c = static_cast<char>(std::stoi(s_.substr(i_ + 2, 2), nullptr, 16));
+            i_ += 4;
+            break;
+          }
+          default: c = esc;
+        }
+      }
+      out += c;
+    }
+    expect('"');
+    return out;
+  }
+
+  MiniJson::Ptr parse_value() {
+    auto node = std::make_shared<MiniJson>();
+    const char c = peek();
+    if (c == '{') {
+      ++i_;
+      std::map<std::string, MiniJson::Ptr> obj;
+      if (peek() != '}') {
+        while (true) {
+          const std::string key = [&] {
+            skip_ws();
+            return parse_string();
+          }();
+          expect(':');
+          obj[key] = parse_value();
+          if (peek() == ',') {
+            ++i_;
+            continue;
+          }
+          break;
+        }
+      }
+      expect('}');
+      node->v = std::move(obj);
+    } else if (c == '[') {
+      ++i_;
+      std::vector<MiniJson::Ptr> arr;
+      if (peek() != ']') {
+        while (true) {
+          arr.push_back(parse_value());
+          if (peek() == ',') {
+            ++i_;
+            continue;
+          }
+          break;
+        }
+      }
+      expect(']');
+      node->v = std::move(arr);
+    } else if (c == '"') {
+      skip_ws();
+      node->v = parse_string();
+    } else if (try_consume("true")) {
+      node->v = true;
+    } else if (try_consume("false")) {
+      node->v = false;
+    } else if (try_consume("null")) {
+      node->v = nullptr;
+    } else {
+      skip_ws();
+      std::size_t consumed = 0;
+      node->v = std::stod(s_.substr(i_), &consumed);
+      EXPECT_GT(consumed, 0u);
+      i_ += consumed;
+    }
+    return node;
+  }
+
+  const std::string& s_;
+  std::size_t i_ = 0;
+};
 
 }  // namespace compactroute::testing

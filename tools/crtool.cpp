@@ -14,6 +14,10 @@
 //   crtool load-info <snap>                     snapshot header + section table
 //   crtool serve <snap> [options]               replay route batches against a
 //                                               loaded snapshot (no metric)
+//   crtool stats [<snap>] [options]             telemetry scrape: optionally
+//                                               serve a small batch, then emit
+//                                               the merged registry as
+//                                               Prometheus text or JSON
 //
 // Families for `gen`:
 //   grid W H | torus W H | geometric N DIM K SEED | spider ARMS LEN |
@@ -54,7 +58,11 @@
 #include "nameind/scale_free_nameind.hpp"
 #include "nameind/simple_nameind.hpp"
 #include "nets/rnet.hpp"
+#include "obs/exposition.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/json_export.hpp"
+#include "obs/sharded.hpp"
+#include "obs/spans.hpp"
 #include "routing/naming.hpp"
 #include "routing/simulator.hpp"
 #include "runtime/hop_hierarchical.hpp"
@@ -80,6 +88,7 @@ namespace {
                "  crtool save <graph> <out.snap> [eps]\n"
                "  crtool load-info <snap>\n"
                "  crtool serve <snap> [serve options]\n"
+               "  crtool stats [<snap>] [stats options]\n"
                "\n"
                "global options (anywhere on the command line; --opt=value\n"
                "also accepted):\n"
@@ -117,8 +126,24 @@ namespace {
                "                       serve fingerprints, and run the\n"
                "                       corruption battery; exit 1 on failure\n"
                "  --out FILE           write BENCH_serving-style JSON\n"
+               "  --obs-out FILE       write the post-run telemetry scrape\n"
+               "                       (merged sharded registry) as JSON\n"
+               "  --trace-out FILE     collect construction + sampled serve\n"
+               "                       spans and write Chrome trace-event\n"
+               "                       JSON (chrome://tracing, Perfetto)\n"
+               "  --flight-out FILE    on audit/fingerprint failure, write\n"
+               "                       the flight-recorder dump there instead\n"
+               "                       of stderr\n"
                "serve never touches the metric backend: routing uses only the\n"
                "tables restored from the snapshot.\n"
+               "\n"
+               "stats options:\n"
+               "  --pairs N            with a snapshot: serve N requests per\n"
+               "                       scheme first to populate the registry\n"
+               "                       (default 2000)\n"
+               "  --seed S             request-batch seed (default 1)\n"
+               "  --format prom|json   exposition format (default prom)\n"
+               "  --out FILE           write instead of printing to stdout\n"
                "\n"
                "gen families: grid W H | torus W H | geometric N DIM K SEED |\n"
                "  spider ARMS LEN | clusters LEVELS FANOUT SPREAD SEED |\n"
@@ -178,6 +203,16 @@ double parse_positive_double(const std::string& token, const char* what) {
 /// Metric backend chosen by the global --metric / --metric-cache-mb options;
 /// every command that builds a MetricSpace reads it.
 MetricOptions g_metric_options;
+
+/// Writes a user-requested artifact and echoes the path. Returns false on
+/// failure (write_text_file already printed the path-bearing warning);
+/// callers turn that into exit code 1 — a missing artifact the user asked
+/// for is a tool failure, not a shrug.
+bool write_output_file(const std::string& path, const std::string& content) {
+  if (!obs::write_text_file(path, content)) return false;
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
 
 std::uint64_t arg_u64(const std::vector<std::string>& args, std::size_t k,
                       std::uint64_t fallback, const char* what = "argument") {
@@ -373,9 +408,7 @@ int cmd_trace(const std::vector<std::string>& args) {
   run(hop_sfni, stack.naming.name_of(dst));
 
   if (args.size() > 4) {
-    if (obs::write_text_file(args[4], doc.dump(2) + "\n")) {
-      std::printf("wrote %s\n", args[4].c_str());
-    }
+    if (!write_output_file(args[4], doc.dump(2) + "\n")) return 1;
   }
   return 0;
 }
@@ -530,13 +563,12 @@ int cmd_audit(std::vector<std::string> args) {
                 result.shrunk.config.epsilon, result.shrunk.attempts,
                 result.shrunk.invariant.c_str());
   }
+  bool artifacts_ok = true;
   if (!out_path.empty()) {
     const obs::JsonValue doc = audit::campaign_report_json(options, result);
-    if (obs::write_text_file(out_path, doc.dump(2) + "\n")) {
-      std::printf("wrote %s\n", out_path.c_str());
-    }
+    artifacts_ok = write_output_file(out_path, doc.dump(2) + "\n");
   }
-  return result.ok() ? 0 : 1;
+  return result.ok() && artifacts_ok ? 0 : 1;
 }
 
 int cmd_save(const std::vector<std::string>& args) {
@@ -574,9 +606,24 @@ int cmd_load_info(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// The stats JSON document: the merged scrape of every worker shard plus
+/// enough context (worker/shard counts) to interpret it.
+obs::JsonValue scrape_to_json_doc() {
+  const auto scraped = obs::scrape_global();
+  obs::JsonValue doc = obs::JsonValue::object();
+  doc["workers"] = static_cast<std::uint64_t>(Executor::global().workers());
+  doc["shards"] = static_cast<std::uint64_t>(
+      obs::ShardedRegistry::global().shard_count());
+  doc["metrics"] = obs::registry_to_json(*scraped);
+  return doc;
+}
+
 int cmd_serve(std::vector<std::string> args) {
   std::string scheme_sel = "all";
   std::string out_path;
+  std::string obs_out_path;
+  std::string trace_out_path;
+  std::string flight_out_path;
   std::uint64_t pairs = 10000;
   std::uint64_t seed = 1;
   bool do_audit = false;
@@ -590,6 +637,12 @@ int cmd_serve(std::vector<std::string> args) {
       seed = parse_u64(value, "--seed value");
     } else if (take_option(args, i, "--out", value)) {
       out_path = value;
+    } else if (take_option(args, i, "--obs-out", value)) {
+      obs_out_path = value;
+    } else if (take_option(args, i, "--trace-out", value)) {
+      trace_out_path = value;
+    } else if (take_option(args, i, "--flight-out", value)) {
+      flight_out_path = value;
     } else if (args[i] == "--audit") {
       do_audit = true;
       args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
@@ -608,6 +661,9 @@ int cmd_serve(std::vector<std::string> args) {
     std::fprintf(stderr, "unknown --scheme '%s'\n\n", scheme_sel.c_str());
     usage();
   }
+
+  preregister_serving_metrics();
+  if (!trace_out_path.empty()) obs::SpanCollector::global().enable(true);
 
   const std::vector<std::uint8_t> bytes = read_snapshot_file(args[0]);
   const SnapshotStack stack = decode_snapshot(bytes);
@@ -637,9 +693,14 @@ int cmd_serve(std::vector<std::string> args) {
 
   std::printf("%-26s %12s %9s %9s %9s %10s\n", "scheme", "routes/s", "p50-us",
               "p90-us", "p99-us", "hops/rt");
+  ServeOptions serve_options;
+  // With --trace-out, sample roughly 64 request spans per scheme so the
+  // trace stays viewer-sized no matter how large the batch is.
+  serve_options.span_sample_every =
+      trace_out_path.empty() ? 0 : std::max<std::size_t>(1, pairs / 64);
   const auto run = [&](const HopScheme& hop,
                        const std::vector<ServeRequest>& requests) {
-    const ServeStats s = serve_batch(stack.csr, hop, requests);
+    const ServeStats s = serve_batch(stack.csr, hop, requests, serve_options);
     std::printf("%-26s %12.0f %9.2f %9.2f %9.2f %10.2f\n", hop.name().c_str(),
                 s.routes_per_sec, s.p50_us, s.p90_us, s.p99_us,
                 static_cast<double>(s.total_hops) /
@@ -671,12 +732,20 @@ int cmd_serve(std::vector<std::string> args) {
     run(ScaleFreeNameIndependentHopScheme(*stack.sfni, *stack.sf), named);
   }
 
+  bool artifacts_ok = true;
   if (!out_path.empty()) {
-    if (obs::write_text_file(out_path, doc.dump(2) + "\n")) {
-      std::printf("wrote %s\n", out_path.c_str());
-    }
+    artifacts_ok &= write_output_file(out_path, doc.dump(2) + "\n");
   }
-  if (!do_audit) return 0;
+  if (!obs_out_path.empty()) {
+    artifacts_ok &=
+        write_output_file(obs_out_path, scrape_to_json_doc().dump(2) + "\n");
+  }
+  if (!trace_out_path.empty()) {
+    const obs::JsonValue trace =
+        obs::spans_to_chrome_trace(obs::SpanCollector::global().snapshot());
+    artifacts_ok &= write_output_file(trace_out_path, trace.dump(2) + "\n");
+  }
+  if (!do_audit) return artifacts_ok ? 0 : 1;
 
   // --audit: the acceptance gate. Rebuild the whole stack fresh from the
   // snapshot's own graph (same naming, same ε clamp the builders use) and
@@ -716,8 +785,79 @@ int cmd_serve(std::vector<std::string> args) {
 
   std::printf("audit: %zu checks, %zu issues\n", report.checks,
               report.issues.size());
-  if (!report.ok()) std::printf("%s", report.summary().c_str());
-  return report.ok() ? 0 : 1;
+  if (!report.ok()) {
+    std::printf("%s", report.summary().c_str());
+    // Post-mortem: the last ~256 routes each worker served before the
+    // failing check, so a bad route can be replayed without re-running the
+    // whole batch.
+    const std::string dump = obs::FlightRecorder::global().dump_text();
+    if (!flight_out_path.empty()) {
+      artifacts_ok &= write_output_file(flight_out_path, dump);
+    } else {
+      std::fprintf(stderr, "%s", dump.c_str());
+    }
+  }
+  return report.ok() && artifacts_ok ? 0 : 1;
+}
+
+int cmd_stats(std::vector<std::string> args) {
+  std::string format = "prom";
+  std::string out_path;
+  std::uint64_t pairs = 2000;
+  std::uint64_t seed = 1;
+  std::string value;
+  for (std::size_t i = 0; i < args.size();) {
+    if (take_option(args, i, "--format", value)) {
+      format = value;
+    } else if (take_option(args, i, "--out", value)) {
+      out_path = value;
+    } else if (take_option(args, i, "--pairs", value)) {
+      pairs = parse_u64(value, "--pairs value");
+    } else if (take_option(args, i, "--seed", value)) {
+      seed = parse_u64(value, "--seed value");
+    } else {
+      ++i;
+    }
+  }
+  if (format != "prom" && format != "json") {
+    std::fprintf(stderr, "--format must be 'prom' or 'json', got '%s'\n\n",
+                 format.c_str());
+    usage();
+  }
+  if (pairs == 0) {
+    std::fprintf(stderr, "--pairs must be >= 1\n\n");
+    usage();
+  }
+
+  preregister_serving_metrics();
+  if (!args.empty()) {
+    // Populate the registry by serving a batch per scheme from the snapshot
+    // (quietly; `crtool serve` is the verbose form).
+    const std::vector<std::uint8_t> bytes = read_snapshot_file(args[0]);
+    const SnapshotStack stack = decode_snapshot(bytes);
+    const auto labeled = make_requests(stack.n, pairs, seed, [&](NodeId v) {
+      return std::uint64_t{stack.hierarchy->leaf_label(v)};
+    });
+    const auto named = make_requests(stack.n, pairs, seed + 1, [&](NodeId v) {
+      return stack.naming->name_of(v);
+    });
+    serve_batch(stack.csr, HierarchicalHopScheme(*stack.hier), labeled);
+    serve_batch(stack.csr, ScaleFreeHopScheme(*stack.sf), labeled);
+    serve_batch(stack.csr,
+                SimpleNameIndependentHopScheme(*stack.simple, *stack.hier),
+                named);
+    serve_batch(stack.csr,
+                ScaleFreeNameIndependentHopScheme(*stack.sfni, *stack.sf),
+                named);
+  }
+
+  const std::string text = format == "json"
+                               ? scrape_to_json_doc().dump(2) + "\n"
+                               : obs::registry_to_prometheus(
+                                     *obs::scrape_global());
+  if (!out_path.empty()) return write_output_file(out_path, text) ? 0 : 1;
+  std::fputs(text.c_str(), stdout);
+  return 0;
 }
 
 }  // namespace
@@ -796,6 +936,7 @@ int main(int argc, char** argv) {
     if (command == "save") return cmd_save(args);
     if (command == "load-info") return cmd_load_info(args);
     if (command == "serve") return cmd_serve(args);
+    if (command == "stats") return cmd_stats(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

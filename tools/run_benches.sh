@@ -21,7 +21,7 @@ artifact_dir=${1:-"$repo_root/bench_artifacts"}
 # The benches that write BENCH_*.json documents (the others only print
 # tables; add them via BENCHES= when their output is wanted in the log).
 default_benches="bench_table1_name_independent bench_table2_labeled \
-bench_preprocessing bench_audit bench_serving"
+bench_preprocessing bench_audit bench_serving bench_obs_overhead"
 benches=${BENCHES:-$default_benches}
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
