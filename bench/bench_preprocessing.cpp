@@ -22,6 +22,7 @@
 #include "core/check.hpp"
 #include "core/parallel.hpp"
 #include "graph/dijkstra.hpp"
+#include "obs/mem.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sharded.hpp"
 
@@ -312,6 +313,46 @@ int main() {
       section.push_back(std::move(fh));
     }
     doc["flat_heap"] = std::move(section);
+  }
+
+  // E9 — row-free scaling curve: light-profile build (hierarchy +
+  // labeled-hierarchical + ni-simple, the subset `crtool build --schemes
+  // light` snapshots) on the rowfree backend, grid instances up to n > 100k.
+  // The ni-simple tables are built with the streaming entry point and each
+  // level's trees dropped on arrival, so the resident state is the live
+  // component — the acceptance criterion is sub-quadratic growth of both
+  // wall time and peak RSS, which is only possible because no metric row is
+  // ever materialized (dense matrices at n = 102400 alone would be ~84 GB).
+  // peak_bytes is VmHWM, rewound per point; 0 where /proc is unavailable.
+  {
+    std::printf("\nrow-free scaling curve (grid, light profile, streaming "
+                "ni-simple):\n");
+    std::printf("%8s | %12s %14s\n", "n", "build-ms", "peak-bytes");
+    print_rule(40);
+    obs::JsonValue section = obs::JsonValue::array();
+    for (const std::size_t side : {64u, 128u, 256u, 320u}) {
+      const Graph graph = make_grid(side, side);
+      const std::size_t n = graph.num_nodes();
+      obs::reset_peak_rss();
+      const auto t0 = std::chrono::steady_clock::now();
+      const MetricOptions opts{.backend = MetricBackendKind::kRowFree};
+      const MetricSpace metric(graph, opts);
+      const NetHierarchy hierarchy(metric);
+      const Naming naming = Naming::random(n, 5);
+      const HierarchicalLabeledScheme hier(metric, hierarchy, eps);
+      SimpleNameIndependentScheme::build_levels(
+          metric, hierarchy, naming, hier, eps,
+          [](int, std::vector<std::unique_ptr<SearchTree>>) {});
+      const double build_ms = elapsed_ms(t0);
+      const std::size_t peak_bytes = obs::peak_rss_bytes();
+      std::printf("%8zu | %12.1f %14zu\n", n, build_ms, peak_bytes);
+      obs::JsonValue entry = obs::JsonValue::object();
+      entry["n"] = n;
+      entry["build_ms"] = build_ms;
+      entry["peak_bytes"] = peak_bytes;
+      section.push_back(std::move(entry));
+    }
+    doc["scaling_curve"] = std::move(section);
   }
 
   std::printf("\nAll preprocessing is polynomial and runs offline; routing "

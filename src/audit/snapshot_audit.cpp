@@ -135,6 +135,10 @@ Report audit_snapshot_corruption(const std::vector<std::uint8_t>& bytes,
   flip(0, "flip magic");
   flip(20, "flip directory");
   for (const SnapshotSection& s : sections) {
+    // Zero-size sections (absent schemes in a subset snapshot) have no
+    // payload bytes to flip — and offset == file size for a trailing one,
+    // so indexing would run off the buffer.
+    if (s.size == 0) continue;
     const std::size_t first = static_cast<std::size_t>(s.offset);
     const std::size_t last = static_cast<std::size_t>(s.offset + s.size) - 1;
     flip(first, "flip first byte of section " + s.name);

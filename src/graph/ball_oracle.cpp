@@ -1,0 +1,271 @@
+#include "graph/ball_oracle.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <utility>
+
+#include "core/check.hpp"
+#include "core/parallel.hpp"
+#include "graph/dijkstra.hpp"
+#include "obs/mem.hpp"
+#include "obs/metrics.hpp"
+
+namespace compactroute {
+
+namespace {
+
+// One warm Dijkstra workspace per thread, shared across oracles: prepare()
+// resizes on graph change and resets in O(touched) otherwise, so a bounded
+// query costs O(|ball| log |ball| + ball edges) on any thread.
+DijkstraWorkspace& tls_workspace() {
+  static thread_local DijkstraWorkspace ws;
+  return ws;
+}
+
+// Epoch-stamped settled marks for assign_nearest: O(touched) per use, no
+// per-call allocation once warm, safe across oracles of different sizes.
+struct SettledStamp {
+  std::vector<std::uint32_t> mark;
+  std::uint32_t epoch = 0;
+
+  void begin(std::size_t n) {
+    if (mark.size() < n) mark.assign(n, 0);
+    if (++epoch == 0) {
+      std::fill(mark.begin(), mark.end(), 0);
+      epoch = 1;
+    }
+  }
+  void set(NodeId v) { mark[v] = epoch; }
+  bool test(NodeId v) const { return mark[v] == epoch; }
+};
+
+SettledStamp& tls_stamp() {
+  static thread_local SettledStamp stamp;
+  return stamp;
+}
+
+// Exact dedup key: the center paired with the radius's bit pattern (bitwise
+// equality is the right notion — the bound compares bits, not values).
+std::pair<NodeId, std::uint64_t> request_key(NodeId center, Weight radius) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(radius) == sizeof(bits));
+  std::memcpy(&bits, &radius, sizeof(bits));
+  return {center, bits};
+}
+
+}  // namespace
+
+BallOracle::BallOracle(const CsrGraph& csr, Weight scale)
+    : csr_(&csr), scale_(scale), n_(csr.num_nodes()) {
+  CR_CHECK_MSG(scale_ > 0 && scale_ < kInfiniteWeight,
+               "ball oracle requires a positive normalization scale");
+}
+
+BallView BallOracle::ball(NodeId center, Weight radius) const {
+  CR_OBS_COUNT("balls.issued");
+  DijkstraWorkspace& ws = tls_workspace();
+  const NodeId sources[] = {center};
+  dijkstra_into(*csr_, sources, ws, {.radius = radius, .scale = scale_});
+  CR_OBS_ADD("balls.settled", ws.settled().size());
+
+  // Settle order is ascending (raw distance, id); the canonical row order is
+  // ascending (normalized distance, id). Sort under the canonical comparator
+  // in case normalization collapses raw ties — the same re-sort the lazy
+  // backend's bounded ball path performs, so memberships stay bit-identical.
+  std::vector<std::pair<Weight, NodeId>> members;
+  members.reserve(ws.settled().size());
+  for (const NodeId v : ws.settled()) {
+    members.emplace_back(ws.dist()[v] / scale_, v);
+  }
+  std::sort(members.begin(), members.end());
+
+  BallView view;
+  view.members.reserve(members.size());
+  view.dist.reserve(members.size());
+  view.parent.reserve(members.size());
+  for (const auto& [d, v] : members) {
+    view.members.push_back(v);
+    view.dist.push_back(d);
+    view.parent.push_back(ws.parent()[v]);
+  }
+  return view;
+}
+
+std::vector<BallView> BallOracle::balls(std::span<const NodeId> centers,
+                                        std::span<const Weight> radii) const {
+  CR_CHECK(centers.size() == radii.size());
+  const std::size_t count = centers.size();
+
+  // In-batch dedup: compute each distinct (center, radius) once, then copy
+  // to every requestor. First occurrence (in request order) owns the slot,
+  // so the mapping is independent of worker count.
+  std::map<std::pair<NodeId, std::uint64_t>, std::size_t> slot_of;
+  std::vector<std::size_t> request_slot(count);
+  std::vector<std::size_t> unique_requests;
+  unique_requests.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto [it, inserted] =
+        slot_of.try_emplace(request_key(centers[i], radii[i]),
+                            unique_requests.size());
+    if (inserted) unique_requests.push_back(i);
+    request_slot[i] = it->second;
+  }
+  CR_OBS_ADD("balls.deduped", count - unique_requests.size());
+
+  std::vector<BallView> unique_views(unique_requests.size());
+  parallel_for("oracle.balls", unique_requests.size(), 1,
+               [&](std::size_t first, std::size_t last) {
+                 for (std::size_t s = first; s < last; ++s) {
+                   const std::size_t i = unique_requests[s];
+                   unique_views[s] = ball(centers[i], radii[i]);
+                 }
+               });
+
+  std::vector<BallView> out(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t s = request_slot[i];
+    if (i != unique_requests[s]) out[i] = unique_views[s];  // duplicate: copy
+  }
+  for (std::size_t s = 0; s < unique_requests.size(); ++s) {
+    out[unique_requests[s]] = std::move(unique_views[s]);
+  }
+  obs::publish_peak_rss();
+  return out;
+}
+
+std::vector<BallView> BallOracle::balls(std::span<const NodeId> centers,
+                                        Weight radius) const {
+  const std::vector<Weight> radii(centers.size(), radius);
+  return balls(centers, radii);
+}
+
+std::vector<Weight> BallOracle::size_radii(
+    NodeId u, std::span<const std::size_t> counts) const {
+  CR_CHECK(!counts.empty());
+  std::vector<Weight> out(counts.size());
+  CR_OBS_COUNT("balls.issued");
+  DijkstraWorkspace& ws = tls_workspace();
+  const NodeId sources[] = {u};
+  std::size_t longest = counts.back();
+  if (longest > n_) longest = n_;
+  dijkstra_into(*csr_, sources, ws, {.max_settled = longest});
+  CR_CHECK(ws.settled().size() == longest);
+  CR_OBS_ADD("balls.settled", longest);
+  for (std::size_t j = 0; j < counts.size(); ++j) {
+    CR_CHECK(counts[j] >= 1 && (j == 0 || counts[j] >= counts[j - 1]));
+    const std::size_t m = counts[j] > n_ ? n_ : counts[j];
+    // The m-th normalized value is the same whether ranked by raw or by
+    // normalized distance (monotone division), matching radius_of_count.
+    out[j] = ws.dist()[ws.settled()[m - 1]] / scale_;
+  }
+  return out;
+}
+
+BallOracle::Nearest BallOracle::nearest_marked(NodeId from,
+                                               std::span<const char> marked,
+                                               Weight seed_radius) const {
+  CR_CHECK(marked.size() == n_);
+  DijkstraWorkspace& ws = tls_workspace();
+  const NodeId sources[] = {from};
+  Weight radius = seed_radius > 1 ? seed_radius : 1;
+  for (;;) {
+    CR_OBS_COUNT("balls.issued");
+    dijkstra_into(*csr_, sources, ws, {.radius = radius, .scale = scale_});
+    CR_OBS_ADD("balls.settled", ws.settled().size());
+    const std::span<const NodeId> settled = ws.settled();
+    for (std::size_t k = 0; k < settled.size(); ++k) {
+      if (!marked[settled[k]]) continue;
+      // Settle order is (raw distance, id); nearest_in ties break on the
+      // *normalized* distance. Normalization can only collapse raw ties, so
+      // scan the run of equal normalized distance for the smallest marked id.
+      Nearest best{settled[k], ws.dist()[settled[k]] / scale_};
+      for (std::size_t j = k + 1; j < settled.size(); ++j) {
+        const NodeId v = settled[j];
+        if (ws.dist()[v] / scale_ != best.dist) break;
+        if (marked[v] && v < best.node) best.node = v;
+      }
+      return best;
+    }
+    CR_CHECK_MSG(settled.size() < n_,
+                 "nearest_marked requires at least one marked node");
+    radius *= 2;
+    CR_OBS_COUNT("balls.reissued");
+  }
+}
+
+Path BallOracle::path_between(NodeId from, NodeId to) const {
+  Path path;
+  path.push_back(from);
+  if (from == to) return path;
+  CR_OBS_COUNT("balls.issued");
+  DijkstraWorkspace& ws = tls_workspace();
+  const NodeId sources[] = {to};
+  dijkstra_into(*csr_, sources, ws, {.stop_node = from});
+  CR_OBS_ADD("balls.settled", ws.settled().size());
+  CR_CHECK_MSG(!ws.settled().empty() && ws.settled().back() == from,
+               "path_between requires a connected pair");
+  // Once `from` settles, every parent on its canonical path toward `to` is
+  // final (refinements only arrive from earlier-settled nodes), so this walk
+  // reproduces the row-based MetricSpace::shortest_path bit for bit.
+  NodeId cur = from;
+  while (cur != to) {
+    cur = ws.parent()[cur];
+    CR_CHECK(cur != kInvalidNode);
+    path.push_back(cur);
+    CR_CHECK_MSG(path.size() <= n_, "next-hop cycle detected");
+  }
+  return path;
+}
+
+BallOracle::NearestAssignment BallOracle::assign_nearest(
+    std::span<const NodeId> sources, std::span<const NodeId> targets,
+    Weight seed_radius) const {
+  CR_CHECK(!sources.empty());
+  NearestAssignment out;
+  out.owner.resize(targets.size());
+  out.dist.resize(targets.size());
+  DijkstraWorkspace& ws = tls_workspace();
+  SettledStamp& stamp = tls_stamp();
+  Weight radius = seed_radius > 1 ? seed_radius : 1;
+  for (;;) {
+    CR_OBS_COUNT("balls.issued");
+    dijkstra_into(*csr_, sources, ws, {.radius = radius, .scale = scale_});
+    CR_OBS_ADD("balls.settled", ws.settled().size());
+    stamp.begin(n_);
+    for (const NodeId v : ws.settled()) stamp.set(v);
+    bool all_settled = true;
+    for (const NodeId t : targets) {
+      if (!stamp.test(t)) {
+        all_settled = false;
+        break;
+      }
+    }
+    if (all_settled) break;
+    CR_CHECK_MSG(ws.settled().size() < n_,
+                 "assign_nearest target unreachable from every source");
+    radius *= 2;
+    CR_OBS_COUNT("balls.reissued");
+  }
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const NodeId t = targets[i];
+    out.owner[i] = ws.owner()[t];
+    out.dist[i] = ws.dist()[t] / scale_;
+  }
+  return out;
+}
+
+void preregister_build_metrics() {
+#ifndef CR_OBS_DISABLED
+  obs::Registry& shard = obs::local_registry();
+  (void)shard.counter("balls.issued");
+  (void)shard.counter("balls.settled");
+  (void)shard.counter("balls.reissued");
+  (void)shard.counter("balls.deduped");
+  (void)shard.counter("mem.peak");
+  (void)shard.counter("metric.rows.materialized");
+#endif
+}
+
+}  // namespace compactroute

@@ -112,6 +112,7 @@ struct DijkstraRunner {
       const NodeId u = top.node;
       if (top.dist != ws.dist_[u] || top.owner != ws.owner_[u]) continue;
       ws.settled_.push_back(u);
+      if (u == bounds.stop_node) break;
 
       const std::span<const NodeId> targets = graph.arc_targets(u);
       const std::span<const Weight> weights = graph.arc_weights(u);

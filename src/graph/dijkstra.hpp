@@ -80,6 +80,12 @@ struct DijkstraBounds {
   Weight radius = kInfiniteWeight;
   Weight scale = 1;
   std::size_t max_settled = std::numeric_limits<std::size_t>::max();
+  /// Stop right after settling this node. Its distance and parent — and those
+  /// of every node on its canonical path back to a source — are final at that
+  /// point, because parent refinements only ever arrive from earlier-settled
+  /// nodes. Lets path queries run Dijkstra on B(source, d(source, target))
+  /// instead of the whole graph.
+  NodeId stop_node = kInvalidNode;
 };
 
 /// Core engine: Dijkstra from `sources` over the CSR graph into `ws`.

@@ -18,15 +18,19 @@ MetricSpace::MetricSpace(const Graph& graph, MetricOptions options)
   CR_CHECK_MSG(graph.is_connected(), "metric requires a connected graph");
   CR_OBS_ADD("mem.metric.csr_bytes", csr_->memory_bytes());
 
+  backend_kind_ = options.backend;
   if (options.backend == MetricBackendKind::kDense) {
     backend_ = make_dense_backend(*csr_);
     dense_dist_ = backend_->dense_dist_data();
     dense_parent_ = backend_->dense_parent_data();
-  } else {
+  } else if (options.backend == MetricBackendKind::kLazy) {
     backend_ = make_lazy_backend(*csr_, options.cache_bytes);
+  } else {
+    backend_ = make_rowfree_backend(*csr_);
   }
   scale_ = backend_->scale();
   delta_ = backend_->delta();
+  balls_ = std::make_unique<BallOracle>(*csr_, scale_);
 
   num_levels_ = 0;
   while (std::ldexp(1.0, num_levels_) < delta_) ++num_levels_;
@@ -43,6 +47,11 @@ Weight MetricSpace::radius_of_count(NodeId u, std::size_t m) const {
 }
 
 Path MetricSpace::shortest_path(NodeId u, NodeId v) const {
+  // Row-free: a stop-bounded Dijkstra from v reproduces the same canonical
+  // parent chain without materializing v's row.
+  if (backend_kind_ == MetricBackendKind::kRowFree) {
+    return balls_->path_between(u, v);
+  }
   Path path;
   path.push_back(u);
   if (u == v) return path;

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/types.hpp"
+#include "graph/ball_oracle.hpp"
 #include "graph/csr.hpp"
 #include "graph/graph.hpp"
 #include "graph/metric_backend.hpp"
@@ -39,6 +40,13 @@ class MetricSpace {
   const CsrGraph& csr() const { return *csr_; }
 
   const char* backend_name() const { return backend_->name(); }
+  MetricBackendKind backend_kind() const { return backend_kind_; }
+
+  /// Bounded-query front end for construction (DESIGN.md §10): batched ball
+  /// requests, size radii, nearest-marked and multi-source assignment — all
+  /// in normalized units, all without materializing a metric row. Shared by
+  /// every builder so results are identical on every backend.
+  const BallOracle& balls_oracle() const { return *balls_; }
 
   /// Normalized distance d(u, v); d(u, u) == 0, min_{u != v} d(u, v) == 1.
   Weight dist(NodeId u, NodeId v) const {
@@ -112,6 +120,8 @@ class MetricSpace {
   // keeps a pointer to it.
   std::unique_ptr<const CsrGraph> csr_;
   std::unique_ptr<MetricBackend> backend_;
+  std::unique_ptr<BallOracle> balls_;
+  MetricBackendKind backend_kind_ = MetricBackendKind::kDense;
   Weight scale_ = 1;
   Weight delta_ = 0;
   int num_levels_ = 0;

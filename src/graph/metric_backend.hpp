@@ -3,7 +3,7 @@
 // Metric storage backends (DESIGN.md §6).
 //
 // Every scheme in the paper is built on d(u, v), B_u(r), and r_u(j) queries.
-// A MetricBackend answers them from one of two representations:
+// A MetricBackend answers them from one of three representations:
 //
 //  * DenseMetricBackend — the classic three n×n matrices (dist, parent,
 //    order). O(n²) memory, O(1) queries; the default and the right choice
@@ -13,6 +13,13 @@
 //    in a byte-budgeted, sharded LRU row cache. Ball queries that miss the
 //    cache run *bounded* Dijkstra and settle only the nodes inside the ball.
 //    O(cache + n·workers) memory, so n can scale far past the dense ceiling.
+//  * RowFreeMetricBackend — no rows at all (DESIGN.md §10). Every query is
+//    a bounded Dijkstra: balls stop at the radius, point queries stop the
+//    moment the target settles, and the diameter comes from an exact iFUB
+//    sweep. The construction pipeline routes its queries through BallOracle
+//    on this backend, so peak build memory is O(largest ball), not O(n²);
+//    the legacy row() escape hatch still works but counts each transient
+//    row in metric.rows.materialized.
 //
 // Determinism: a row is a pure function of the graph (canonical Dijkstra
 // tie-breaking), so a recomputed row is bit-identical to the evicted one —
@@ -35,7 +42,7 @@
 
 namespace compactroute {
 
-enum class MetricBackendKind { kDense, kLazy };
+enum class MetricBackendKind { kDense, kLazy, kRowFree };
 
 struct MetricOptions {
   MetricBackendKind backend = MetricBackendKind::kDense;
@@ -144,9 +151,14 @@ class RowCache {
   std::atomic<std::size_t> peak_bytes_{0};
 };
 
-/// Query interface shared by both backends. Construction computes the
-/// normalization scale and the normalized diameter delta; both are
-/// bit-identical across backends (the equivalence suite enforces it).
+/// Query interface shared by all backends. Construction computes the
+/// normalization scale (the minimum edge weight == the minimum pairwise
+/// distance) and the normalized diameter delta (exact iFUB sweep) through
+/// functions shared by every backend — shared code, not equivalent code,
+/// because a full-APSP maximum and an iFUB maximum can disagree by 1 ulp
+/// (Dijkstra path sums from opposite endpoints associate differently), and
+/// delta is serialized into snapshot meta bytes that must not depend on the
+/// backend.
 class MetricBackend {
  public:
   virtual ~MetricBackend() = default;
@@ -183,5 +195,10 @@ class MetricBackend {
 std::unique_ptr<MetricBackend> make_dense_backend(const CsrGraph& csr);
 std::unique_ptr<MetricBackend> make_lazy_backend(const CsrGraph& csr,
                                                  std::size_t cache_bytes);
+/// Row-free backend: no matrices, no row cache — every query is a bounded
+/// Dijkstra, the normalized diameter comes from an exact iFUB sweep instead
+/// of an all-rows pass, and a row() call (legacy/eval paths only) computes a
+/// transient row and bumps "metric.rows.materialized". O(n·workers) memory.
+std::unique_ptr<MetricBackend> make_rowfree_backend(const CsrGraph& csr);
 
 }  // namespace compactroute

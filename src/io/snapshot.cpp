@@ -587,6 +587,81 @@ struct SnapshotAccess {
 namespace {
 
 // ---- section payloads ----
+// One builder per section, shared between the whole-stack encode_snapshot
+// and the streaming writer so both produce identical bytes.
+
+std::vector<std::uint8_t> meta_payload(const MetricSpace& metric,
+                                       double epsilon) {
+  BitWriter w;
+  w.write_varint(metric.n());
+  put_f64(w, epsilon);
+  put_f64(w, metric.normalization_scale());
+  put_f64(w, metric.delta());
+  w.write_varint(static_cast<std::uint64_t>(metric.num_levels()));
+  return w.bytes();
+}
+
+std::vector<std::uint8_t> graph_payload(const MetricSpace& metric) {
+  const std::size_t n = metric.n();
+  const Graph& graph = metric.graph();
+  BitWriter w;
+  w.write_varint(n);
+  for (NodeId u = 0; u < n; ++u) {
+    std::size_t forward = 0;
+    for (const HalfEdge& e : graph.neighbors(u)) forward += e.to > u;
+    w.write_varint(forward);
+    for (const HalfEdge& e : graph.neighbors(u)) {
+      if (e.to <= u) continue;
+      w.write_varint(e.to);
+      put_f64(w, e.weight);
+    }
+  }
+  return w.bytes();
+}
+
+std::vector<std::uint8_t> hierarchy_payload(const NetHierarchy& hierarchy,
+                                            std::size_t n) {
+  BitWriter w;
+  SnapshotAccess::encode_hierarchy(w, hierarchy, n);
+  return w.bytes();
+}
+
+std::vector<std::uint8_t> naming_payload(const Naming& naming, std::size_t n) {
+  BitWriter w;
+  for (NodeId u = 0; u < n; ++u) w.write_varint(naming.name_of(u));
+  return w.bytes();
+}
+
+std::vector<std::uint8_t> hier_payload(const HierarchicalLabeledScheme* s,
+                                       std::size_t n) {
+  if (!s) return {};
+  BitWriter w;
+  SnapshotAccess::encode_hier(w, *s, n);
+  return w.bytes();
+}
+
+std::vector<std::uint8_t> scale_free_payload(const ScaleFreeLabeledScheme* s,
+                                             std::size_t n) {
+  if (!s) return {};
+  BitWriter w;
+  SnapshotAccess::encode_scale_free(w, *s, n);
+  return w.bytes();
+}
+
+std::vector<std::uint8_t> simple_payload(const SimpleNameIndependentScheme* s) {
+  if (!s) return {};
+  BitWriter w;
+  SnapshotAccess::encode_simple(w, *s);
+  return w.bytes();
+}
+
+std::vector<std::uint8_t> sfni_payload(const ScaleFreeNameIndependentScheme* s,
+                                       std::size_t n) {
+  if (!s) return {};
+  BitWriter w;
+  SnapshotAccess::encode_sfni(w, *s, n);
+  return w.bytes();
+}
 
 std::vector<std::uint8_t> encode_section(
     std::uint32_t id, const MetricSpace& metric, double epsilon,
@@ -595,52 +670,18 @@ std::vector<std::uint8_t> encode_section(
     const SimpleNameIndependentScheme& simple,
     const ScaleFreeNameIndependentScheme& sfni) {
   const std::size_t n = metric.n();
-  BitWriter w;
   switch (id) {
-    case kSectionMeta:
-      w.write_varint(n);
-      put_f64(w, epsilon);
-      put_f64(w, metric.normalization_scale());
-      put_f64(w, metric.delta());
-      w.write_varint(static_cast<std::uint64_t>(metric.num_levels()));
-      break;
-    case kSectionGraph: {
-      const Graph& graph = metric.graph();
-      w.write_varint(n);
-      for (NodeId u = 0; u < n; ++u) {
-        std::size_t forward = 0;
-        for (const HalfEdge& e : graph.neighbors(u)) forward += e.to > u;
-        w.write_varint(forward);
-        for (const HalfEdge& e : graph.neighbors(u)) {
-          if (e.to <= u) continue;
-          w.write_varint(e.to);
-          put_f64(w, e.weight);
-        }
-      }
-      break;
-    }
-    case kSectionHierarchy:
-      SnapshotAccess::encode_hierarchy(w, hierarchy, n);
-      break;
-    case kSectionNaming:
-      for (NodeId u = 0; u < n; ++u) w.write_varint(naming.name_of(u));
-      break;
-    case kSectionHier:
-      SnapshotAccess::encode_hier(w, hier, n);
-      break;
-    case kSectionScaleFree:
-      SnapshotAccess::encode_scale_free(w, sf, n);
-      break;
-    case kSectionSimple:
-      SnapshotAccess::encode_simple(w, simple);
-      break;
-    case kSectionSfni:
-      SnapshotAccess::encode_sfni(w, sfni, n);
-      break;
-    default:
-      CR_CHECK_MSG(false, "unknown section id");
+    case kSectionMeta: return meta_payload(metric, epsilon);
+    case kSectionGraph: return graph_payload(metric);
+    case kSectionHierarchy: return hierarchy_payload(hierarchy, n);
+    case kSectionNaming: return naming_payload(naming, n);
+    case kSectionHier: return hier_payload(&hier, n);
+    case kSectionScaleFree: return scale_free_payload(&sf, n);
+    case kSectionSimple: return simple_payload(&simple);
+    case kSectionSfni: return sfni_payload(&sfni, n);
   }
-  return w.bytes();
+  CR_CHECK_MSG(false, "unknown section id");
+  return {};
 }
 
 std::vector<std::uint8_t> section_payload(const std::vector<std::uint8_t>& bytes,
@@ -704,6 +745,152 @@ std::vector<std::uint8_t> encode_snapshot(
     out.insert(out.end(), payload.begin(), payload.end());
   }
   return out;
+}
+
+// ---- streaming writer ----
+
+struct SnapshotStreamWriter::Impl {
+  std::string path;
+  std::ofstream out;
+  std::vector<SnapshotSection> sections;
+  std::uint64_t offset = 0;
+  std::unique_ptr<BitWriter> simple_writer;
+  int simple_levels_left = -1;
+  bool finished = false;
+};
+
+SnapshotStreamWriter::SnapshotStreamWriter(const std::string& path)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->path = path;
+  impl_->out.open(path, std::ios::binary | std::ios::trunc);
+  if (!impl_->out) throw SnapshotError("cannot open " + path + " for writing");
+  // Placeholder header + directory (all zeros — not a valid magic, so a
+  // crashed build never leaves a loadable file); finish() patches it.
+  const std::vector<char> zeros(kHeaderBytes + kNumSections * kEntryBytes, 0);
+  impl_->out.write(zeros.data(), static_cast<std::streamsize>(zeros.size()));
+  if (!impl_->out) throw SnapshotError("short write to " + path);
+  impl_->offset = zeros.size();
+}
+
+SnapshotStreamWriter::~SnapshotStreamWriter() = default;
+
+void SnapshotStreamWriter::append_section(
+    std::uint32_t id, const std::vector<std::uint8_t>& payload) {
+  CR_CHECK_MSG(!impl_->finished, "append after finish()");
+  CR_CHECK_MSG(!impl_->simple_writer, "append during a simple-level stream");
+  CR_CHECK(impl_->sections.size() < kNumSections);
+  CR_CHECK_MSG(id == kSectionIds[impl_->sections.size()],
+               "sections must be appended in container order");
+  impl_->out.write(reinterpret_cast<const char*>(payload.data()),
+                   static_cast<std::streamsize>(payload.size()));
+  if (!impl_->out) throw SnapshotError("short write to " + impl_->path);
+  SnapshotSection section;
+  section.id = id;
+  section.name = section_name(id);
+  section.offset = impl_->offset;
+  section.size = payload.size();
+  section.crc = snapshot_crc32(payload.data(), payload.size());
+  impl_->sections.push_back(std::move(section));
+  impl_->offset += payload.size();
+}
+
+void SnapshotStreamWriter::add_meta(const MetricSpace& metric, double epsilon) {
+  append_section(kSectionMeta, meta_payload(metric, epsilon));
+}
+
+void SnapshotStreamWriter::add_graph(const MetricSpace& metric) {
+  append_section(kSectionGraph, graph_payload(metric));
+}
+
+void SnapshotStreamWriter::add_hierarchy(const NetHierarchy& hierarchy,
+                                         std::size_t n) {
+  append_section(kSectionHierarchy, hierarchy_payload(hierarchy, n));
+}
+
+void SnapshotStreamWriter::add_naming(const Naming& naming, std::size_t n) {
+  append_section(kSectionNaming, naming_payload(naming, n));
+}
+
+void SnapshotStreamWriter::add_hier(const HierarchicalLabeledScheme* scheme,
+                                    std::size_t n) {
+  append_section(kSectionHier, hier_payload(scheme, n));
+}
+
+void SnapshotStreamWriter::add_scale_free(const ScaleFreeLabeledScheme* scheme,
+                                          std::size_t n) {
+  append_section(kSectionScaleFree, scale_free_payload(scheme, n));
+}
+
+void SnapshotStreamWriter::add_simple(
+    const SimpleNameIndependentScheme* scheme) {
+  append_section(kSectionSimple, simple_payload(scheme));
+}
+
+void SnapshotStreamWriter::add_sfni(
+    const ScaleFreeNameIndependentScheme* scheme, std::size_t n) {
+  append_section(kSectionSfni, sfni_payload(scheme, n));
+}
+
+void SnapshotStreamWriter::begin_simple(double epsilon, int levels) {
+  CR_CHECK_MSG(!impl_->simple_writer, "begin_simple called twice");
+  CR_CHECK(levels >= 0);
+  // Same leading fields as encode_simple, so the streamed payload is
+  // byte-identical to the whole-scheme one.
+  impl_->simple_writer = std::make_unique<BitWriter>();
+  put_f64(*impl_->simple_writer, epsilon);
+  impl_->simple_writer->write_varint(static_cast<std::uint64_t>(levels));
+  impl_->simple_levels_left = levels;
+}
+
+void SnapshotStreamWriter::add_simple_level(
+    const std::vector<std::unique_ptr<SearchTree>>& trees) {
+  CR_CHECK_MSG(impl_->simple_writer && impl_->simple_levels_left > 0,
+               "add_simple_level outside begin/end_simple");
+  BitWriter& w = *impl_->simple_writer;
+  w.write_varint(trees.size());
+  for (const auto& tree : trees) SnapshotAccess::encode_search_tree(w, *tree);
+  --impl_->simple_levels_left;
+}
+
+void SnapshotStreamWriter::end_simple() {
+  CR_CHECK_MSG(impl_->simple_writer, "end_simple without begin_simple");
+  CR_CHECK_MSG(impl_->simple_levels_left == 0,
+               "end_simple before every level was added");
+  const std::vector<std::uint8_t> payload = impl_->simple_writer->bytes();
+  impl_->simple_writer.reset();
+  impl_->simple_levels_left = -1;
+  append_section(kSectionSimple, payload);
+}
+
+std::uint64_t SnapshotStreamWriter::finish() {
+  CR_CHECK_MSG(!impl_->finished, "finish() called twice");
+  CR_CHECK_MSG(impl_->sections.size() == kNumSections,
+               "finish() before every section was added");
+  std::vector<std::uint8_t> directory;
+  directory.reserve(kNumSections * kEntryBytes);
+  for (const SnapshotSection& section : impl_->sections) {
+    append_u32(directory, section.id);
+    append_u64(directory, section.offset);
+    append_u64(directory, section.size);
+    append_u32(directory, section.crc);
+  }
+  std::vector<std::uint8_t> header;
+  header.reserve(kHeaderBytes);
+  header.insert(header.end(), kMagic, kMagic + 8);
+  append_u32(header, kFormatVersion);
+  append_u32(header, static_cast<std::uint32_t>(kNumSections));
+  append_u32(header, snapshot_crc32(directory.data(), directory.size()));
+
+  impl_->out.seekp(0);
+  impl_->out.write(reinterpret_cast<const char*>(header.data()),
+                   static_cast<std::streamsize>(header.size()));
+  impl_->out.write(reinterpret_cast<const char*>(directory.data()),
+                   static_cast<std::streamsize>(directory.size()));
+  impl_->out.flush();
+  if (!impl_->out) throw SnapshotError("short write to " + impl_->path);
+  impl_->out.close();
+  impl_->finished = true;
+  return impl_->offset;
 }
 
 std::vector<SnapshotSection> snapshot_directory(
@@ -832,38 +1019,52 @@ SnapshotStack decode_snapshot_impl(const std::vector<std::uint8_t>& bytes) {
     finish(r, payload, kSectionNaming);
   }
 
+  // Scheme sections may be zero-length (subset snapshots from streaming
+  // builds); the scheme is then simply absent. A dependent scheme without
+  // its underlying labeled scheme is unserveable, so that combination is
+  // rejected as corruption.
   {
     const std::vector<std::uint8_t> payload =
         section_payload(bytes, find(kSectionHier));
-    BitReader r(payload);
-    stack.hier = SnapshotAccess::decode_hier(r, n, stack.hierarchy.get());
-    finish(r, payload, kSectionHier);
+    if (!payload.empty()) {
+      BitReader r(payload);
+      stack.hier = SnapshotAccess::decode_hier(r, n, stack.hierarchy.get());
+      finish(r, payload, kSectionHier);
+    }
   }
 
   {
     const std::vector<std::uint8_t> payload =
         section_payload(bytes, find(kSectionScaleFree));
-    BitReader r(payload);
-    stack.sf = SnapshotAccess::decode_scale_free(r, n, stack.hierarchy.get());
-    finish(r, payload, kSectionScaleFree);
+    if (!payload.empty()) {
+      BitReader r(payload);
+      stack.sf = SnapshotAccess::decode_scale_free(r, n, stack.hierarchy.get());
+      finish(r, payload, kSectionScaleFree);
+    }
   }
 
   {
     const std::vector<std::uint8_t> payload =
         section_payload(bytes, find(kSectionSimple));
-    BitReader r(payload);
-    stack.simple = SnapshotAccess::decode_simple(
-        r, n, stack.hierarchy.get(), stack.naming.get(), stack.hier.get());
-    finish(r, payload, kSectionSimple);
+    if (!payload.empty()) {
+      if (!stack.hier) corrupt("ni-simple requires labeled-hierarchical");
+      BitReader r(payload);
+      stack.simple = SnapshotAccess::decode_simple(
+          r, n, stack.hierarchy.get(), stack.naming.get(), stack.hier.get());
+      finish(r, payload, kSectionSimple);
+    }
   }
 
   {
     const std::vector<std::uint8_t> payload =
         section_payload(bytes, find(kSectionSfni));
-    BitReader r(payload);
-    stack.sfni = SnapshotAccess::decode_sfni(
-        r, n, stack.hierarchy.get(), stack.naming.get(), stack.sf.get());
-    finish(r, payload, kSectionSfni);
+    if (!payload.empty()) {
+      if (!stack.sf) corrupt("ni-scale-free requires labeled-scale-free");
+      BitReader r(payload);
+      stack.sfni = SnapshotAccess::decode_sfni(
+          r, n, stack.hierarchy.get(), stack.naming.get(), stack.sf.get());
+      finish(r, payload, kSectionSfni);
+    }
   }
 
   return stack;

@@ -54,6 +54,11 @@ class SnapshotError : public std::runtime_error {
 /// for hop-by-hop serving (their query-time tables are complete) but carry no
 /// metric backend — RouteResult-style route()/storage_bits() entry points,
 /// which consult the metric, are fresh-build-only.
+///
+/// Scheme sections may be zero-length (a subset snapshot from
+/// `crtool build --schemes light`); the corresponding pointers are then null.
+/// Graph, hierarchy, and naming are always present, and a present dependent
+/// scheme implies its dependency (simple -> hier, sfni -> sf).
 struct SnapshotStack {
   std::size_t n = 0;
   double epsilon = 0;  // the ε the stack was built with (NI schemes' value)
@@ -87,6 +92,55 @@ std::vector<std::uint8_t> encode_snapshot(
 
 /// Parses and validates a snapshot; throws SnapshotError on any defect.
 SnapshotStack decode_snapshot(const std::vector<std::uint8_t>& bytes);
+
+class BitWriter;
+
+/// Streams a snapshot to disk section by section, in the fixed container
+/// order, so a build pipeline can serialize and free each component before
+/// constructing the next one — peak memory stays at the live components, not
+/// the whole stack (DESIGN.md §10). The resulting file is byte-identical to
+/// write_snapshot_file(encode_snapshot(...)) over the same inputs.
+///
+/// Sections must be added in container order (meta, graph, hierarchy, naming,
+/// hier, scale-free, simple, sfni); a scheme passed as nullptr becomes a
+/// zero-length section, restored by decode_snapshot as an absent (null)
+/// scheme. The file carries a zeroed header until finish() patches the real
+/// directory in, so a crashed build never leaves a well-formed snapshot.
+class SnapshotStreamWriter {
+ public:
+  explicit SnapshotStreamWriter(const std::string& path);
+  ~SnapshotStreamWriter();
+  SnapshotStreamWriter(const SnapshotStreamWriter&) = delete;
+  SnapshotStreamWriter& operator=(const SnapshotStreamWriter&) = delete;
+
+  void add_meta(const MetricSpace& metric, double epsilon);
+  void add_graph(const MetricSpace& metric);
+  void add_hierarchy(const NetHierarchy& hierarchy, std::size_t n);
+  void add_naming(const Naming& naming, std::size_t n);
+  void add_hier(const HierarchicalLabeledScheme* scheme, std::size_t n);
+  void add_scale_free(const ScaleFreeLabeledScheme* scheme, std::size_t n);
+  void add_simple(const SimpleNameIndependentScheme* scheme);
+  void add_sfni(const ScaleFreeNameIndependentScheme* scheme, std::size_t n);
+
+  /// Per-level alternative to add_simple(), paired with
+  /// SimpleNameIndependentScheme::build_levels: each level's trees are
+  /// encoded as they arrive (and released by the caller dropping them), so
+  /// only one level of search trees is ever alive. Call begin, then
+  /// add_simple_level once per level in order, then end.
+  void begin_simple(double epsilon, int levels);
+  void add_simple_level(const std::vector<std::unique_ptr<SearchTree>>& trees);
+  void end_simple();
+
+  /// Patches the header + directory over the placeholder and closes the
+  /// file; returns the total byte size. All 8 sections must have been added.
+  std::uint64_t finish();
+
+ private:
+  void append_section(std::uint32_t id, const std::vector<std::uint8_t>& payload);
+
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 /// One directory entry, for diagnostics and the corruption battery.
 struct SnapshotSection {

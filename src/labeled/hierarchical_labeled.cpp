@@ -18,24 +18,28 @@ HierarchicalLabeledScheme::HierarchicalLabeledScheme(const MetricSpace& metric,
   const std::size_t n = metric.n();
   const int top = hierarchy.top_level();
   rings_.assign(n, std::vector<std::vector<RingEntry>>(top + 1));
-  // Per-node state is independent: build_node_state(u) only reads the metric
-  // and hierarchy and writes rings_[u], so nodes map over the executor.
-  parallel_for("labeled.hier.rings", n, 16,
-               [&](std::size_t first, std::size_t last) {
-                 for (NodeId u = static_cast<NodeId>(first); u < last; ++u) {
-                   build_node_state(u);
-                 }
-               });
-}
-
-void HierarchicalLabeledScheme::build_node_state(NodeId u) {
-  const int top = hierarchy_->top_level();
+  // Ring tables, inverted: instead of every node scanning every net point
+  // (a distance probe per (u, x) pair — row-shaped work), each level fans
+  // one batched ball query out over its net points and scatters the members
+  // into their ring tables. A ball from x carries, per member u, exactly the
+  // next hop u -> x (the member's parent in x's shortest-path tree), so no
+  // further metric query is needed. The scatter runs serially in ascending
+  // net order, preserving the ascending-x entry order rings have always had
+  // and keeping the tables worker-count independent; per level the balls
+  // B(x, 2^i/ε) overlap O(1) deep in a doubling metric, so this is O(n) per
+  // level instead of O(n·|net|).
   for (int i = 0; i <= top; ++i) {
     const Weight reach = level_radius(i) / epsilon_;
-    for (NodeId x : hierarchy_->net(i)) {
-      if (metric_->dist(u, x) > reach) continue;
-      rings_[u][i].push_back(
-          {x, hierarchy_->range(i, x), x == u ? u : metric_->next_hop(u, x)});
+    const std::vector<NodeId>& net = hierarchy.net(i);
+    const std::vector<BallView> balls = metric.balls_oracle().balls(net, reach);
+    for (std::size_t k = 0; k < net.size(); ++k) {
+      const NodeId x = net[k];
+      const BallView& ball = balls[k];
+      for (std::size_t m = 0; m < ball.size(); ++m) {
+        const NodeId u = ball.members[m];
+        rings_[u][i].push_back(
+            {x, hierarchy.range(i, x), u == x ? u : ball.parent[m]});
+      }
     }
   }
 }

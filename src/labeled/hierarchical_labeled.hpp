@@ -59,11 +59,6 @@ class HierarchicalLabeledScheme final : public LabeledScheme {
   friend struct SnapshotAccess;
   HierarchicalLabeledScheme() = default;
 
-  /// Builds u's complete per-node table (rings for every level). Reads only
-  /// the metric and hierarchy and writes rings_[u], so the constructor maps
-  /// it over nodes on the parallel executor.
-  void build_node_state(NodeId u);
-
   /// Minimal level with a ring entry whose range holds `dest_label`;
   /// returns (level, entry pointer). Always succeeds (top ring holds the
   /// hierarchy root, whose range is all of V).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 
 #include "core/bits.hpp"
@@ -12,6 +13,34 @@
 #include "obs/spans.hpp"
 
 namespace compactroute {
+
+namespace {
+
+// Per-thread membership stamp for the search-tree store filter: one bounded
+// ball from the region center replaces a distance probe per cell member.
+// Epoch-stamped so thousands of regions (parallel workers) pay O(|ball|)
+// per region, not O(n) allocations.
+struct MemberStamp {
+  std::vector<std::uint32_t> stamp;
+  std::uint32_t epoch = 0;
+
+  void begin(std::size_t n) {
+    if (stamp.size() < n) stamp.assign(n, 0);
+    if (++epoch == 0) {
+      std::fill(stamp.begin(), stamp.end(), 0);
+      epoch = 1;
+    }
+  }
+  void set(NodeId v) { stamp[v] = epoch; }
+  bool test(NodeId v) const { return stamp[v] == epoch; }
+};
+
+MemberStamp& tls_member_stamp() {
+  static thread_local MemberStamp stamp;
+  return stamp;
+}
+
+}  // namespace
 
 ScaleFreeLabeledScheme::ScaleFreeLabeledScheme(const MetricSpace& metric,
                                                const NetHierarchy& hierarchy,
@@ -37,27 +66,60 @@ ScaleFreeLabeledScheme::ScaleFreeLabeledScheme(const MetricSpace& metric,
 
 void ScaleFreeLabeledScheme::build_rings() {
   const std::size_t n = metric_->n();
+  const int top = hierarchy_->top_level();
 
-  // Per-node ring state (size radii, R(u), the rings themselves) only reads
-  // the metric and hierarchy and writes the u-th slot of each table, so the
-  // whole pass maps over nodes on the parallel executor.
+  // Phase 1 — per-node density profile. All max_exponent_+1 size radii of a
+  // node come out of ONE count-bounded run (the prefix radii of the same
+  // settle order radius_of_count would walk), and R(u) is arithmetic on
+  // them; both only write the u-th slot of each table, so the pass maps
+  // over nodes on the parallel executor.
   size_radius_.assign(max_exponent_ + 1, std::vector<Weight>(n, 0));
   level_set_.assign(n, {});
   rings_.assign(n, {});
+  std::vector<std::size_t> counts(max_exponent_ + 1);
+  for (int j = 0; j <= max_exponent_; ++j) counts[j] = std::size_t{1} << j;
   parallel_for("labeled.sf.rings", n, 16,
                [&](std::size_t first, std::size_t last) {
                  for (NodeId u = static_cast<NodeId>(first); u < last; ++u) {
-                   build_node_rings(u);
+                   const std::vector<Weight> radii =
+                       metric_->balls_oracle().size_radii(u, counts);
+                   for (int j = 0; j <= max_exponent_; ++j) {
+                     size_radius_[j][u] = radii[j];
+                   }
+                   build_node_levels(u);
                  }
                });
+
+  // Phase 2 — the rings themselves, inverted: one batched ball per net
+  // point and level instead of a distance probe per (node, net point) pair.
+  // A member entry carries the distance and the next hop u -> x (the
+  // member's parent in x's shortest-path tree) straight from the ball. The
+  // scatter is serial in ascending net order, preserving the ascending-x
+  // order within each ring; a node's ring exists only for levels in R(u),
+  // located by binary search (level_set_ is ascending by construction).
+  for (int i = 0; i <= top; ++i) {
+    const Weight reach = level_radius(i) / epsilon_;
+    const std::vector<NodeId>& net = hierarchy_->net(i);
+    const std::vector<BallView> balls =
+        metric_->balls_oracle().balls(net, reach);
+    for (std::size_t b = 0; b < net.size(); ++b) {
+      const NodeId x = net[b];
+      const BallView& ball = balls[b];
+      for (std::size_t m = 0; m < ball.size(); ++m) {
+        const NodeId u = ball.members[m];
+        const std::vector<int>& levels = level_set_[u];
+        const auto it = std::lower_bound(levels.begin(), levels.end(), i);
+        if (it == levels.end() || *it != i) continue;
+        rings_[u][it - levels.begin()].push_back(
+            {x, hierarchy_->range(i, x), u == x ? u : ball.parent[m],
+             ball.dist[m]});
+      }
+    }
+  }
 }
 
-void ScaleFreeLabeledScheme::build_node_rings(NodeId u) {
+void ScaleFreeLabeledScheme::build_node_levels(NodeId u) {
   const int top = hierarchy_->top_level();
-  for (int j = 0; j <= max_exponent_; ++j) {
-    size_radius_[j][u] = size_radius(*metric_, u, j);
-  }
-
   // R(u) = { i : ∃j, (ε/6) r_u(j) <= 2^i <= r_u(j) } — the levels around each
   // density scale of u — plus the top level (guard: line 2 of Algorithm 5
   // must always find a candidate; the top ring holds the hierarchy root).
@@ -73,18 +135,7 @@ void ScaleFreeLabeledScheme::build_node_rings(NodeId u) {
     }
     if (in_set) level_set_[u].push_back(i);
   }
-
   rings_[u].resize(level_set_[u].size());
-  for (std::size_t k = 0; k < level_set_[u].size(); ++k) {
-    const int i = level_set_[u][k];
-    const Weight reach = level_radius(i) / epsilon_;
-    for (NodeId x : hierarchy_->net(i)) {
-      const Weight d = metric_->dist(u, x);
-      if (d > reach) continue;
-      rings_[u][k].push_back(
-          {x, hierarchy_->range(i, x), x == u ? u : metric_->next_hop(u, x), d});
-    }
-  }
 }
 
 void ScaleFreeLabeledScheme::build_packings() {
@@ -149,9 +200,15 @@ void ScaleFreeLabeledScheme::build_packings() {
         const Weight reach = (j == max_exponent_)
                                  ? metric_->delta()
                                  : size_radius_[j + 1][ball.center];
+        // One bounded ball from the center marks exactly the nodes with
+        // d(center, v) <= reach — the same membership the per-node distance
+        // probe tested, without a metric query per cell member.
+        MemberStamp& within = tls_member_stamp();
+        within.begin(n);
+        for (NodeId v : metric_->ball(ball.center, reach)) within.set(v);
         std::vector<std::pair<SearchTree::Key, SearchTree::Data>> pairs;
         for (NodeId v : cells[b]) {
-          if (metric_->dist(ball.center, v) <= reach) {
+          if (within.test(v)) {
             pairs.emplace_back(
                 hierarchy_->leaf_label(v),
                 static_cast<SearchTree::Data>(region.tree->local_id(v)));

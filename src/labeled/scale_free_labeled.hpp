@@ -138,10 +138,11 @@ class ScaleFreeLabeledScheme final : public LabeledScheme {
   ScaleFreeLabeledScheme() = default;
 
   void build_rings();
-  /// Builds u's complete ring state (size radii, R(u), rings). Writes only
-  /// the u-th slot of each table, so build_rings maps it over nodes on the
-  /// parallel executor.
-  void build_node_rings(NodeId u);
+  /// Derives R(u) from u's size radii and sizes rings_[u] to match. Writes
+  /// only the u-th slot of each table, so build_rings maps it over nodes on
+  /// the parallel executor; the ring entries themselves are filled by the
+  /// inverted per-level scatter in build_rings.
+  void build_node_levels(NodeId u);
   void build_packings();
 
   const MetricSpace* metric_ = nullptr;

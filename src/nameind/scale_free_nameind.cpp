@@ -1,6 +1,7 @@
 #include "nameind/scale_free_nameind.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <set>
 
 #include "core/bits.hpp"
@@ -18,6 +19,38 @@ namespace {
 Weight clamped_size_radius(const MetricSpace& metric, NodeId c, int exponent) {
   if (exponent > max_size_exponent(metric.n())) return metric.delta();
   return size_radius(metric, c, exponent);
+}
+
+// Per-thread stamped distance table: one bounded ball from a net point
+// replaces a distance probe per (net point, packed ball) pair in the Type-2
+// membership scan. A slot's distance is meaningful only while its stamp
+// matches the epoch; centers beyond the ball radius simply never get
+// stamped, which is exactly the "too far to qualify" outcome.
+struct DistStamp {
+  std::vector<std::uint32_t> stamp;
+  std::uint32_t epoch = 0;
+  std::vector<Weight> dist;
+
+  void begin(std::size_t n) {
+    if (stamp.size() < n) {
+      stamp.assign(n, 0);
+      dist.resize(n);
+    }
+    if (++epoch == 0) {
+      std::fill(stamp.begin(), stamp.end(), 0);
+      epoch = 1;
+    }
+  }
+  void set(NodeId v, Weight d) {
+    stamp[v] = epoch;
+    dist[v] = d;
+  }
+  bool has(NodeId v) const { return stamp[v] == epoch; }
+};
+
+DistStamp& tls_dist_stamp() {
+  static thread_local DistStamp stamp;
+  return stamp;
 }
 
 }  // namespace
@@ -47,10 +80,15 @@ ScaleFreeNameIndependentScheme::ScaleFreeNameIndependentScheme(
   // slots.
   packings_.resize(max_exponent_ + 1);
   ball_trees_.resize(max_exponent_ + 1);
+  // reach[j][b] = r_c(j+2) of ball b's center — shared by the Type-1 store
+  // below and every Type-2 coverage test, so it's computed once per ball
+  // rather than once per (net point, ball) pair.
+  std::vector<std::vector<Weight>> reach(max_exponent_ + 1);
   for (int j = 0; j <= max_exponent_; ++j) {
     packings_[j] = std::make_unique<BallPacking>(metric, j);
     const std::vector<PackedBall>& balls = packings_[j]->balls();
     ball_trees_[j].resize(balls.size());
+    reach[j].resize(balls.size());
     parallel_for("nameind.sf.ball_trees", balls.size(), 1,
                  [&](std::size_t first, std::size_t last) {
       for (std::size_t b = first; b < last; ++b) {
@@ -58,9 +96,9 @@ ScaleFreeNameIndependentScheme::ScaleFreeNameIndependentScheme(
         auto tree = std::make_unique<SearchTree>(
             metric, ball.center, ball.radius, epsilon_,
             SearchTree::Variant::kBasic);
-        const Weight reach = clamped_size_radius(metric, ball.center, j + 2);
+        reach[j][b] = clamped_size_radius(metric, ball.center, j + 2);
         std::vector<std::pair<SearchTree::Key, SearchTree::Data>> pairs;
-        for (NodeId v : metric.ball(ball.center, reach)) {
+        for (NodeId v : metric.ball(ball.center, reach[j][b])) {
           pairs.emplace_back(naming.name_of(v), underlying.label(v));
         }
         tree->store(std::move(pairs));
@@ -84,17 +122,28 @@ ScaleFreeNameIndependentScheme::ScaleFreeNameIndependentScheme(
       for (std::size_t k = first; k < last; ++k) {
         const NodeId u = net[k];
         Membership& info = memberships_[i][k];
+        // Both qualification tests below need d(u, c) <= outer_radius (ball
+        // radii are non-negative), so one bounded ball from u delivers every
+        // center distance the scan can use; an unstamped center is too far
+        // and fails ball_inside outright.
+        DistStamp& near = tls_dist_stamp();
+        if (options.subsume_with_packings) {
+          near.begin(metric.n());
+          const BallView view = metric.balls_oracle().ball(u, outer_radius);
+          for (std::size_t m = 0; m < view.size(); ++m) {
+            near.set(view.members[m], view.dist[m]);
+          }
+        }
         for (int j = 0; options.subsume_with_packings && j <= max_exponent_ &&
                         info.h_ball < 0;
              ++j) {
           Weight best_dist = 0;
           for (std::size_t b = 0; b < packings_[j]->balls().size(); ++b) {
             const PackedBall& ball = packings_[j]->balls()[b];
-            const Weight duc = metric.dist(u, ball.center);
+            if (!near.has(ball.center)) continue;
+            const Weight duc = near.dist[ball.center];
             const bool ball_inside = duc + ball.radius <= outer_radius;
-            const bool we_are_covered =
-                duc + own_radius <=
-                clamped_size_radius(metric, ball.center, j + 2);
+            const bool we_are_covered = duc + own_radius <= reach[j][b];
             if (!ball_inside || !we_are_covered) continue;
             if (info.h_ball < 0 || duc < best_dist) {
               info.h_exponent = j;

@@ -18,37 +18,47 @@ SimpleNameIndependentScheme::SimpleNameIndependentScheme(
       naming_(&naming),
       underlying_(&underlying),
       epsilon_(epsilon) {
+  trees_.resize(hierarchy.top_level() + 1);
+  build_levels(metric, hierarchy, naming, underlying, epsilon,
+               [&](int level, std::vector<std::unique_ptr<SearchTree>> trees) {
+                 trees_[level] = std::move(trees);
+               });
+}
+
+void SimpleNameIndependentScheme::build_levels(
+    const MetricSpace& metric, const NetHierarchy& hierarchy,
+    const Naming& naming, const LabeledScheme& underlying, double epsilon,
+    const std::function<void(int, std::vector<std::unique_ptr<SearchTree>>)>&
+        sink) {
   CR_OBS_SCOPED_TIMER("preprocess.nameind.simple");
   CR_OBS_SPAN("preprocess.nameind.simple", "construct");
   CR_CHECK_MSG(epsilon > 0 && epsilon < 1, "Theorem 1.4 requires ε ∈ (0, 1)");
   const int top = hierarchy.top_level();
-  trees_.resize(top + 1);
   for (int i = 0; i <= top; ++i) {
     const std::vector<NodeId>& net = hierarchy.net(i);
+    const Weight radius = level_radius(i) / epsilon;
     // Each net point's search tree T(u, 2^i/ε) is built independently from
     // const inputs (metric, naming, underlying labels) into its own slot, so
     // the per-level loop maps over net points on the parallel executor.
-    trees_[i].resize(net.size());
+    std::vector<std::unique_ptr<SearchTree>> trees(net.size());
     parallel_for("nameind.simple.trees", net.size(), 1,
                  [&](std::size_t first, std::size_t last) {
                    for (std::size_t k = first; k < last; ++k) {
-                     trees_[i][k] = build_node_tree(i, net[k]);
+                     auto tree = std::make_unique<SearchTree>(
+                         metric, net[k], radius, epsilon,
+                         SearchTree::Variant::kBasic);
+                     std::vector<std::pair<SearchTree::Key, SearchTree::Data>>
+                         pairs;
+                     for (NodeId v : metric.ball(net[k], radius)) {
+                       pairs.emplace_back(naming.name_of(v),
+                                          underlying.label(v));
+                     }
+                     tree->store(std::move(pairs));
+                     trees[k] = std::move(tree);
                    }
                  });
+    sink(i, std::move(trees));
   }
-}
-
-std::unique_ptr<SearchTree> SimpleNameIndependentScheme::build_node_tree(
-    int level, NodeId u) const {
-  const Weight radius = level_radius(level) / epsilon_;
-  auto tree = std::make_unique<SearchTree>(*metric_, u, radius, epsilon_,
-                                           SearchTree::Variant::kBasic);
-  std::vector<std::pair<SearchTree::Key, SearchTree::Data>> pairs;
-  for (NodeId v : metric_->ball(u, radius)) {
-    pairs.emplace_back(naming_->name_of(v), underlying_->label(v));
-  }
-  tree->store(std::move(pairs));
-  return tree;
 }
 
 const SearchTree& SimpleNameIndependentScheme::level_tree(int level,

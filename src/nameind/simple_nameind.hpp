@@ -18,6 +18,7 @@
 // Storage is (1/ε)^{O(α)} log Δ log n bits per node: compact only for
 // polynomial Δ. The scale-free variant (Theorem 1.1) removes the log Δ.
 //
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -36,6 +37,18 @@ class SimpleNameIndependentScheme final : public NameIndependentScheme {
   SimpleNameIndependentScheme(const MetricSpace& metric, const NetHierarchy& hierarchy,
                               const Naming& naming, const LabeledScheme& underlying,
                               double epsilon);
+
+  /// Streaming construction: builds the per-level search-tree tables in
+  /// level order and hands each completed level to `sink` (ownership
+  /// included), so a build-and-serialize pipeline — e.g.
+  /// SnapshotStreamWriter::add_simple_level — holds at most one level of
+  /// trees in memory. The constructor is exactly this with a sink that keeps
+  /// every level.
+  static void build_levels(
+      const MetricSpace& metric, const NetHierarchy& hierarchy,
+      const Naming& naming, const LabeledScheme& underlying, double epsilon,
+      const std::function<void(int, std::vector<std::unique_ptr<SearchTree>>)>&
+          sink);
 
   std::string name() const override { return "name-independent/simple"; }
   RouteResult route(NodeId src, Name dest_name) const override;
@@ -64,11 +77,6 @@ class SimpleNameIndependentScheme final : public NameIndependentScheme {
  private:
   friend struct SnapshotAccess;
   SimpleNameIndependentScheme() = default;
-
-  /// Builds the search tree T(u, 2^level/ε) for one net point from const
-  /// inputs only, so the constructor maps it over net points on the parallel
-  /// executor.
-  std::unique_ptr<SearchTree> build_node_tree(int level, NodeId u) const;
 
   /// Appends `underlying.route(from, label(to))`'s walk (sans its first
   /// node) to path; returns the node reached (== to).

@@ -5,6 +5,7 @@
 
 #include "core/bits.hpp"
 #include "core/check.hpp"
+#include "core/parallel.hpp"
 
 namespace compactroute {
 
@@ -23,10 +24,16 @@ BallPacking::BallPacking(const MetricSpace& metric, int size_exponent)
   ball_of_.assign(n, -1);
 
   // Candidate balls ordered by (radius, center id) — the greedy order of the
-  // Packing Lemma's proof.
-  std::vector<std::pair<Weight, NodeId>> order;
-  order.reserve(n);
-  for (NodeId u = 0; u < n; ++u) order.emplace_back(size_radius(metric, u, j_), u);
+  // Packing Lemma's proof. Each size radius is an independent count-bounded
+  // query (2^j settles), so the n of them map over the parallel executor;
+  // only the greedy selection below is inherently serial.
+  std::vector<std::pair<Weight, NodeId>> order(n);
+  parallel_for("nets.packing.radii", n, 64,
+               [&](std::size_t first, std::size_t last) {
+                 for (NodeId u = static_cast<NodeId>(first); u < last; ++u) {
+                   order[u] = {size_radius(metric, u, j_), u};
+                 }
+               });
   std::sort(order.begin(), order.end());
 
   for (const auto& [radius, center] : order) {

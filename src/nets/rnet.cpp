@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <functional>
 
 #include "core/check.hpp"
@@ -13,23 +14,63 @@ namespace compactroute {
 
 Weight level_radius(int i) { return std::ldexp(1.0, i); }
 
+namespace {
+
+// Epoch-stamped coverage marks: build_rnet runs serially per call but is
+// invoked from parallel workers (one search tree per chunk), so each thread
+// keeps its own stamp array and resets it in O(1) per call.
+struct CoverStamp {
+  std::vector<std::uint32_t> mark;
+  std::uint32_t epoch = 0;
+
+  void begin(std::size_t n) {
+    if (mark.size() < n) mark.assign(n, 0);
+    if (++epoch == 0) {
+      std::fill(mark.begin(), mark.end(), 0);
+      epoch = 1;
+    }
+  }
+  void set(NodeId v) { mark[v] = epoch; }
+  bool test(NodeId v) const { return mark[v] == epoch; }
+};
+
+CoverStamp& tls_cover() {
+  static thread_local CoverStamp stamp;
+  return stamp;
+}
+
+}  // namespace
+
 std::vector<NodeId> build_rnet(const MetricSpace& metric,
                                const std::vector<NodeId>& candidates, Weight r,
                                const std::vector<NodeId>& seed) {
-  std::vector<NodeId> net = seed;
-  for (NodeId u : candidates) {
-    // One row fetch per candidate: the inner scan probes d(u, y) for many y,
-    // which on the lazy backend would otherwise be a cache lookup per probe.
-    const MetricRowView row = metric.row(u);
-    bool far_enough = true;
-    for (NodeId y : net) {
-      // dist(u, u) == 0, so seed members are never duplicated.
-      if (row.dist(y) < r) {
-        far_enough = false;
-        break;
-      }
+  // Greedy net by cover-marking: instead of probing each candidate against
+  // every accepted point (a full metric row per candidate), every accepted
+  // point marks the candidates it disqualifies — the nodes strictly inside
+  // its r-ball — with one bounded ball query. A candidate is accepted iff it
+  // is unmarked when its turn comes, which is the same greedy outcome, and
+  // total work is one ball per *net point*, not one row per candidate. In a
+  // doubling metric each node lies in O(1) accepted balls, so a whole level
+  // costs O(n) ball-member visits.
+  const BallOracle& oracle = metric.balls_oracle();
+  CoverStamp& covered = tls_cover();
+  covered.begin(metric.n());
+
+  const auto mark = [&](NodeId x) {
+    const BallView ball = oracle.ball(x, r);
+    for (std::size_t k = 0; k < ball.size(); ++k) {
+      // Strict inequality: a candidate exactly r away stays eligible,
+      // matching the separation rule d(u, y) >= r.
+      if (ball.dist[k] < r) covered.set(ball.members[k]);
     }
-    if (far_enough) net.push_back(u);
+  };
+
+  std::vector<NodeId> net = seed;
+  for (NodeId s : seed) mark(s);
+  for (NodeId u : candidates) {
+    if (covered.test(u)) continue;
+    net.push_back(u);
+    mark(u);
   }
   std::sort(net.begin(), net.end());
   return net;
@@ -73,15 +114,23 @@ void NetHierarchy::build_zoom() {
   for (NodeId u = 0; u < n; ++u) zoom_[0][u] = u;
   for (int level = 1; level <= top_level_; ++level) {
     // Netting-tree parents: nearest point of Y_level to each point of
-    // Y_{level-1} (least-id tie-break via nearest_in). Each net point's
-    // parent is independent of the others, so the assignment maps over the
-    // net in parallel; results depend only on the metric, never on workers.
+    // Y_{level-1}, least-id tie-break — the nearest_in contract, answered by
+    // a bounded ball from each net point instead of its full row. The
+    // covering property puts the parent within 2^level, so a seed radius a
+    // hair above that makes the doubling reissue a never-taken fallback (it
+    // only guards the exact-boundary ulp). Each net point's parent is
+    // independent of the others, so the assignment maps over the net in
+    // parallel; results depend only on the metric, never on workers.
     const std::vector<NodeId>& members = nets_[level - 1];
+    const std::vector<char>& marked = membership_[level];
+    const Weight seed_radius = level_radius(level) * (1 + 1e-6);
     parallel_for("nets.parents", members.size(), 16,
                  [&](std::size_t first, std::size_t last) {
                    for (std::size_t k = first; k < last; ++k) {
                      parent_[level - 1][members[k]] =
-                         metric_->nearest_in(members[k], nets_[level]);
+                         metric_->balls_oracle()
+                             .nearest_marked(members[k], marked, seed_radius)
+                             .node;
                    }
                  });
     // Zooming sequences follow the netting-tree parent chain: u(level) is the

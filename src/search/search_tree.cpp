@@ -2,12 +2,57 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <unordered_map>
 
 #include "core/check.hpp"
 #include "nets/rnet.hpp"
 
 namespace compactroute {
+
+namespace {
+
+// Per-thread tree-assembly scratch, epoch-stamped so a scheme that builds
+// thousands of small trees (one per net point, in parallel workers) pays
+// O(|ball|) per tree, not O(n) allocations. A slot's parent/weight/level/
+// tail values are meaningful only while its stamp matches the epoch.
+struct TreeScratch {
+  std::vector<std::uint32_t> stamp;
+  std::uint32_t epoch = 0;
+  std::vector<NodeId> parent;
+  std::vector<Weight> weight;
+  std::vector<int> level;
+  std::vector<char> tail;
+
+  void begin(std::size_t n) {
+    if (stamp.size() < n) {
+      stamp.assign(n, 0);
+      parent.resize(n);
+      weight.resize(n);
+      level.resize(n);
+      tail.resize(n);
+    }
+    if (++epoch == 0) {
+      std::fill(stamp.begin(), stamp.end(), 0);
+      epoch = 1;
+    }
+  }
+  bool assigned(NodeId v) const { return stamp[v] == epoch; }
+  void assign(NodeId v, NodeId p, Weight w, int lvl, char in_tail) {
+    stamp[v] = epoch;
+    parent[v] = p;
+    weight[v] = w;
+    level[v] = lvl;
+    tail[v] = in_tail;
+  }
+};
+
+TreeScratch& tls_tree_scratch() {
+  static thread_local TreeScratch scratch;
+  return scratch;
+}
+
+}  // namespace
 
 SearchTree::SearchTree(const MetricSpace& metric, NodeId center, Weight radius,
                        double epsilon, Variant variant)
@@ -37,11 +82,10 @@ void SearchTree::build(const MetricSpace& metric, double epsilon, Variant varian
     }
   }
 
-  std::vector<NodeId> parent_of(metric.n(), kInvalidNode);
-  std::vector<Weight> weight_of(metric.n(), 0);
-  std::vector<int> level_of_global(metric.n(), -1);
-  std::vector<char> tail_of_global(metric.n(), 0);
-  level_of_global[center_] = 0;
+  const BallOracle& oracle = metric.balls_oracle();
+  TreeScratch& scratch = tls_tree_scratch();
+  scratch.begin(metric.n());
+  scratch.assign(center_, kInvalidNode, 0, 0, 0);
 
   std::vector<NodeId> placed = {center_};  // previous level U_{i-1}
   std::vector<NodeId> remaining;
@@ -52,6 +96,14 @@ void SearchTree::build(const MetricSpace& metric, double epsilon, Variant varian
   int level = 0;
   while (!remaining.empty()) {
     ++level;
+    // Every remaining node lies within the previous level's covering radius
+    // of some placed node (the net property; level 1 is covered by the ball
+    // radius itself), so one bounded multi-source assignment of that radius
+    // finds each node's nearest placed parent — the slack factor dodges
+    // exact-boundary ulps, and the oracle's doubling reissue backstops it.
+    const Weight cover_radius =
+        (level == 1 ? radius_ : std::ldexp(1.0, lp - (level - 1))) *
+        (1 + 1e-6);
     std::vector<NodeId> current;
     if (level <= net_levels) {
       const Weight net_radius = std::ldexp(1.0, lp - level);
@@ -66,18 +118,17 @@ void SearchTree::build(const MetricSpace& metric, double epsilon, Variant varian
       // Definition 4.2 (ii): remaining nodes form per-site paths hanging off
       // their nearest bottom-net site, with edge weight 2εr/n.
       const Weight path_weight = 2 * er / static_cast<double>(metric.n());
+      const BallOracle::NearestAssignment site_of =
+          oracle.assign_nearest(placed, remaining, cover_radius);
       std::unordered_map<NodeId, std::vector<NodeId>> cell;
-      for (NodeId v : remaining) {
-        cell[metric.nearest_in(v, placed)].push_back(v);
+      for (std::size_t i = 0; i < remaining.size(); ++i) {
+        cell[site_of.owner[i]].push_back(remaining[i]);
       }
       for (auto& [site, members] : cell) {
         std::sort(members.begin(), members.end());
         NodeId prev = site;
         for (NodeId v : members) {
-          parent_of[v] = prev;
-          weight_of[v] = path_weight;
-          level_of_global[v] = level;
-          tail_of_global[v] = 1;
+          scratch.assign(v, prev, path_weight, level, 1);
           prev = v;
         }
       }
@@ -85,30 +136,29 @@ void SearchTree::build(const MetricSpace& metric, double epsilon, Variant varian
       break;
     }
 
-    for (NodeId v : current) {
-      const NodeId up = metric.nearest_in(v, placed);
-      parent_of[v] = up;
-      weight_of[v] = metric.dist(v, up);
-      level_of_global[v] = level;
+    const BallOracle::NearestAssignment up =
+        oracle.assign_nearest(placed, current, cover_radius);
+    for (std::size_t i = 0; i < current.size(); ++i) {
+      scratch.assign(current[i], up.owner[i], up.dist[i], level, 0);
     }
     // placed := U_level for the next round's nearest-parent queries.
     placed = current;
     std::vector<NodeId> still;
     for (NodeId v : remaining) {
-      if (level_of_global[v] < 0) still.push_back(v);
+      if (!scratch.assigned(v)) still.push_back(v);
     }
     remaining = std::move(still);
   }
   num_levels_ = level;
 
   tree_ = RootedTree(
-      ball, center_, [&](NodeId v) { return parent_of[v]; },
-      [&](NodeId v) { return weight_of[v]; });
+      ball, center_, [&](NodeId v) { return scratch.parent[v]; },
+      [&](NodeId v) { return scratch.weight[v]; });
   level_.assign(ball.size(), 0);
   tail_.assign(ball.size(), 0);
   for (std::size_t i = 0; i < ball.size(); ++i) {
-    level_[tree_.local_id(ball[i])] = level_of_global[ball[i]];
-    tail_[tree_.local_id(ball[i])] = tail_of_global[ball[i]];
+    level_[tree_.local_id(ball[i])] = scratch.level[ball[i]];
+    tail_[tree_.local_id(ball[i])] = scratch.tail[ball[i]];
   }
 }
 

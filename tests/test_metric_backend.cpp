@@ -164,15 +164,16 @@ TEST(MetricBackend, CacheCountersMeterHitsMissesAndEvictions) {
     obs::reset_global();
     const MetricSpace lazy(graph, lazy_options(MetricOptions{}.cache_bytes));
     obs::reset_global();  // drop construction telemetry; meter queries only
-    (void)lazy.dist(3, 7);  // construction warmed the cache: hit
+    (void)lazy.dist(3, 7);  // cold cache (construction is row-free): miss
     (void)lazy.dist(3, 9);  // same row again: hit
-    EXPECT_EQ(scraped_counter("metric.cache.hits"), 2u);
-    EXPECT_EQ(scraped_counter("metric.cache.misses"), 0u);
+    EXPECT_EQ(scraped_counter("metric.cache.hits"), 1u);
+    EXPECT_EQ(scraped_counter("metric.cache.misses"), 1u);
   }
 
   {
     obs::reset_global();
     const MetricSpace lazy(graph, lazy_options(kTinyCache));
+    for (NodeId u = 0; u < lazy.n(); ++u) (void)lazy.row(u);
     EXPECT_GT(scraped_counter("metric.cache.evictions"), 0u)
         << "a 4 KB budget cannot hold 90 rows without evicting";
     const std::uint64_t peak = scraped_counter("metric.cache.bytes");

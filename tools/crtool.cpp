@@ -11,6 +11,11 @@
 //                                               audit every paper invariant
 //   crtool save <graph> <out.snap> [eps]        build the stack and write a
 //                                               versioned binary snapshot
+//   crtool build <graph> [eps] [options]        row-free build benchmark:
+//                                               per-phase wall times + peak
+//                                               RSS; --stream --out streams
+//                                               sections to disk as schemes
+//                                               complete (DESIGN.md §10)
 //   crtool load-info <snap>                     snapshot header + section table
 //   crtool serve <snap> [options]               replay route batches against a
 //                                               loaded snapshot (no metric)
@@ -26,8 +31,10 @@
 //
 // Global options (anywhere on the command line):
 //   --threads N            pin the executor's worker count (CR_THREADS=N)
-//   --metric dense|lazy    metric backend: precomputed matrices (default) or
-//                          demand-computed rows in an LRU cache
+//   --metric dense|lazy|rowfree
+//                          metric backend: precomputed matrices (default),
+//                          demand-computed rows in an LRU cache, or pure
+//                          bounded ball queries with no row storage at all
 //   --metric-cache-mb N    lazy backend row-cache budget in MiB (default 64)
 // Each option also accepts the --opt=value spelling.
 //
@@ -35,9 +42,11 @@
 // family, malformed or out-of-range argument).
 //
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -49,8 +58,10 @@
 #include "core/prng.hpp"
 #include "gen/generators.hpp"
 #include "gen/lower_bound_tree.hpp"
+#include "graph/ball_oracle.hpp"
 #include "graph/doubling.hpp"
 #include "graph/metric.hpp"
+#include "obs/mem.hpp"
 #include "io/graph_io.hpp"
 #include "io/snapshot.hpp"
 #include "labeled/hierarchical_labeled.hpp"
@@ -86,6 +97,7 @@ namespace {
                "  crtool trace <graph> <src> <dst> [eps] [out.json]\n"
                "  crtool audit [audit options]\n"
                "  crtool save <graph> <out.snap> [eps]\n"
+               "  crtool build <graph> [eps] [build options]\n"
                "  crtool load-info <snap>\n"
                "  crtool serve <snap> [serve options]\n"
                "  crtool stats [<snap>] [stats options]\n"
@@ -94,11 +106,27 @@ namespace {
                "also accepted):\n"
                "  --threads N          worker count for parallel construction\n"
                "                       and evaluation (N >= 1; CR_THREADS=N)\n"
-               "  --metric dense|lazy  metric backend: all-pairs matrices\n"
-               "                       (default) or demand-computed rows in a\n"
-               "                       byte-budgeted LRU cache\n"
+               "  --metric dense|lazy|rowfree\n"
+               "                       metric backend: all-pairs matrices\n"
+               "                       (default), demand-computed rows in a\n"
+               "                       byte-budgeted LRU cache, or bounded\n"
+               "                       ball queries with no row storage\n"
                "  --metric-cache-mb N  lazy row-cache budget in MiB\n"
                "                       (default 64)\n"
+               "\n"
+               "build options:\n"
+               "  --out FILE           write the built stack as a snapshot\n"
+               "  --stream             stream each section to --out as its\n"
+               "                       scheme completes and free it, keeping\n"
+               "                       peak memory at the live component\n"
+               "                       (requires --out)\n"
+               "  --schemes all|light  light = hierarchy + labeled-\n"
+               "                       hierarchical + ni-simple only; the\n"
+               "                       scale-free sections are written empty\n"
+               "                       and load back as absent (default all)\n"
+               "  --verify             reload --out, decode, and run the\n"
+               "                       corruption battery; exit 1 on failure\n"
+               "build prints per-phase wall times and the process peak RSS.\n"
                "\n"
                "audit options (each list is comma-separated):\n"
                "  --families LIST      generator families to sweep (default:\n"
@@ -586,6 +614,167 @@ int cmd_save(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_build(std::vector<std::string> args) {
+  bool stream = false;
+  bool verify = false;
+  std::string out_path;
+  std::string schemes = "all";
+  std::string value;
+  for (std::size_t i = 0; i < args.size();) {
+    if (take_option(args, i, "--out", value)) {
+      out_path = value;
+    } else if (take_option(args, i, "--schemes", value)) {
+      schemes = value;
+    } else if (args[i] == "--stream") {
+      stream = true;
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
+    } else if (args[i] == "--verify") {
+      verify = true;
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+  if (args.empty()) usage();
+  if (schemes != "all" && schemes != "light") {
+    std::fprintf(stderr, "--schemes must be 'all' or 'light', got '%s'\n\n",
+                 schemes.c_str());
+    usage();
+  }
+  if (stream && out_path.empty()) {
+    std::fprintf(stderr, "--stream requires --out (nowhere to stream to)\n\n");
+    usage();
+  }
+  if (verify && out_path.empty()) {
+    std::fprintf(stderr, "--verify requires --out (no snapshot to verify)\n\n");
+    usage();
+  }
+  const double eps = arg_positive_double(args, 1, 0.5, "eps");
+  const bool all_schemes = schemes == "all";
+
+  preregister_build_metrics();
+  obs::reset_peak_rss();
+
+  using Clock = std::chrono::steady_clock;
+  struct Phase {
+    const char* name;
+    double seconds;
+  };
+  std::vector<Phase> phases;
+  Clock::time_point mark = Clock::now();
+  const auto lap = [&](const char* name) {
+    const Clock::time_point now = Clock::now();
+    phases.push_back({name, std::chrono::duration<double>(now - mark).count()});
+    mark = now;
+  };
+
+  const Graph graph = load_graph(args[0]);
+  mark = Clock::now();
+  const MetricSpace metric(graph, g_metric_options);
+  const std::size_t n = metric.n();
+  lap("metric");
+  std::printf("build: n = %zu, eps = %.3f, workers = %zu, metric = %s, "
+              "mode = %s, schemes = %s\n",
+              n, eps, Executor::global().workers(), metric.backend_name(),
+              stream ? "streaming" : "in-memory", schemes.c_str());
+
+  const NetHierarchy hierarchy(metric);
+  const Naming naming = Naming::random(n, 4242);
+  lap("hierarchy");
+
+  std::unique_ptr<SnapshotStreamWriter> writer;
+  if (!out_path.empty()) {
+    writer = std::make_unique<SnapshotStreamWriter>(out_path);
+    writer->add_meta(metric, eps);
+    writer->add_graph(metric);
+    writer->add_hierarchy(hierarchy, n);
+    writer->add_naming(naming, n);
+  }
+
+  const double eps_labeled = std::min(eps, 0.5);
+  auto hier = std::make_unique<HierarchicalLabeledScheme>(metric, hierarchy,
+                                                          eps_labeled);
+  lap("labeled.hier");
+  if (writer && stream) writer->add_hier(hier.get(), n);
+
+  std::unique_ptr<ScaleFreeLabeledScheme> sf;
+  if (all_schemes) {
+    sf = std::make_unique<ScaleFreeLabeledScheme>(metric, hierarchy,
+                                                  eps_labeled);
+    lap("labeled.sf");
+  }
+  if (writer && stream) writer->add_scale_free(sf.get(), n);
+
+  std::unique_ptr<SimpleNameIndependentScheme> simple;
+  if (stream) {
+    // Streamed per level: each level's search trees are encoded and dropped
+    // before the next level is built, so only one level is ever alive.
+    writer->begin_simple(eps, hierarchy.top_level() + 1);
+    SimpleNameIndependentScheme::build_levels(
+        metric, hierarchy, naming, *hier, eps,
+        [&](int, std::vector<std::unique_ptr<SearchTree>> trees) {
+          writer->add_simple_level(trees);
+        });
+    writer->end_simple();
+  } else {
+    simple = std::make_unique<SimpleNameIndependentScheme>(metric, hierarchy,
+                                                           naming, *hier, eps);
+  }
+  lap("ni.simple");
+  if (stream) hier.reset();  // nothing downstream reads the labeled tables
+
+  std::unique_ptr<ScaleFreeNameIndependentScheme> sfni;
+  if (all_schemes) {
+    sfni = std::make_unique<ScaleFreeNameIndependentScheme>(metric, hierarchy,
+                                                            naming, *sf, eps);
+    lap("ni.sf");
+  }
+  if (writer && stream) {
+    writer->add_sfni(sfni.get(), n);
+    sfni.reset();
+    sf.reset();
+  }
+
+  if (writer && !stream) {
+    writer->add_hier(hier.get(), n);
+    writer->add_scale_free(sf.get(), n);
+    writer->add_simple(simple.get());
+    writer->add_sfni(sfni.get(), n);
+  }
+  std::uint64_t total_bytes = 0;
+  if (writer) {
+    total_bytes = writer->finish();
+    lap("snapshot");
+  }
+
+  obs::publish_peak_rss();
+  std::printf("\n%-14s %9s\n", "phase", "seconds");
+  for (const Phase& p : phases) {
+    std::printf("%-14s %9.2f\n", p.name, p.seconds);
+  }
+  const std::uint64_t peak = obs::peak_rss_bytes();
+  std::printf("peak rss       %llu bytes (%.1f MiB)\n",
+              static_cast<unsigned long long>(peak), peak / (1024.0 * 1024.0));
+  if (writer) {
+    std::printf("wrote %s: %llu bytes\n", out_path.c_str(),
+                static_cast<unsigned long long>(total_bytes));
+  }
+
+  if (verify) {
+    const std::vector<std::uint8_t> bytes = read_snapshot_file(out_path);
+    decode_snapshot(bytes);  // throws SnapshotError on any defect
+    const audit::Report report =
+        audit::audit_snapshot_corruption(bytes, audit::Options{});
+    std::printf("verify: decode ok; corruption battery %zu checks, %zu issues\n",
+                report.checks, report.issues.size());
+    if (!report.ok()) {
+      std::printf("%s", report.summary().c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
 int cmd_load_info(const std::vector<std::string>& args) {
   if (args.empty()) usage();
   const std::vector<std::uint8_t> bytes = read_snapshot_file(args[0]);
@@ -663,6 +852,7 @@ int cmd_serve(std::vector<std::string> args) {
   }
 
   preregister_serving_metrics();
+  preregister_build_metrics();
   if (!trace_out_path.empty()) obs::SpanCollector::global().enable(true);
 
   const std::vector<std::uint8_t> bytes = read_snapshot_file(args[0]);
@@ -719,16 +909,29 @@ int cmd_serve(std::vector<std::string> args) {
     entry["fingerprint"] = s.fingerprint;
     doc["schemes"].push_back(std::move(entry));
   };
-  if (all || scheme_sel == "hier") {
+  // A subset snapshot (crtool build --schemes light) loads the missing
+  // schemes as null: under `all` they are skipped with a note, but asking for
+  // one by name is an error — the snapshot cannot answer that request.
+  const auto require = [&](const char* flag, const void* scheme) {
+    if (scheme != nullptr) return true;
+    if (!all) {
+      std::fprintf(stderr, "snapshot has no %s section (subset snapshot)\n",
+                   flag);
+      std::exit(1);
+    }
+    std::printf("%-26s %12s\n", flag, "(absent)");
+    return false;
+  };
+  if ((all || scheme_sel == "hier") && require("hier", stack.hier.get())) {
     run(HierarchicalHopScheme(*stack.hier), labeled);
   }
-  if (all || scheme_sel == "sf") {
+  if ((all || scheme_sel == "sf") && require("sf", stack.sf.get())) {
     run(ScaleFreeHopScheme(*stack.sf), labeled);
   }
-  if (all || scheme_sel == "simple") {
+  if ((all || scheme_sel == "simple") && require("simple", stack.simple.get())) {
     run(SimpleNameIndependentHopScheme(*stack.simple, *stack.hier), named);
   }
-  if (all || scheme_sel == "sfni") {
+  if ((all || scheme_sel == "sfni") && require("sfni", stack.sfni.get())) {
     run(ScaleFreeNameIndependentHopScheme(*stack.sfni, *stack.sf), named);
   }
 
@@ -746,6 +949,12 @@ int cmd_serve(std::vector<std::string> args) {
     artifacts_ok &= write_output_file(trace_out_path, trace.dump(2) + "\n");
   }
   if (!do_audit) return artifacts_ok ? 0 : 1;
+  if (!stack.hier || !stack.sf || !stack.simple || !stack.sfni) {
+    std::fprintf(stderr,
+                 "serve --audit requires a full four-scheme snapshot; this one "
+                 "is a subset (crtool build --schemes light)\n");
+    return 1;
+  }
 
   // --audit: the acceptance gate. Rebuild the whole stack fresh from the
   // snapshot's own graph (same naming, same ε clamp the builders use) and
@@ -830,6 +1039,7 @@ int cmd_stats(std::vector<std::string> args) {
   }
 
   preregister_serving_metrics();
+  preregister_build_metrics();
   if (!args.empty()) {
     // Populate the registry by serving a batch per scheme from the snapshot
     // (quietly; `crtool serve` is the verbose form).
@@ -841,14 +1051,23 @@ int cmd_stats(std::vector<std::string> args) {
     const auto named = make_requests(stack.n, pairs, seed + 1, [&](NodeId v) {
       return stack.naming->name_of(v);
     });
-    serve_batch(stack.csr, HierarchicalHopScheme(*stack.hier), labeled);
-    serve_batch(stack.csr, ScaleFreeHopScheme(*stack.sf), labeled);
-    serve_batch(stack.csr,
-                SimpleNameIndependentHopScheme(*stack.simple, *stack.hier),
-                named);
-    serve_batch(stack.csr,
-                ScaleFreeNameIndependentHopScheme(*stack.sfni, *stack.sf),
-                named);
+    // Subset snapshots carry null schemes; scrape whatever is present.
+    if (stack.hier) {
+      serve_batch(stack.csr, HierarchicalHopScheme(*stack.hier), labeled);
+    }
+    if (stack.sf) {
+      serve_batch(stack.csr, ScaleFreeHopScheme(*stack.sf), labeled);
+    }
+    if (stack.simple) {
+      serve_batch(stack.csr,
+                  SimpleNameIndependentHopScheme(*stack.simple, *stack.hier),
+                  named);
+    }
+    if (stack.sfni) {
+      serve_batch(stack.csr,
+                  ScaleFreeNameIndependentHopScheme(*stack.sfni, *stack.sf),
+                  named);
+    }
   }
 
   const std::string text = format == "json"
@@ -910,8 +1129,12 @@ int main(int argc, char** argv) {
         g_metric_options.backend = MetricBackendKind::kDense;
       } else if (value == "lazy") {
         g_metric_options.backend = MetricBackendKind::kLazy;
+      } else if (value == "rowfree") {
+        g_metric_options.backend = MetricBackendKind::kRowFree;
       } else {
-        std::fprintf(stderr, "--metric must be 'dense' or 'lazy', got '%s'\n\n",
+        std::fprintf(stderr,
+                     "--metric must be 'dense', 'lazy', or 'rowfree', got "
+                     "'%s'\n\n",
                      value.c_str());
         usage();
       }
@@ -934,6 +1157,7 @@ int main(int argc, char** argv) {
     if (command == "trace") return cmd_trace(args);
     if (command == "audit") return cmd_audit(args);
     if (command == "save") return cmd_save(args);
+    if (command == "build") return cmd_build(args);
     if (command == "load-info") return cmd_load_info(args);
     if (command == "serve") return cmd_serve(args);
     if (command == "stats") return cmd_stats(args);
