@@ -487,6 +487,8 @@ Report audit_search_tree(const MetricSpace& metric, const SearchTree& tree,
   // root -> holder -> root with cost ≤ 2 · height.
   std::size_t lookups = 0;
   const std::size_t lookup_budget = options.sample_nodes * 8;
+  SearchTree::LookupScratch scratch;
+  SearchTree::LookupResult result;
   for (std::size_t local = 0; local < rooted.size(); ++local) {
     const int node = static_cast<int>(local);
     const auto& chunk = tree.chunk(node);
@@ -503,7 +505,7 @@ Report audit_search_tree(const MetricSpace& metric, const SearchTree& tree,
                         rooted.global_id(node)));
       if (lookups >= lookup_budget) continue;
       ++lookups;
-      const SearchTree::LookupResult result = tree.lookup(key);
+      tree.lookup(key, scratch, &result);
       if (!report.expect(result.found, kName, "stored-key-findable",
                          fmt("lookup(%llu) misses a stored key",
                              static_cast<unsigned long long>(key)))) {

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "runtime/hop_arena.hpp"
 #include "runtime/hop_hierarchical.hpp"
 #include "runtime/hop_scale_free.hpp"
 #include "runtime/hop_scale_free_ni.hpp"
@@ -58,21 +59,25 @@ ServeFingerprints serve_fingerprints(
   ServeOptions options;
   options.collect_latencies = false;  // fingerprints only
 
+  // One arena for all four steppers — compiled once, not per scheme.
+  const std::shared_ptr<const HopArena> arena =
+      HopArena::build(hierarchy, &naming, &hier, &sf, &simple, &sfni);
+
   ServeFingerprints fps;
   {
-    HierarchicalHopScheme hop(hier);
+    HierarchicalHopScheme hop(hier, arena);
     fps.hier = serve_batch(csr, hop, labeled, options).fingerprint;
   }
   {
-    ScaleFreeHopScheme hop(sf);
+    ScaleFreeHopScheme hop(sf, arena);
     fps.scale_free = serve_batch(csr, hop, labeled, options).fingerprint;
   }
   {
-    SimpleNameIndependentHopScheme hop(simple, hier);
+    SimpleNameIndependentHopScheme hop(simple, hier, arena);
     fps.simple = serve_batch(csr, hop, named, options).fingerprint;
   }
   {
-    ScaleFreeNameIndependentHopScheme hop(sfni, sf);
+    ScaleFreeNameIndependentHopScheme hop(sfni, sf, arena);
     fps.scale_free_ni = serve_batch(csr, hop, named, options).fingerprint;
   }
   return fps;

@@ -40,6 +40,7 @@
 #include "nameind/simple_nameind.hpp"
 #include "nets/rnet.hpp"
 #include "routing/naming.hpp"
+#include "runtime/hop_arena.hpp"
 
 namespace compactroute {
 
@@ -79,6 +80,10 @@ struct SnapshotStack {
   SnapshotStack() = default;
   SnapshotStack(SnapshotStack&&) = default;
   SnapshotStack& operator=(SnapshotStack&&) = default;
+
+  /// Compiles one HopArena over whichever schemes this stack carries, for
+  /// sharing across the stack's hop runtimes (one slab set, four steppers).
+  std::shared_ptr<const HopArena> build_arena() const;
 };
 
 /// Serializes a freshly built stack. `epsilon` is the user-level ε (the one

@@ -372,6 +372,8 @@ RouteResult ScaleFreeLabeledScheme::route_with_trace(NodeId src,
 
   int j = density_exponent(pos, level_radius(handoff_level));
   tr.packing_exponent = j;
+  SearchTree::LookupScratch scratch;
+  SearchTree::LookupResult lookup;
   for (; j <= max_exponent_; ++j) {
     const Region& region = regions_[j][region_of_[j][pos]];
     if (tr.region_center == kInvalidNode) tr.region_center = region.center;
@@ -386,7 +388,7 @@ RouteResult ScaleFreeLabeledScheme::route_with_trace(NodeId src,
     if (hit_on_way_to_center) return delivered();
 
     const Weight before_search = path_cost(*metric_, result.path);
-    const SearchTree::LookupResult lookup = region.search->lookup(target_label);
+    region.search->lookup(target_label, scratch, &lookup);
     bool hit_in_search = false;
     for (std::size_t s = 1; s < lookup.trail.size() && !hit_in_search; ++s) {
       hit_in_search = append_and_check(lookup.trail[s]);
@@ -417,7 +419,7 @@ RouteResult ScaleFreeLabeledScheme::route_with_trace(NodeId src,
       if (w != pos && append_and_check(w)) return delivered();
     }
     pos = region.center;
-    const SearchTree::LookupResult lookup = region.search->lookup(target_label);
+    region.search->lookup(target_label, scratch, &lookup);
     for (std::size_t s = 1; s < lookup.trail.size(); ++s) {
       if (append_and_check(lookup.trail[s])) return delivered();
     }

@@ -114,6 +114,22 @@ class ScaleFreeLabeledScheme final : public LabeledScheme {
   /// Largest j with r_u(j) <= radius.
   int density_exponent(NodeId u, Weight radius) const;
 
+  /// r_u(j) — exposed so the serve-time arena can transpose the table.
+  Weight size_radius(int exponent, NodeId u) const {
+    return size_radius_[exponent][u];
+  }
+
+  /// Ball index of u's ℬ_j region (the regions(exponent) slot).
+  int region_index(int exponent, NodeId u) const {
+    return region_of_[exponent][u];
+  }
+
+  /// All Lemma 4.3 chain entries of one node: (target, next hop) sorted by
+  /// target — the table chain_next() binary-searches.
+  const std::vector<std::pair<NodeId, NodeId>>& chains(NodeId u) const {
+    return chain_next_[u];
+  }
+
   /// The ℬ_j Voronoi region containing u.
   const Region& region_of(int exponent, NodeId u) const {
     return regions_[exponent][region_of_[exponent][u]];

@@ -202,6 +202,8 @@ RouteResult ScaleFreeNameIndependentScheme::route_with_trace(NodeId src,
   }
 
   NodeId pos = src;
+  SearchTree::LookupScratch scratch;
+  SearchTree::LookupResult lookup;
   for (int i = 0; i <= hierarchy_->top_level(); ++i) {
     const NodeId anchor = hierarchy_->zoom(i, src);
     const Weight before_climb = path_cost(*metric_, result.path);
@@ -220,7 +222,7 @@ RouteResult ScaleFreeNameIndependentScheme::route_with_trace(NodeId src,
 
     const Weight before_search = path_cost(*metric_, result.path);
     pos = ride_underlying(result.path, pos, tree_root);  // "go to c from u"
-    const SearchTree::LookupResult lookup = tree->lookup(dest_name);
+    tree->lookup(dest_name, scratch, &lookup);
     for (std::size_t s = 1; s < lookup.trail.size(); ++s) {
       pos = ride_underlying(result.path, pos, lookup.trail[s]);
     }

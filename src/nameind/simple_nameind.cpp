@@ -96,6 +96,8 @@ RouteResult SimpleNameIndependentScheme::route_with_trace(NodeId src, Name dest_
   }
 
   NodeId pos = src;
+  SearchTree::LookupScratch scratch;
+  SearchTree::LookupResult lookup;
   for (int i = 0; i <= hierarchy_->top_level(); ++i) {
     // Climb to u(i) — the netting-tree parent chain, whose labels are stored
     // along the chain itself (Section 3.1.2).
@@ -112,7 +114,7 @@ RouteResult SimpleNameIndependentScheme::route_with_trace(NodeId src, Name dest_
     const SearchTree& tree = *trees_[i][it - net.begin()];
 
     const Weight before_search = path_cost(*metric_, result.path);
-    const SearchTree::LookupResult lookup = tree.lookup(dest_name);
+    tree.lookup(dest_name, scratch, &lookup);
     for (std::size_t s = 1; s < lookup.trail.size(); ++s) {
       pos = ride_underlying(result.path, pos, lookup.trail[s]);
     }

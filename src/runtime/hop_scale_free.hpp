@@ -15,8 +15,14 @@
 //               the header by the search-tree holder (Algorithm 5 line 9)
 //
 // Every decision uses only node-local tables: ring hits, region-tree parent
-// pointers, search-tree child ranges/chunks, and compact-tree-router state.
+// pointers, search-tree child ranges/chunks, and compact-tree-router state —
+// by default read from the flat HopArena slabs (HopTables::kReference keeps
+// the original container walks; routes are byte-identical either way).
 //
+#include <cstdint>
+#include <limits>
+#include <memory>
+
 #include "labeled/scale_free_labeled.hpp"
 #include "runtime/hop_scheme.hpp"
 
@@ -24,16 +30,26 @@ namespace compactroute {
 
 class ScaleFreeHopScheme final : public HopScheme {
  public:
-  explicit ScaleFreeHopScheme(const ScaleFreeLabeledScheme& scheme)
-      : scheme_(&scheme) {}
+  /// level field value before the first walk hop (no previous level).
+  static constexpr std::int16_t kNoPrevLevel =
+      std::numeric_limits<std::int16_t>::max();
+
+  explicit ScaleFreeHopScheme(const ScaleFreeLabeledScheme& scheme,
+                              HopTables tables = HopTables::kArena);
+  /// Shared prebuilt arena (must carry the scale-free slab).
+  ScaleFreeHopScheme(const ScaleFreeLabeledScheme& scheme,
+                     std::shared_ptr<const HopArena> arena);
 
   std::string name() const override { return "hop/labeled-scale-free"; }
 
   HopHeader make_header(NodeId src, std::uint64_t dest_key) const override;
   Decision step(NodeId at, const HopHeader& header) const override;
+  bool step_inplace(NodeId at, HopHeader& header, NodeId* next) const override;
   TracePhase phase_of(const HopHeader& header) const override;
 
  private:
+  friend class ScaleFreeNameIndependentHopScheme;
+
   enum Phase : std::uint8_t {
     kWalk = 0,
     kToCenter = 1,
@@ -43,7 +59,11 @@ class ScaleFreeHopScheme final : public HopScheme {
     kToDest = 5,
   };
 
+  Decision reference_step(NodeId at, const HopHeader& header) const;
+  bool arena_step(NodeId at, HopHeader& header, NodeId* next) const;
+
   const ScaleFreeLabeledScheme* scheme_;
+  std::shared_ptr<const HopArena> arena_;
 };
 
 }  // namespace compactroute

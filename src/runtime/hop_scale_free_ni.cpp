@@ -2,8 +2,32 @@
 
 #include "core/check.hpp"
 #include "obs/metrics.hpp"
+#include "runtime/hop_arena.hpp"
 
 namespace compactroute {
+
+ScaleFreeNameIndependentHopScheme::ScaleFreeNameIndependentHopScheme(
+    const ScaleFreeNameIndependentScheme& scheme,
+    const ScaleFreeLabeledScheme& underlying, HopTables tables)
+    : scheme_(&scheme),
+      underlying_(&underlying),
+      arena_(tables == HopTables::kArena
+                 ? HopArena::build(underlying.hierarchy(), &scheme.naming(),
+                                   nullptr, &underlying, nullptr, &scheme)
+                 : nullptr),
+      inner_(arena_ ? ScaleFreeHopScheme(underlying, arena_)
+                    : ScaleFreeHopScheme(underlying, HopTables::kReference)) {}
+
+ScaleFreeNameIndependentHopScheme::ScaleFreeNameIndependentHopScheme(
+    const ScaleFreeNameIndependentScheme& scheme,
+    const ScaleFreeLabeledScheme& underlying,
+    std::shared_ptr<const HopArena> arena)
+    : scheme_(&scheme),
+      underlying_(&underlying),
+      arena_(std::move(arena)),
+      inner_(underlying, arena_) {
+  CR_CHECK(arena_ && arena_->sf_present && arena_->sfni_present);
+}
 
 HopHeader ScaleFreeNameIndependentHopScheme::make_header(
     NodeId src, std::uint64_t dest_key) const {
@@ -23,6 +47,26 @@ void ScaleFreeNameIndependentHopScheme::start_ride(HopHeader& header, NodeId at,
   header.nested = std::make_unique<HopHeader>(inner_.make_header(at, label));
 }
 
+void ScaleFreeNameIndependentHopScheme::arena_start_ride(
+    HopHeader& header, NodeId label, Continuation continuation) const {
+  header.inner_phase = continuation;
+  if (!header.nested) header.nested = std::make_unique<HopHeader>();
+  // Reset field-for-field to what inner_.make_header(·, label) returns.
+  HopHeader& inner = *header.nested;
+  inner.dest = label;
+  inner.phase = ScaleFreeHopScheme::kWalk;
+  inner.level = ScaleFreeHopScheme::kNoPrevLevel;
+  inner.exponent = 0;
+  inner.target = kInvalidNode;
+  inner.aux = kInvalidNode;
+  inner.inner = 0;
+  inner.inner_phase = 0;
+  inner.tree_dfs = 0;
+  inner.light.clear();
+  inner.extra = kInvalidNode;
+  header.phase = 1;  // ride active
+}
+
 TracePhase ScaleFreeNameIndependentHopScheme::phase_of(
     const HopHeader& header) const {
   switch (static_cast<Continuation>(header.inner_phase)) {
@@ -39,7 +83,131 @@ TracePhase ScaleFreeNameIndependentHopScheme::phase_of(
   return TracePhase::kForward;
 }
 
+bool ScaleFreeNameIndependentHopScheme::step_inplace(NodeId at,
+                                                     HopHeader& header,
+                                                     NodeId* next) const {
+  if (arena_) return arena_step(at, header, next);
+  return HopScheme::step_inplace(at, header, next);
+}
+
 HopScheme::Decision ScaleFreeNameIndependentHopScheme::step(
+    NodeId at, const HopHeader& header) const {
+  if (arena_) {
+    Decision decision;
+    decision.header = header;
+    decision.deliver = arena_step(at, decision.header, &decision.next);
+    return decision;
+  }
+  return reference_step(at, header);
+}
+
+bool ScaleFreeNameIndependentHopScheme::arena_step(NodeId at, HopHeader& h,
+                                                   NodeId* next) const {
+  CR_OBS_HOT_COUNT("hop.arena.steps");
+  const HopArena& a = *arena_;
+  const std::size_t n = a.n;
+
+  const int settle_budget = 8 * (a.top_level + 4) + 64;
+  for (int guard = 0; guard < settle_budget; ++guard) {
+    // A ride of the inner labeled machine is in progress.
+    if (h.phase == 1) {
+      if (a.leaf_label[at] == static_cast<NodeId>(h.nested->dest)) {
+        h.phase = 0;  // arrived; fall through to the continuation
+      } else {
+        const bool delivered = inner_.step_inplace(at, *h.nested, next);
+        CR_CHECK_MSG(!delivered, "arrival is checked before stepping");
+        return false;
+      }
+    }
+
+    switch (static_cast<Continuation>(h.inner_phase)) {
+      case kDeliver: {
+        CR_CHECK(a.name_of[at] == h.dest);
+        return true;
+      }
+
+      case kAtAnchor: {
+        if (a.name_of[at] == h.dest) return true;
+        const std::size_t slot = static_cast<std::size_t>(h.level) * n + h.aux;
+        const NodeId root = a.sfni_root[slot];
+        CR_CHECK(root != kInvalidNode);
+        h.extra = root;
+        // Algorithm 4: "go to c from u" when the level is delegated.
+        arena_start_ride(h, a.leaf_label[root], kAtRoot);
+        break;
+      }
+
+      case kAtRoot: {
+        h.target = at;  // the search cursor starts at the root
+        h.inner_phase = kSearchNode;
+        break;
+      }
+
+      case kSearchNode: {
+        const std::int32_t t =
+            a.sfni_tree_of[static_cast<std::size_t>(h.level) * n + h.aux];
+        CR_CHECK(t >= 0);
+        const std::uint32_t row = a.trees.locate(t, at);
+        const std::uint32_t child = a.trees.child_containing(row, h.dest);
+        if (child != HopArena::TreeBank::npos) {
+          const NodeId next_node = a.trees.child_global[child];
+          h.target = next_node;
+          arena_start_ride(h, a.leaf_label[next_node], kSearchNode);
+          break;
+        }
+        std::uint64_t found_label = 0;
+        if (a.trees.holds(row, h.dest, &found_label)) {
+          h.tree_dfs = static_cast<NodeId>(found_label);
+          h.exponent = 1;
+        } else {
+          h.exponent = 0;
+        }
+        const NodeId parent = a.trees.parent_global[row];
+        const NodeId up = parent == kInvalidNode ? at : parent;
+        h.target = up;
+        arena_start_ride(h, a.leaf_label[up], kSearchBack);
+        break;
+      }
+
+      case kSearchBack: {
+        if (at != h.extra) {
+          const std::int32_t t =
+              a.sfni_tree_of[static_cast<std::size_t>(h.level) * n + h.aux];
+          CR_CHECK(t >= 0);
+          const std::uint32_t row = a.trees.locate(t, at);
+          const NodeId up = a.trees.parent_global[row];
+          CR_CHECK(up != kInvalidNode);
+          h.target = up;
+          arena_start_ride(h, a.leaf_label[up], kSearchBack);
+          break;
+        }
+        // At the structure root: go back from c to u (Algorithm 4 line 7).
+        arena_start_ride(h, a.leaf_label[h.aux], kBackAtAnchor);
+        break;
+      }
+
+      case kBackAtAnchor: {
+        if (h.exponent == 1) {
+          h.inner = h.tree_dfs;
+          arena_start_ride(h, h.tree_dfs, kDeliver);
+          break;
+        }
+        CR_CHECK_MSG(h.level < a.top_level,
+                     "the top search ball covers the whole graph");
+        const NodeId up =
+            a.net_parent[static_cast<std::size_t>(h.level) * n + at];
+        h.level = static_cast<std::int16_t>(h.level + 1);
+        h.aux = up;
+        arena_start_ride(h, a.leaf_label[up], kAtAnchor);
+        break;
+      }
+    }
+  }
+  CR_CHECK_MSG(false, "phase machine did not settle");
+  return false;
+}
+
+HopScheme::Decision ScaleFreeNameIndependentHopScheme::reference_step(
     NodeId at, const HopHeader& in) const {
   CR_OBS_HOT_COUNT("hop.scale_free_ni.steps");
   const NetHierarchy& hierarchy = scheme_->hierarchy();
@@ -89,6 +257,7 @@ HopScheme::Decision ScaleFreeNameIndependentHopScheme::step(
       }
 
       case kSearchNode: {
+        CR_OBS_HOT_COUNT("hop.ref.tree_reads");
         const SearchTree& tree =
             scheme_->search_structure(h.level, h.aux, nullptr);
         const int local = tree.tree().local_id(at);
@@ -116,6 +285,7 @@ HopScheme::Decision ScaleFreeNameIndependentHopScheme::step(
 
       case kSearchBack: {
         if (at != h.extra) {
+          CR_OBS_HOT_COUNT("hop.ref.tree_reads");
           const SearchTree& tree =
               scheme_->search_structure(h.level, h.aux, nullptr);
           const int local = tree.tree().local_id(at);

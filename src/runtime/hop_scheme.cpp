@@ -41,6 +41,14 @@ std::size_t HopHeader::encoded_bits(std::size_t n, int num_levels) const {
          (nested ? nested->encoded_bits(n, num_levels) : 0);
 }
 
+bool HopScheme::step_inplace(NodeId at, HopHeader& header, NodeId* next) const {
+  Decision decision = step(at, header);
+  if (decision.deliver) return true;
+  header = std::move(decision.header);
+  *next = decision.next;
+  return false;
+}
+
 HopRun execute_hops(const MetricSpace& metric, const HopScheme& scheme, NodeId src,
                     std::uint64_t dest_key, std::size_t max_hops) {
   if (max_hops == 0) max_hops = 64 * metric.n() + 1024;

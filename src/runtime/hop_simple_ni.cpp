@@ -2,8 +2,27 @@
 
 #include "core/check.hpp"
 #include "obs/metrics.hpp"
+#include "runtime/hop_arena.hpp"
 
 namespace compactroute {
+
+SimpleNameIndependentHopScheme::SimpleNameIndependentHopScheme(
+    const SimpleNameIndependentScheme& scheme,
+    const HierarchicalLabeledScheme& underlying, HopTables tables)
+    : scheme_(&scheme), underlying_(&underlying) {
+  if (tables == HopTables::kArena) {
+    arena_ = HopArena::build(scheme.hierarchy(), &scheme.naming(), &underlying,
+                             nullptr, &scheme, nullptr);
+  }
+}
+
+SimpleNameIndependentHopScheme::SimpleNameIndependentHopScheme(
+    const SimpleNameIndependentScheme& scheme,
+    const HierarchicalLabeledScheme& underlying,
+    std::shared_ptr<const HopArena> arena)
+    : scheme_(&scheme), underlying_(&underlying), arena_(std::move(arena)) {
+  CR_CHECK(arena_ && arena_->hier_present && arena_->simple_present);
+}
 
 HopHeader SimpleNameIndependentHopScheme::make_header(
     NodeId src, std::uint64_t dest_key) const {
@@ -32,7 +51,117 @@ TracePhase SimpleNameIndependentHopScheme::phase_of(
   return TracePhase::kForward;
 }
 
+bool SimpleNameIndependentHopScheme::step_inplace(NodeId at, HopHeader& header,
+                                                  NodeId* next) const {
+  if (arena_) return arena_step(at, header, next);
+  return HopScheme::step_inplace(at, header, next);
+}
+
 HopScheme::Decision SimpleNameIndependentHopScheme::step(
+    NodeId at, const HopHeader& header) const {
+  if (arena_) {
+    Decision decision;
+    decision.header = header;
+    decision.deliver = arena_step(at, decision.header, &decision.next);
+    return decision;
+  }
+  return reference_step(at, header);
+}
+
+bool SimpleNameIndependentHopScheme::arena_step(NodeId at, HopHeader& h,
+                                                NodeId* next) const {
+  CR_OBS_HOT_COUNT("hop.arena.steps");
+  const HopArena& a = *arena_;
+  const std::size_t n = a.n;
+
+  const int settle_budget = 8 * (a.top_level + 4) + 64;
+  for (int guard = 0; guard < settle_budget; ++guard) {
+    // Riding: one greedy ring step of the underlying scheme.
+    if (a.leaf_label[at] != static_cast<NodeId>(h.inner)) {
+      *next = a.hier_ring_next(at, static_cast<NodeId>(h.inner));
+      a.prefetch_hier_rings(*next);
+      return false;
+    }
+
+    // The ride arrived: advance the outer (name-independent) machine.
+    switch (static_cast<Continuation>(h.inner_phase)) {
+      case kDeliver: {
+        CR_CHECK(a.name_of[at] == h.dest);
+        return true;
+      }
+
+      case kAtAnchor: {
+        if (a.name_of[at] == h.dest) return true;
+        // Start the local search at the root (the anchor itself).
+        h.target = h.aux;
+        h.inner_phase = kSearchNode;
+        break;
+      }
+
+      case kSearchNode: {
+        const std::int32_t t =
+            a.simple_tree_of[static_cast<std::size_t>(h.level) * n + h.aux];
+        CR_CHECK(t >= 0);
+        const std::uint32_t row = a.trees.locate(t, at);
+        const std::uint32_t child = a.trees.child_containing(row, h.dest);
+        if (child != HopArena::TreeBank::npos) {
+          const NodeId next_node = a.trees.child_global[child];
+          h.target = next_node;
+          h.inner = a.leaf_label[next_node];
+          break;  // ride one virtual edge down
+        }
+        std::uint64_t found_label = 0;
+        if (a.trees.holds(row, h.dest, &found_label)) {
+          h.tree_dfs = static_cast<NodeId>(found_label);  // remember l(v)
+          h.exponent = 1;                                 // "found" flag
+        } else {
+          h.exponent = 0;
+        }
+        // Report back toward the root (Algorithm 2 line 10).
+        const NodeId parent = a.trees.parent_global[row];
+        const NodeId up = parent == kInvalidNode ? at : parent;
+        h.target = up;
+        h.inner = a.leaf_label[up];
+        h.inner_phase = kSearchBack;
+        break;
+      }
+
+      case kSearchBack: {
+        if (at != h.aux) {
+          const std::int32_t t =
+              a.simple_tree_of[static_cast<std::size_t>(h.level) * n + h.aux];
+          CR_CHECK(t >= 0);
+          const std::uint32_t row = a.trees.locate(t, at);
+          const NodeId up = a.trees.parent_global[row];
+          CR_CHECK(up != kInvalidNode);
+          h.target = up;
+          h.inner = a.leaf_label[up];
+          break;
+        }
+        // Back at the anchor u(level).
+        if (h.exponent == 1) {
+          h.inner = h.tree_dfs;  // the retrieved label l(v)
+          h.inner_phase = kDeliver;
+          break;
+        }
+        // Climb to u(level+1) — its label is stored along the netting tree.
+        CR_CHECK_MSG(h.level < a.top_level,
+                     "top search ball covers the whole graph");
+        const NodeId up =
+            a.net_parent[static_cast<std::size_t>(h.level) * n + at];
+        h.level = static_cast<std::int16_t>(h.level + 1);
+        h.aux = up;
+        h.inner = a.leaf_label[up];
+        h.inner_phase = kAtAnchor;
+        break;
+      }
+    }
+  }
+  CR_CHECK_MSG(false, "phase machine did not settle");
+  return false;
+}
+
+HopScheme::Decision SimpleNameIndependentHopScheme::reference_step(
     NodeId at, const HopHeader& in) const {
   CR_OBS_HOT_COUNT("hop.simple_ni.steps");
   const NetHierarchy& hierarchy = scheme_->hierarchy();
@@ -47,6 +176,7 @@ HopScheme::Decision SimpleNameIndependentHopScheme::step(
     // Riding: while the inner labeled target is not reached, take one greedy
     // ring step of the underlying scheme.
     if (hierarchy.leaf_label(at) != static_cast<NodeId>(h.inner)) {
+      CR_OBS_HOT_COUNT("hop.ref.ring_scans");
       for (int level = 0;; ++level) {
         CR_CHECK(level <= hierarchy.top_level());
         bool stepped = false;
@@ -83,6 +213,7 @@ HopScheme::Decision SimpleNameIndependentHopScheme::step(
       }
 
       case kSearchNode: {
+        CR_OBS_HOT_COUNT("hop.ref.tree_reads");
         const SearchTree& tree = scheme_->level_tree(h.level, h.aux);
         const int local = tree.tree().local_id(at);
         CR_CHECK(local >= 0);
@@ -111,6 +242,7 @@ HopScheme::Decision SimpleNameIndependentHopScheme::step(
 
       case kSearchBack: {
         if (at != h.aux) {
+          CR_OBS_HOT_COUNT("hop.ref.tree_reads");
           const SearchTree& tree = scheme_->level_tree(h.level, h.aux);
           const int local = tree.tree().local_id(at);
           CR_CHECK(local >= 0);

@@ -58,20 +58,26 @@ std::uint64_t serve_one(const CsrGraph& csr, const HopScheme& scheme,
   std::uint64_t fp = (request.dest_key * kFnvPrime) ^ request.src;
   std::size_t hop_count = 0;
   bool done = false;
+  NodeId next = kInvalidNode;
   while (hop_count <= max_hops) {
-    HopScheme::Decision decision = scheme.step(at, header);
-    if (decision.deliver) {
+    // In-place stepping: arena-backed schemes mutate the header with zero
+    // allocations; reference schemes fall back to a step() copy internally.
+    if (scheme.step_inplace(at, header, &next)) {
       done = true;
       break;
     }
     // The locality contract: every forwarded hop must be a real graph edge.
-    // CSR targets are sorted ascending, so one binary search certifies it.
+    // Low-degree spans (the common case in doubling metrics) certify with a
+    // branchless sweep; CSR targets are sorted, so high degrees bisect.
     const auto targets = csr.arc_targets(at);
-    CR_CHECK_MSG(
-        std::binary_search(targets.begin(), targets.end(), decision.next),
-        "serve: scheme forwarded to a non-neighbor");
-    at = decision.next;
-    header = std::move(decision.header);
+    bool is_edge = false;
+    if (targets.size() <= 16) {
+      for (const NodeId t : targets) is_edge |= (t == next);
+    } else {
+      is_edge = std::binary_search(targets.begin(), targets.end(), next);
+    }
+    CR_CHECK_MSG(is_edge, "serve: scheme forwarded to a non-neighbor");
+    at = next;
     fp = (fp ^ at) * kFnvPrime;
     ++hop_count;
   }
@@ -161,7 +167,32 @@ ServeStats serve_batch(const CsrGraph& csr, const HopScheme& scheme,
       (void)lat_us;
 #endif
     };
-    for (std::size_t i = first; i < last; ++i) {
+    // Dispatch order: destination-sorted within the chunk, so consecutive
+    // requests revisit overlapping arena rows while they are still cached.
+    // Outputs land in per-index slots, so order never affects results.
+    const std::size_t len = last - first;
+    std::uint32_t order_buf[64];
+    std::vector<std::uint32_t> order_spill;
+    std::uint32_t* order = nullptr;
+    if (options.sort_by_dest) {
+      if (len > 64) {
+        order_spill.resize(len);
+        order = order_spill.data();
+      } else {
+        order = order_buf;
+      }
+      for (std::size_t k = 0; k < len; ++k) {
+        order[k] = static_cast<std::uint32_t>(first + k);
+      }
+      std::sort(order, order + len, [&](std::uint32_t a, std::uint32_t b) {
+        if (requests[a].dest_key != requests[b].dest_key) {
+          return requests[a].dest_key < requests[b].dest_key;
+        }
+        return a < b;
+      });
+    }
+    for (std::size_t k = 0; k < len; ++k) {
+      const std::size_t i = order != nullptr ? order[k] : first + k;
 #ifndef CR_OBS_DISABLED
       if (sample_every != 0 && i % sample_every == 0) {
         obs::SpanScope span("serve.request", "serve");
@@ -191,6 +222,7 @@ ServeStats serve_batch(const CsrGraph& csr, const HopScheme& scheme,
     stats.p50_us = percentile(latencies_us, 0.50);
     stats.p90_us = percentile(latencies_us, 0.90);
     stats.p99_us = percentile(latencies_us, 0.99);
+    stats.p999_us = percentile(latencies_us, 0.999);
     stats.max_us = latencies_us.back();
   }
   CR_OBS_ADD("serve.requests", count);

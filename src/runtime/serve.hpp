@@ -49,6 +49,11 @@ struct ServeOptions {
   /// "serve.request" span for every N-th request of the batch. 0 disables
   /// request spans.
   std::size_t span_sample_every = 0;
+  /// Sort each worker's chunk by destination key before dispatch, so
+  /// consecutive requests walk overlapping arena rows (warm slab lines).
+  /// Output slots are per-request-index, so stats and fingerprints are
+  /// unaffected by the dispatch order.
+  bool sort_by_dest = true;
 };
 
 struct ServeStats {
@@ -62,6 +67,7 @@ struct ServeStats {
   double p50_us = 0;
   double p90_us = 0;
   double p99_us = 0;
+  double p999_us = 0;
   double max_us = 0;
   /// Order- and thread-count-independent digest of every route taken.
   std::uint64_t fingerprint = 0;

@@ -226,21 +226,32 @@ bool SearchTree::holds(int local, Key key, Data* data) const {
 }
 
 SearchTree::LookupResult SearchTree::lookup(Key key) const {
-  CR_CHECK_MSG(stored_, "lookup before store()");
+  LookupScratch scratch;
   LookupResult result;
-  std::vector<int> down = {tree_.root_local()};
+  lookup(key, scratch, &result);
+  return result;
+}
+
+void SearchTree::lookup(Key key, LookupScratch& scratch,
+                        LookupResult* result) const {
+  CR_CHECK_MSG(stored_, "lookup before store()");
+  result->found = false;
+  result->data = 0;
+  result->trail.clear();
+  std::vector<int>& down = scratch.down;
+  down.clear();
+  down.push_back(tree_.root_local());
   for (;;) {
     const int child = child_containing(down.back(), key);
     if (child < 0) break;
     down.push_back(child);
   }
   const int holder = down.back();
-  result.found = holds(holder, key, &result.data);
-  for (int node : down) result.trail.push_back(tree_.global_id(node));
+  result->found = holds(holder, key, &result->data);
+  for (int node : down) result->trail.push_back(tree_.global_id(node));
   for (auto it = std::next(down.rbegin()); it != down.rend(); ++it) {
-    result.trail.push_back(tree_.global_id(*it));
+    result->trail.push_back(tree_.global_id(*it));
   }
-  return result;
 }
 
 std::size_t SearchTree::node_bits(int local, std::size_t key_bits,

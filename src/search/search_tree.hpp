@@ -77,8 +77,18 @@ class SearchTree {
     Path trail;
   };
 
+  /// Reusable lookup workspace: hoisting one out of a lookup loop (eval,
+  /// audit) keeps the descent stack and trail off the per-call heap.
+  struct LookupScratch {
+    std::vector<int> down;
+  };
+
   /// Algorithm 2: top-down search by subtree ranges, then back to the root.
   LookupResult lookup(Key key) const;
+
+  /// Same search reusing caller-provided scratch; `result` (including its
+  /// trail) is overwritten, its capacity reused.
+  void lookup(Key key, LookupScratch& scratch, LookupResult* result) const;
 
   /// Local step of Algorithm 2 at one tree node: the child whose subtree key
   /// range holds `key`, or -1 if the descent stops here. Uses only data

@@ -42,6 +42,13 @@ class CompactTreeRouter {
   /// Local index of the node with DFS index `dfs`.
   int node_of_dfs(NodeId dfs) const { return node_of_dfs_[dfs]; }
 
+  /// DFS interval [dfs_in, dfs_out] of a node's subtree and its heavy child
+  /// (-1 for leaves) — the per-node routing table rows, exposed so the
+  /// serve-time arena can flatten them.
+  NodeId dfs_in(int local) const { return dfs_in_[local]; }
+  NodeId dfs_out(int local) const { return dfs_out_[local]; }
+  int heavy_child(int local) const { return heavy_child_[local]; }
+
   /// One routing step toward `dest`; returns `local` itself when delivered.
   int step(int local, const TreeLabel& dest) const;
 

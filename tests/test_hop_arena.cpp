@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/parallel.hpp"
+#include "core/prng.hpp"
+#include "gen/generators.hpp"
+#include "graph/metric.hpp"
+#include "io/snapshot.hpp"
+#include "labeled/hierarchical_labeled.hpp"
+#include "labeled/scale_free_labeled.hpp"
+#include "nameind/scale_free_nameind.hpp"
+#include "nameind/simple_nameind.hpp"
+#include "nets/rnet.hpp"
+#include "obs/sharded.hpp"
+#include "routing/naming.hpp"
+#include "runtime/hop_arena.hpp"
+#include "runtime/hop_hierarchical.hpp"
+#include "runtime/hop_scale_free.hpp"
+#include "runtime/hop_scale_free_ni.hpp"
+#include "runtime/hop_simple_ni.hpp"
+#include "runtime/serve.hpp"
+#include "test_util.hpp"
+
+// Golden equivalence suite for the serve-time hop arena (DESIGN.md §11):
+// the arena-backed runtimes must take byte-identical routes to the reference
+// (nested-container) runtimes — enforced on the serve_batch fingerprint for
+// every scheme, at 1 and 4 workers, against both a fresh build and a
+// snapshot-reloaded stack sharing one arena. A counter check then pins the
+// structural claim: an arena serve never reads the reference rings or
+// search-tree containers at all.
+
+namespace compactroute {
+namespace {
+
+constexpr std::size_t kPairs = 400;
+constexpr double kEps = 0.5;
+
+struct ArenaFixture {
+  explicit ArenaFixture(const Graph& g)
+      : metric(g),
+        hierarchy(metric),
+        naming(Naming::random(metric.n(), 47)),
+        hier(metric, hierarchy, kEps),
+        sf(metric, hierarchy, kEps),
+        simple(metric, hierarchy, naming, hier, kEps),
+        sfni(metric, hierarchy, naming, sf, kEps),
+        loaded(decode_snapshot(encode_snapshot(metric, kEps, hierarchy, naming,
+                                               hier, sf, simple, sfni))),
+        shared_arena(loaded.build_arena()) {}
+
+  std::vector<ServeRequest> labeled_requests() const {
+    return make_requests(metric.n(), kPairs, 5, [&](NodeId v) {
+      return std::uint64_t{hierarchy.leaf_label(v)};
+    });
+  }
+  std::vector<ServeRequest> named_requests() const {
+    return make_requests(metric.n(), kPairs, 6,
+                         [&](NodeId v) { return naming.name_of(v); });
+  }
+
+  MetricSpace metric;
+  NetHierarchy hierarchy;
+  Naming naming;
+  HierarchicalLabeledScheme hier;
+  ScaleFreeLabeledScheme sf;
+  SimpleNameIndependentScheme simple;
+  ScaleFreeNameIndependentScheme sfni;
+  SnapshotStack loaded;
+  std::shared_ptr<const HopArena> shared_arena;
+};
+
+std::uint64_t fingerprint(const CsrGraph& csr, const HopScheme& scheme,
+                          const std::vector<ServeRequest>& requests,
+                          std::size_t workers) {
+  Executor::global().set_workers(workers);
+  ServeOptions options;
+  options.collect_latencies = false;
+  const ServeStats stats = serve_batch(csr, scheme, requests, options);
+  EXPECT_EQ(stats.delivered, requests.size());
+  return stats.fingerprint;
+}
+
+/// The golden check: arena (fresh, private), arena (snapshot-reloaded,
+/// shared), and reference FSMs all produce the same batch fingerprint, at
+/// both worker counts.
+void expect_golden(const ArenaFixture& f, const HopScheme& arena_fresh,
+                   const HopScheme& arena_loaded, const HopScheme& reference,
+                   const std::vector<ServeRequest>& requests) {
+  const std::uint64_t golden =
+      fingerprint(f.metric.csr(), reference, requests, 1);
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    EXPECT_EQ(fingerprint(f.metric.csr(), arena_fresh, requests, workers),
+              golden)
+        << "fresh arena diverges at " << workers << " workers";
+    EXPECT_EQ(fingerprint(f.loaded.csr, arena_loaded, requests, workers),
+              golden)
+        << "loaded shared arena diverges at " << workers << " workers";
+  }
+  EXPECT_EQ(fingerprint(f.metric.csr(), reference, requests, 4), golden)
+      << "fingerprint must be worker-count independent";
+  Executor::global().set_workers(1);
+}
+
+class HopArenaGoldenTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    fixture_ = new ArenaFixture(make_cluster_hierarchy(3, 4, 10, 91));
+  }
+  static void TearDownTestSuite() {
+    delete fixture_;
+    fixture_ = nullptr;
+  }
+  static ArenaFixture* fixture_;
+};
+
+ArenaFixture* HopArenaGoldenTest::fixture_ = nullptr;
+
+TEST_F(HopArenaGoldenTest, HierarchicalMatchesReference) {
+  const ArenaFixture& f = *fixture_;
+  expect_golden(f, HierarchicalHopScheme(f.hier),
+                HierarchicalHopScheme(*f.loaded.hier, f.shared_arena),
+                HierarchicalHopScheme(f.hier, HopTables::kReference),
+                f.labeled_requests());
+}
+
+TEST_F(HopArenaGoldenTest, ScaleFreeMatchesReference) {
+  const ArenaFixture& f = *fixture_;
+  expect_golden(f, ScaleFreeHopScheme(f.sf),
+                ScaleFreeHopScheme(*f.loaded.sf, f.shared_arena),
+                ScaleFreeHopScheme(f.sf, HopTables::kReference),
+                f.labeled_requests());
+}
+
+TEST_F(HopArenaGoldenTest, SimpleNameIndependentMatchesReference) {
+  const ArenaFixture& f = *fixture_;
+  expect_golden(
+      f, SimpleNameIndependentHopScheme(f.simple, f.hier),
+      SimpleNameIndependentHopScheme(*f.loaded.simple, *f.loaded.hier,
+                                     f.shared_arena),
+      SimpleNameIndependentHopScheme(f.simple, f.hier, HopTables::kReference),
+      f.named_requests());
+}
+
+TEST_F(HopArenaGoldenTest, ScaleFreeNameIndependentMatchesReference) {
+  const ArenaFixture& f = *fixture_;
+  expect_golden(
+      f, ScaleFreeNameIndependentHopScheme(f.sfni, f.sf),
+      ScaleFreeNameIndependentHopScheme(*f.loaded.sfni, *f.loaded.sf,
+                                        f.shared_arena),
+      ScaleFreeNameIndependentHopScheme(f.sfni, f.sf, HopTables::kReference),
+      f.named_requests());
+}
+
+// A fresh grid sweep on the zoo axis the cluster fixture doesn't cover.
+TEST(HopArenaZooTest, GridGoldenAllSchemes) {
+  ArenaFixture f(make_grid(9, 7));
+  expect_golden(f, HierarchicalHopScheme(f.hier),
+                HierarchicalHopScheme(*f.loaded.hier, f.shared_arena),
+                HierarchicalHopScheme(f.hier, HopTables::kReference),
+                f.labeled_requests());
+  expect_golden(
+      f, ScaleFreeNameIndependentHopScheme(f.sfni, f.sf),
+      ScaleFreeNameIndependentHopScheme(*f.loaded.sfni, *f.loaded.sf,
+                                        f.shared_arena),
+      ScaleFreeNameIndependentHopScheme(f.sfni, f.sf, HopTables::kReference),
+      f.named_requests());
+}
+
+#ifndef CR_OBS_DISABLED
+std::uint64_t counter_value(const char* name) {
+  const auto scraped = obs::scrape_global();
+  const auto& counters = scraped->counters();
+  const auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second.value();
+}
+
+// The structural claim behind the fingerprints: a serve through the arena
+// performs zero reference ring scans and zero reference search-tree reads —
+// every hop steps against the flat slabs.
+TEST(HopArenaCounterTest, ArenaServeNeverTouchesReferenceContainers) {
+  Executor::global().set_workers(1);
+  ArenaFixture f(make_grid(8, 8));
+  const auto labeled = f.labeled_requests();
+  const auto named = f.named_requests();
+  ServeOptions options;
+  options.collect_latencies = false;
+
+  const std::uint64_t ring_before = counter_value("hop.ref.ring_scans");
+  const std::uint64_t tree_before = counter_value("hop.ref.tree_reads");
+  const std::uint64_t arena_before = counter_value("hop.arena.steps");
+
+  (void)serve_batch(f.metric.csr(), HierarchicalHopScheme(f.hier), labeled,
+                    options);
+  (void)serve_batch(f.metric.csr(), ScaleFreeHopScheme(f.sf), labeled,
+                    options);
+  (void)serve_batch(f.metric.csr(),
+                    SimpleNameIndependentHopScheme(f.simple, f.hier), named,
+                    options);
+  (void)serve_batch(f.metric.csr(),
+                    ScaleFreeNameIndependentHopScheme(f.sfni, f.sf), named,
+                    options);
+
+  EXPECT_EQ(counter_value("hop.ref.ring_scans"), ring_before)
+      << "arena serve read the reference ring vectors";
+  EXPECT_EQ(counter_value("hop.ref.tree_reads"), tree_before)
+      << "arena serve read the reference search-tree containers";
+  EXPECT_GT(counter_value("hop.arena.steps"), arena_before)
+      << "arena step counter should meter the serve";
+
+  // And the reference runtimes do bump their counters — the zero deltas
+  // above are meaningful, not a dead counter.
+  (void)serve_batch(f.metric.csr(),
+                    HierarchicalHopScheme(f.hier, HopTables::kReference),
+                    labeled, options);
+  EXPECT_GT(counter_value("hop.ref.ring_scans"), ring_before);
+}
+#endif  // CR_OBS_DISABLED
+
+// ring_first_hit must agree with the scalar definition on every lane width
+// the dispatcher may pick, including blocks that straddle the segment end
+// where the next node's rows could contain the key.
+TEST(RingFirstHitTest, MatchesScalarOracle) {
+  Prng prng(1234);
+  for (int round = 0; round < 200; ++round) {
+    const std::uint32_t len = 1 + static_cast<std::uint32_t>(prng.next_u64()) % 70;
+    Slab<NodeId> lo(len + kRingScanPad, kInvalidNode);
+    Slab<NodeId> hi(len + kRingScanPad, 0);
+    for (std::uint32_t i = 0; i < len; ++i) {
+      const NodeId a = static_cast<std::uint32_t>(prng.next_u64()) % 128;
+      const NodeId b = static_cast<std::uint32_t>(prng.next_u64()) % 128;
+      lo[i] = std::min(a, b);
+      hi[i] = std::max(a, b);
+    }
+    const std::uint32_t begin = static_cast<std::uint32_t>(prng.next_u64()) % len;
+    const std::uint32_t end = begin + static_cast<std::uint32_t>(prng.next_u64()) % (len - begin + 1);
+    const NodeId key = static_cast<std::uint32_t>(prng.next_u64()) % 128;
+
+    std::uint32_t expected = end;
+    for (std::uint32_t i = begin; i < end; ++i) {
+      if (lo[i] <= key && key <= hi[i]) {
+        expected = i;
+        break;
+      }
+    }
+    EXPECT_EQ(ring_first_hit(lo.data(), hi.data(), begin, end, key), expected)
+        << "round " << round << " begin " << begin << " end " << end;
+  }
+}
+
+TEST(RingFirstHitTest, FalseHitPastEndIsClampedToMiss) {
+  // [begin, end) misses; the entry just past `end` (another node's segment)
+  // contains the key and sits in the same vector block. The scan must still
+  // report a miss.
+  Slab<NodeId> lo(4 + kRingScanPad, kInvalidNode);
+  Slab<NodeId> hi(4 + kRingScanPad, 0);
+  lo[0] = 10;
+  hi[0] = 20;  // miss for key 5
+  lo[1] = 0;
+  hi[1] = 9;  // would hit, but past end
+  EXPECT_EQ(ring_first_hit(lo.data(), hi.data(), 0, 1, 5), 1u);
+}
+
+}  // namespace
+}  // namespace compactroute

@@ -857,12 +857,15 @@ int cmd_serve(std::vector<std::string> args) {
 
   const std::vector<std::uint8_t> bytes = read_snapshot_file(args[0]);
   const SnapshotStack stack = decode_snapshot(bytes);
+  // One hop arena shared by every scheme served below (one slab set, up to
+  // four steppers riding it).
+  const std::shared_ptr<const HopArena> arena = stack.build_arena();
   std::printf("serve: %s (n = %zu, eps = %.3g), %llu pairs/scheme, seed %llu, "
-              "workers = %zu\n\n",
+              "workers = %zu, arena %zu bytes\n\n",
               args[0].c_str(), stack.n, stack.epsilon,
               static_cast<unsigned long long>(pairs),
               static_cast<unsigned long long>(seed),
-              Executor::global().workers());
+              Executor::global().workers(), arena->memory_bytes());
 
   const auto labeled = make_requests(stack.n, pairs, seed, [&](NodeId v) {
     return std::uint64_t{stack.hierarchy->leaf_label(v)};
@@ -881,8 +884,8 @@ int cmd_serve(std::vector<std::string> args) {
   doc["workers"] = static_cast<std::uint64_t>(Executor::global().workers());
   doc["schemes"] = obs::JsonValue::array();
 
-  std::printf("%-26s %12s %9s %9s %9s %10s\n", "scheme", "routes/s", "p50-us",
-              "p90-us", "p99-us", "hops/rt");
+  std::printf("%-26s %12s %9s %9s %9s %9s %10s\n", "scheme", "routes/s",
+              "p50-us", "p90-us", "p99-us", "p999-us", "hops/rt");
   ServeOptions serve_options;
   // With --trace-out, sample roughly 64 request spans per scheme so the
   // trace stays viewer-sized no matter how large the batch is.
@@ -891,8 +894,9 @@ int cmd_serve(std::vector<std::string> args) {
   const auto run = [&](const HopScheme& hop,
                        const std::vector<ServeRequest>& requests) {
     const ServeStats s = serve_batch(stack.csr, hop, requests, serve_options);
-    std::printf("%-26s %12.0f %9.2f %9.2f %9.2f %10.2f\n", hop.name().c_str(),
-                s.routes_per_sec, s.p50_us, s.p90_us, s.p99_us,
+    std::printf("%-26s %12.0f %9.2f %9.2f %9.2f %9.2f %10.2f\n",
+                hop.name().c_str(), s.routes_per_sec, s.p50_us, s.p90_us,
+                s.p99_us, s.p999_us,
                 static_cast<double>(s.total_hops) /
                     static_cast<double>(s.requests));
     obs::JsonValue entry = obs::JsonValue::object();
@@ -905,6 +909,7 @@ int cmd_serve(std::vector<std::string> args) {
     entry["p50_us"] = s.p50_us;
     entry["p90_us"] = s.p90_us;
     entry["p99_us"] = s.p99_us;
+    entry["p999_us"] = s.p999_us;
     entry["max_us"] = s.max_us;
     entry["fingerprint"] = s.fingerprint;
     doc["schemes"].push_back(std::move(entry));
@@ -923,16 +928,18 @@ int cmd_serve(std::vector<std::string> args) {
     return false;
   };
   if ((all || scheme_sel == "hier") && require("hier", stack.hier.get())) {
-    run(HierarchicalHopScheme(*stack.hier), labeled);
+    run(HierarchicalHopScheme(*stack.hier, arena), labeled);
   }
   if ((all || scheme_sel == "sf") && require("sf", stack.sf.get())) {
-    run(ScaleFreeHopScheme(*stack.sf), labeled);
+    run(ScaleFreeHopScheme(*stack.sf, arena), labeled);
   }
   if ((all || scheme_sel == "simple") && require("simple", stack.simple.get())) {
-    run(SimpleNameIndependentHopScheme(*stack.simple, *stack.hier), named);
+    run(SimpleNameIndependentHopScheme(*stack.simple, *stack.hier, arena),
+        named);
   }
   if ((all || scheme_sel == "sfni") && require("sfni", stack.sfni.get())) {
-    run(ScaleFreeNameIndependentHopScheme(*stack.sfni, *stack.sf), named);
+    run(ScaleFreeNameIndependentHopScheme(*stack.sfni, *stack.sf, arena),
+        named);
   }
 
   bool artifacts_ok = true;

@@ -42,5 +42,11 @@ for json in BENCH_*.json; do
   cp "$json" "$artifact_dir/"
 done
 
+# The serving numbers are the repo's headline (EXPERIMENTS.md E10); keep the
+# latest run visible at the repo root alongside the docs that cite it.
+if [ -e BENCH_serving.json ]; then
+  cp BENCH_serving.json "$repo_root/BENCH_serving.json"
+fi
+
 echo "artifacts in $artifact_dir:"
 ls -l "$artifact_dir"
