@@ -45,6 +45,14 @@ ServeFingerprints serve_fingerprints(const SnapshotStack& stack,
 Report audit_snapshot_corruption(const std::vector<std::uint8_t>& bytes,
                                  const Options& options);
 
+/// The same corruption battery driven through the mmap loader: every mutant
+/// is written to `scratch_path` (overwritten per variant, removed at the
+/// end) and loaded with load_snapshot_mmap, which must throw SnapshotError —
+/// the zero-copy path gets no laxer validation than the heap path.
+Report audit_snapshot_corruption_mmap(const std::vector<std::uint8_t>& bytes,
+                                      const std::string& scratch_path,
+                                      const Options& options);
+
 /// Full round trip for a fresh stack: encode determinism, decode meta
 /// fidelity, loaded-vs-fresh serve-fingerprint equality across all four
 /// schemes, then the corruption battery.

@@ -36,20 +36,20 @@ void BitWriter::write_varint(std::uint64_t value) {
 
 std::uint64_t BitReader::read(int width) {
   CR_CHECK(width >= 0 && width <= 64);
-  CR_CHECK_MSG(cursor_ + static_cast<std::size_t>(width) <= bytes_->size() * 8,
+  CR_CHECK_MSG(cursor_ + static_cast<std::size_t>(width) <= size_ * 8,
                "bit stream underflow");
   std::uint64_t value = 0;
   int b = 0;
   // Byte-aligned fast path mirroring BitWriter::write.
   if ((cursor_ & 7) == 0) {
     for (; b + 8 <= width; b += 8) {
-      value |= std::uint64_t{(*bytes_)[cursor_ >> 3]} << b;
+      value |= std::uint64_t{data_[cursor_ >> 3]} << b;
       cursor_ += 8;
     }
   }
   for (; b < width; ++b) {
     const std::size_t byte = cursor_ / 8;
-    if (((*bytes_)[byte] >> (cursor_ % 8)) & 1) value |= std::uint64_t{1} << b;
+    if ((data_[byte] >> (cursor_ % 8)) & 1) value |= std::uint64_t{1} << b;
     ++cursor_;
   }
   return value;

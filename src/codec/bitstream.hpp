@@ -36,7 +36,14 @@ class BitWriter {
 
 class BitReader {
  public:
-  explicit BitReader(const std::vector<std::uint8_t>& bytes) : bytes_(&bytes) {}
+  explicit BitReader(const std::vector<std::uint8_t>& bytes)
+      : data_(bytes.data()), size_(bytes.size()) {}
+
+  /// Borrowed-buffer form: reads directly from `[data, data + size)` without
+  /// owning it. The caller keeps the bytes alive (and unchanged) for the
+  /// reader's lifetime — this is the decode path for mmap'd snapshots.
+  BitReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
 
   /// Reads `width` bits (width in [0, 64]).
   std::uint64_t read(int width);
@@ -47,10 +54,11 @@ class BitReader {
 
   /// True if fewer than 8 unread bits remain (stream exhausted up to byte
   /// padding).
-  bool exhausted() const { return cursor_ + 8 > bytes_->size() * 8; }
+  bool exhausted() const { return cursor_ + 8 > size_ * 8; }
 
  private:
-  const std::vector<std::uint8_t>* bytes_;
+  const std::uint8_t* data_;
+  std::size_t size_;
   std::size_t cursor_ = 0;
 };
 

@@ -684,12 +684,6 @@ std::vector<std::uint8_t> encode_section(
   return {};
 }
 
-std::vector<std::uint8_t> section_payload(const std::vector<std::uint8_t>& bytes,
-                                          const SnapshotSection& section) {
-  return std::vector<std::uint8_t>(bytes.begin() + section.offset,
-                                   bytes.begin() + section.offset + section.size);
-}
-
 }  // namespace
 
 std::uint32_t snapshot_crc32(const std::uint8_t* data, std::size_t size) {
@@ -893,20 +887,20 @@ std::uint64_t SnapshotStreamWriter::finish() {
   return impl_->offset;
 }
 
-std::vector<SnapshotSection> snapshot_directory(
-    const std::vector<std::uint8_t>& bytes) {
-  if (bytes.size() < kHeaderBytes) corrupt("file shorter than header");
-  if (std::memcmp(bytes.data(), kMagic, 8) != 0) corrupt("bad magic");
-  const std::uint32_t version = get_u32(bytes.data() + 8);
+std::vector<SnapshotSection> snapshot_directory(const std::uint8_t* data,
+                                                std::size_t size) {
+  if (size < kHeaderBytes) corrupt("file shorter than header");
+  if (std::memcmp(data, kMagic, 8) != 0) corrupt("bad magic");
+  const std::uint32_t version = get_u32(data + 8);
   if (version != kFormatVersion) {
     corrupt("unsupported format version " + std::to_string(version));
   }
-  const std::uint32_t count = get_u32(bytes.data() + 12);
+  const std::uint32_t count = get_u32(data + 12);
   if (count == 0 || count > 64) corrupt("implausible section count");
-  const std::uint32_t directory_crc = get_u32(bytes.data() + 16);
+  const std::uint32_t directory_crc = get_u32(data + 16);
   const std::size_t header_size = kHeaderBytes + count * kEntryBytes;
-  if (bytes.size() < header_size) corrupt("file shorter than directory");
-  if (snapshot_crc32(bytes.data() + kHeaderBytes, count * kEntryBytes) !=
+  if (size < header_size) corrupt("file shorter than directory");
+  if (snapshot_crc32(data + kHeaderBytes, count * kEntryBytes) !=
       directory_crc) {
     corrupt("directory CRC mismatch");
   }
@@ -914,7 +908,7 @@ std::vector<SnapshotSection> snapshot_directory(
   std::vector<SnapshotSection> sections(count);
   std::uint64_t expected_offset = header_size;
   for (std::uint32_t i = 0; i < count; ++i) {
-    const std::uint8_t* entry = bytes.data() + kHeaderBytes + i * kEntryBytes;
+    const std::uint8_t* entry = data + kHeaderBytes + i * kEntryBytes;
     sections[i].id = get_u32(entry);
     sections[i].name = section_name(sections[i].id);
     sections[i].offset = get_u64(entry + 4);
@@ -927,44 +921,53 @@ std::vector<SnapshotSection> snapshot_directory(
   }
   // Payloads must tile the file exactly: truncation (and padding) always
   // changes the total size, so it is caught before any payload is parsed.
-  if (expected_offset != bytes.size()) {
+  if (expected_offset != size) {
     corrupt("file size disagrees with directory (truncated?)");
   }
   for (const SnapshotSection& section : sections) {
-    if (snapshot_crc32(bytes.data() + section.offset, section.size) !=
-        section.crc) {
+    if (snapshot_crc32(data + section.offset, section.size) != section.crc) {
       corrupt("section " + section.name + " CRC mismatch");
     }
   }
   return sections;
 }
 
+std::vector<SnapshotSection> snapshot_directory(
+    const std::vector<std::uint8_t>& bytes) {
+  return snapshot_directory(bytes.data(), bytes.size());
+}
+
 namespace {
 
-SnapshotStack decode_snapshot_impl(const std::vector<std::uint8_t>& bytes) {
-  const std::vector<SnapshotSection> sections = snapshot_directory(bytes);
+// Decodes straight out of `[data, data + size)` — every section is read via a
+// borrowed-span BitReader at its directory offset, so the caller's buffer
+// (heap vector or mmap'd file) is never copied per section. The buffer only
+// needs to stay alive for the duration of the call: decoded components own
+// their own storage.
+SnapshotStack decode_snapshot_impl(const std::uint8_t* data, std::size_t size) {
+  const std::vector<SnapshotSection> sections = snapshot_directory(data, size);
   const auto find = [&](std::uint32_t id) -> const SnapshotSection& {
     for (const SnapshotSection& section : sections) {
       if (section.id == id) return section;
     }
     corrupt(std::string("missing section ") + section_name(id));
   };
+  const auto reader = [&](const SnapshotSection& s) {
+    return BitReader(data + s.offset, static_cast<std::size_t>(s.size));
+  };
   // Each section decoder must consume its payload exactly (up to byte
   // padding): trailing garbage means the writer and reader disagree.
-  const auto finish = [&](BitReader& r, const std::vector<std::uint8_t>& payload,
-                          std::uint32_t id) {
-    if ((r.bits_consumed() + 7) / 8 != payload.size()) {
-      corrupt(std::string("section ") + section_name(id) +
-              " has trailing bytes");
+  const auto finish = [&](BitReader& r, const SnapshotSection& s) {
+    if ((r.bits_consumed() + 7) / 8 != s.size) {
+      corrupt(std::string("section ") + s.name + " has trailing bytes");
     }
   };
 
   SnapshotStack stack;
 
   {
-    const std::vector<std::uint8_t> payload =
-        section_payload(bytes, find(kSectionMeta));
-    BitReader r(payload);
+    const SnapshotSection& s = find(kSectionMeta);
+    BitReader r = reader(s);
     stack.n = get_count(r, std::size_t{1} << 28, "node count");
     if (stack.n < 2) corrupt("node count must be at least 2");
     stack.epsilon = get_f64(r);
@@ -974,14 +977,13 @@ SnapshotStack decode_snapshot_impl(const std::vector<std::uint8_t>& bytes) {
     stack.normalization_scale = get_f64(r);
     stack.delta = get_f64(r);
     stack.num_levels = static_cast<int>(get_count(r, 4096, "level count"));
-    finish(r, payload, kSectionMeta);
+    finish(r, s);
   }
   const std::size_t n = stack.n;
 
   {
-    const std::vector<std::uint8_t> payload =
-        section_payload(bytes, find(kSectionGraph));
-    BitReader r(payload);
+    const SnapshotSection& s = find(kSectionGraph);
+    BitReader r = reader(s);
     if (r.read_varint() != n) corrupt("graph node count disagrees with meta");
     Graph graph(n);
     for (NodeId u = 0; u < n; ++u) {
@@ -998,25 +1000,23 @@ SnapshotStack decode_snapshot_impl(const std::vector<std::uint8_t>& bytes) {
     }
     stack.graph = std::move(graph);
     stack.csr = CsrGraph(stack.graph);
-    finish(r, payload, kSectionGraph);
+    finish(r, s);
   }
 
   {
-    const std::vector<std::uint8_t> payload =
-        section_payload(bytes, find(kSectionHierarchy));
-    BitReader r(payload);
+    const SnapshotSection& s = find(kSectionHierarchy);
+    BitReader r = reader(s);
     stack.hierarchy = SnapshotAccess::decode_hierarchy(r, n);
-    finish(r, payload, kSectionHierarchy);
+    finish(r, s);
   }
 
   {
-    const std::vector<std::uint8_t> payload =
-        section_payload(bytes, find(kSectionNaming));
-    BitReader r(payload);
+    const SnapshotSection& s = find(kSectionNaming);
+    BitReader r = reader(s);
     std::vector<std::uint64_t> names(n);
     for (std::uint64_t& name : names) name = r.read_varint();
     stack.naming = std::make_unique<Naming>(std::move(names));
-    finish(r, payload, kSectionNaming);
+    finish(r, s);
   }
 
   // Scheme sections may be zero-length (subset snapshots from streaming
@@ -1024,46 +1024,42 @@ SnapshotStack decode_snapshot_impl(const std::vector<std::uint8_t>& bytes) {
   // its underlying labeled scheme is unserveable, so that combination is
   // rejected as corruption.
   {
-    const std::vector<std::uint8_t> payload =
-        section_payload(bytes, find(kSectionHier));
-    if (!payload.empty()) {
-      BitReader r(payload);
+    const SnapshotSection& s = find(kSectionHier);
+    if (s.size != 0) {
+      BitReader r = reader(s);
       stack.hier = SnapshotAccess::decode_hier(r, n, stack.hierarchy.get());
-      finish(r, payload, kSectionHier);
+      finish(r, s);
     }
   }
 
   {
-    const std::vector<std::uint8_t> payload =
-        section_payload(bytes, find(kSectionScaleFree));
-    if (!payload.empty()) {
-      BitReader r(payload);
+    const SnapshotSection& s = find(kSectionScaleFree);
+    if (s.size != 0) {
+      BitReader r = reader(s);
       stack.sf = SnapshotAccess::decode_scale_free(r, n, stack.hierarchy.get());
-      finish(r, payload, kSectionScaleFree);
+      finish(r, s);
     }
   }
 
   {
-    const std::vector<std::uint8_t> payload =
-        section_payload(bytes, find(kSectionSimple));
-    if (!payload.empty()) {
+    const SnapshotSection& s = find(kSectionSimple);
+    if (s.size != 0) {
       if (!stack.hier) corrupt("ni-simple requires labeled-hierarchical");
-      BitReader r(payload);
+      BitReader r = reader(s);
       stack.simple = SnapshotAccess::decode_simple(
           r, n, stack.hierarchy.get(), stack.naming.get(), stack.hier.get());
-      finish(r, payload, kSectionSimple);
+      finish(r, s);
     }
   }
 
   {
-    const std::vector<std::uint8_t> payload =
-        section_payload(bytes, find(kSectionSfni));
-    if (!payload.empty()) {
+    const SnapshotSection& s = find(kSectionSfni);
+    if (s.size != 0) {
       if (!stack.sf) corrupt("ni-scale-free requires labeled-scale-free");
-      BitReader r(payload);
+      BitReader r = reader(s);
       stack.sfni = SnapshotAccess::decode_sfni(
           r, n, stack.hierarchy.get(), stack.naming.get(), stack.sf.get());
-      finish(r, payload, kSectionSfni);
+      finish(r, s);
     }
   }
 
@@ -1072,9 +1068,9 @@ SnapshotStack decode_snapshot_impl(const std::vector<std::uint8_t>& bytes) {
 
 }  // namespace
 
-SnapshotStack decode_snapshot(const std::vector<std::uint8_t>& bytes) {
+SnapshotStack decode_snapshot(const std::uint8_t* data, std::size_t size) {
   try {
-    return decode_snapshot_impl(bytes);
+    return decode_snapshot_impl(data, size);
   } catch (const SnapshotError&) {
     throw;
   } catch (const std::exception& e) {
@@ -1083,6 +1079,10 @@ SnapshotStack decode_snapshot(const std::vector<std::uint8_t>& bytes) {
     // loader error, never as a crash.
     throw SnapshotError(std::string("corrupt snapshot: ") + e.what());
   }
+}
+
+SnapshotStack decode_snapshot(const std::vector<std::uint8_t>& bytes) {
+  return decode_snapshot(bytes.data(), bytes.size());
 }
 
 void write_snapshot_file(const std::string& path,

@@ -98,6 +98,12 @@ std::vector<std::uint8_t> encode_snapshot(
 /// Parses and validates a snapshot; throws SnapshotError on any defect.
 SnapshotStack decode_snapshot(const std::vector<std::uint8_t>& bytes);
 
+/// Borrowed-buffer form: decodes straight out of `[data, data + size)` with no
+/// per-section payload copies — the zero-copy path for mmap'd snapshot files
+/// (io/snapshot_mmap.hpp). The buffer must stay alive and unchanged for the
+/// duration of the call only; the returned stack owns all of its storage.
+SnapshotStack decode_snapshot(const std::uint8_t* data, std::size_t size);
+
 class BitWriter;
 
 /// Streams a snapshot to disk section by section, in the fixed container
@@ -160,6 +166,10 @@ struct SnapshotSection {
 /// exact size tiling) and returns the section table; throws SnapshotError.
 std::vector<SnapshotSection> snapshot_directory(
     const std::vector<std::uint8_t>& bytes);
+
+/// Borrowed-buffer form of snapshot_directory, for mapped files.
+std::vector<SnapshotSection> snapshot_directory(const std::uint8_t* data,
+                                                std::size_t size);
 
 /// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `size` bytes.
 std::uint32_t snapshot_crc32(const std::uint8_t* data, std::size_t size);

@@ -8,6 +8,11 @@
 #include <immintrin.h>
 #endif
 
+#if defined(__linux__)
+#include <sys/mman.h>
+#include <unistd.h>
+#endif
+
 #include "labeled/hierarchical_labeled.hpp"
 #include "labeled/scale_free_labeled.hpp"
 #include "nameind/scale_free_nameind.hpp"
@@ -444,7 +449,74 @@ std::shared_ptr<const HopArena> HopArena::build(
   }
 
   CR_OBS_ADD("arena.bytes", a.memory_bytes());
+  a.advise_hot();
   return arena;
+}
+
+namespace {
+
+/// madvise the page-aligned interior of one slab allocation. Slabs are
+/// 64-byte aligned, not page aligned, so round the start up and the end down;
+/// sub-page slabs are skipped (nothing addressable at page granularity).
+void advise_slab_range(const void* p, std::size_t bytes) {
+#if defined(__linux__)
+  static const std::size_t page =
+      static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  const std::uintptr_t raw = reinterpret_cast<std::uintptr_t>(p);
+  const std::uintptr_t lo = (raw + page - 1) & ~(page - 1);
+  const std::uintptr_t hi = (raw + bytes) & ~(page - 1);
+  if (hi <= lo) return;
+  void* base = reinterpret_cast<void*>(lo);
+  const std::size_t len = hi - lo;
+  (void)::madvise(base, len, MADV_WILLNEED);
+#if defined(MADV_HUGEPAGE)
+  if (len >= (std::size_t{2} << 20)) (void)::madvise(base, len, MADV_HUGEPAGE);
+#endif
+#else
+  (void)p;
+  (void)bytes;
+#endif
+}
+
+template <typename T>
+void advise_slab(const Slab<T>& slab) {
+  advise_slab_range(slab.data(), slab.size() * sizeof(T));
+}
+
+}  // namespace
+
+void HopArena::advise_hot() const {
+  // The rows every hop touches: ring SoA lanes, the tree bank's descent
+  // arrays, and the scale-free router/chain rows. Offset tables are tiny and
+  // ride along with their data pages; the remaining bookkeeping slabs are
+  // cold enough to leave to demand paging.
+  advise_slab(leaf_label);
+  advise_slab(name_of);
+  advise_slab(hier.lo);
+  advise_slab(hier.hi);
+  advise_slab(hier.next);
+  advise_slab(hier.x);
+  advise_slab(sf.lo);
+  advise_slab(sf.hi);
+  advise_slab(sf.next);
+  advise_slab(sf.x);
+  advise_slab(sf.dist);
+  advise_slab(sf.level);
+  advise_slab(sf.rt_global);
+  advise_slab(sf.rt_parent_global);
+  advise_slab(sf.rt_dfs_in);
+  advise_slab(sf.rt_dfs_out);
+  advise_slab(sf.chain_target);
+  advise_slab(sf.chain_hop);
+  advise_slab(trees.global);
+  advise_slab(trees.parent_global);
+  advise_slab(trees.child_lo);
+  advise_slab(trees.child_hi);
+  advise_slab(trees.child_global);
+  advise_slab(trees.chunk_key);
+  advise_slab(trees.chunk_data);
+  advise_slab(trees.lookup_global);
+  advise_slab(trees.lookup_row);
 }
 
 std::size_t HopArena::memory_bytes() const {

@@ -247,6 +247,13 @@ class HopArena {
 
   /// Total slab bytes (diagnostics / memory accounting).
   std::size_t memory_bytes() const;
+
+  /// madvise the big hot slabs (ring rows, tree bank, router rows) as
+  /// WILLNEED — and HUGEPAGE where large enough for THP to apply — so a
+  /// freshly compiled arena is paged in before the first request hits it
+  /// rather than faulting down the serve path. Called by build(); a no-op off
+  /// Linux. Purely advisory: failures are ignored.
+  void advise_hot() const;
 };
 
 inline std::uint32_t HopArena::TreeBank::locate(std::int32_t t,

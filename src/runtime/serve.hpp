@@ -93,10 +93,11 @@ std::uint64_t serve_one(const CsrGraph& csr, const HopScheme& scheme,
                         const ServeRequest& request, std::size_t max_hops,
                         std::size_t* hops, bool* delivered);
 
-/// Registers the serving-surface metrics the upcoming server will bump
-/// (queue depth/shed/enqueue counters, epoch swaps) in the calling thread's
-/// shard, so scrapes and the Prometheus exposition surface them at zero from
-/// process start. No-op under CR_OBS_DISABLED.
+/// Registers the serving-surface metrics runtime/server bumps — the
+/// serve.queue.{depth,enqueued,shed} queue counters and serve.epoch.swaps
+/// (see Server::submit/pump/publish) — in the calling thread's shard, so
+/// scrapes and the Prometheus exposition surface them at zero from process
+/// start even before any request arrives. No-op under CR_OBS_DISABLED.
 void preregister_serving_metrics();
 
 }  // namespace compactroute

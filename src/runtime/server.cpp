@@ -1,0 +1,399 @@
+#include "runtime/server.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "core/check.hpp"
+#include "core/parallel.hpp"
+#include "core/prng.hpp"
+#include "nets/rnet.hpp"
+#include "obs/metrics.hpp"
+#include "routing/naming.hpp"
+#include "runtime/hop_hierarchical.hpp"
+#include "runtime/hop_scale_free.hpp"
+#include "runtime/hop_scale_free_ni.hpp"
+#include "runtime/hop_simple_ni.hpp"
+#include "runtime/serve.hpp"
+
+namespace compactroute {
+
+namespace {
+
+// serve_batch's request-index mixer (splitmix64 finalizer) — same constants,
+// so delivered_digest over a full un-shed batch equals the batch fingerprint.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+
+/// Seed of the fixed per-epoch self-audit batch. The batch is a function of
+/// (seed, scheme, n) only, so the same snapshot loaded twice — or audited at
+/// load time and again mid-flip — serves identical requests.
+constexpr std::uint64_t kSelfAuditSeed = 0x5e1fa0d1;
+constexpr std::size_t kSelfAuditRequests = 32;
+
+double now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::atomic<std::size_t> g_epochs_alive{0};
+
+/// Pin-for-scope guard: exceptions thrown out of a serve must not leak the
+/// grace count, or the epoch would never retire.
+class EpochPin {
+ public:
+  explicit EpochPin(ServerEpoch& epoch) : epoch_(epoch) { epoch_.pin(); }
+  ~EpochPin() { epoch_.unpin(); }
+  EpochPin(const EpochPin&) = delete;
+  EpochPin& operator=(const EpochPin&) = delete;
+
+ private:
+  ServerEpoch& epoch_;
+};
+
+}  // namespace
+
+const char* serve_scheme_name(ServeScheme scheme) {
+  switch (scheme) {
+    case ServeScheme::kHierarchical: return "labeled-hierarchical";
+    case ServeScheme::kScaleFree: return "labeled-scale-free";
+    case ServeScheme::kSimpleNi: return "ni-simple";
+    case ServeScheme::kScaleFreeNi: return "ni-scale-free";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------- ServerEpoch
+
+std::shared_ptr<ServerEpoch> ServerEpoch::load(const std::string& path,
+                                               bool use_mmap,
+                                               std::uint64_t id) {
+  using Clock = std::chrono::steady_clock;
+  auto epoch = std::shared_ptr<ServerEpoch>(new ServerEpoch());
+  epoch->id_ = id;
+
+  const auto t0 = Clock::now();
+  if (use_mmap) {
+    epoch->mapping_.emplace(path);
+    epoch->load_info_.file_bytes = epoch->mapping_->size();
+    epoch->stack_ = epoch->mapping_->decode();
+  } else {
+    const std::vector<std::uint8_t> bytes = read_snapshot_file(path);
+    epoch->load_info_.file_bytes = bytes.size();
+    epoch->stack_ = decode_snapshot(bytes);
+  }
+  const auto t1 = Clock::now();
+  epoch->load_info_.used_mmap = use_mmap;
+  epoch->load_info_.load_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+
+  epoch->compile();
+  return epoch;
+}
+
+std::shared_ptr<ServerEpoch> ServerEpoch::adopt(SnapshotStack stack,
+                                                std::uint64_t id) {
+  auto epoch = std::shared_ptr<ServerEpoch>(new ServerEpoch());
+  epoch->id_ = id;
+  epoch->stack_ = std::move(stack);
+  epoch->compile();
+  return epoch;
+}
+
+void ServerEpoch::compile() {
+  using Clock = std::chrono::steady_clock;
+  const auto t0 = Clock::now();
+  arena_ = stack_.build_arena();
+  if (stack_.hier) {
+    hier_ = std::make_unique<HierarchicalHopScheme>(*stack_.hier, arena_);
+  }
+  if (stack_.sf) {
+    sf_ = std::make_unique<ScaleFreeHopScheme>(*stack_.sf, arena_);
+  }
+  if (stack_.simple) {
+    simple_ = std::make_unique<SimpleNameIndependentHopScheme>(
+        *stack_.simple, *stack_.hier, arena_);
+  }
+  if (stack_.sfni) {
+    sfni_ = std::make_unique<ScaleFreeNameIndependentHopScheme>(
+        *stack_.sfni, *stack_.sf, arena_);
+  }
+  load_info_.arena_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  self_fingerprint_ = compute_self_fingerprint();
+  g_epochs_alive.fetch_add(1, std::memory_order_relaxed);
+  counted_alive_ = true;
+}
+
+ServerEpoch::~ServerEpoch() {
+  // The grace invariant: destruction (and with it the munmap of mapping_)
+  // must only happen once no request holds a pin. shared_ptr ownership makes
+  // premature destruction a bug in the pin protocol, not a race we tolerate.
+  CR_CHECK_MSG(in_flight_.load(std::memory_order_acquire) == 0,
+               "epoch destroyed with requests in flight");
+  if (counted_alive_) g_epochs_alive.fetch_sub(1, std::memory_order_relaxed);
+}
+
+std::size_t ServerEpoch::alive() {
+  return g_epochs_alive.load(std::memory_order_relaxed);
+}
+
+bool ServerEpoch::has(ServeScheme scheme) const {
+  switch (scheme) {
+    case ServeScheme::kHierarchical: return hier_ != nullptr;
+    case ServeScheme::kScaleFree: return sf_ != nullptr;
+    case ServeScheme::kSimpleNi: return simple_ != nullptr;
+    case ServeScheme::kScaleFreeNi: return sfni_ != nullptr;
+  }
+  return false;
+}
+
+std::uint64_t ServerEpoch::dest_key(ServeScheme scheme, NodeId dest) const {
+  CR_CHECK(dest < stack_.n);
+  switch (scheme) {
+    case ServeScheme::kHierarchical:
+    case ServeScheme::kScaleFree:
+      return std::uint64_t{stack_.hierarchy->leaf_label(dest)};
+    case ServeScheme::kSimpleNi:
+    case ServeScheme::kScaleFreeNi:
+      return stack_.naming->name_of(dest);
+  }
+  CR_CHECK_MSG(false, "unknown serve scheme");
+  return 0;
+}
+
+std::uint64_t ServerEpoch::serve(const ServerRequest& request,
+                                 std::size_t max_hops,
+                                 std::size_t* hops) const {
+  CR_CHECK_MSG(has(request.scheme), "request for a scheme this epoch lacks");
+  const HopScheme* scheme = nullptr;
+  switch (request.scheme) {
+    case ServeScheme::kHierarchical: scheme = hier_.get(); break;
+    case ServeScheme::kScaleFree: scheme = sf_.get(); break;
+    case ServeScheme::kSimpleNi: scheme = simple_.get(); break;
+    case ServeScheme::kScaleFreeNi: scheme = sfni_.get(); break;
+  }
+  const std::size_t budget =
+      max_hops != 0 ? max_hops : 64 * stack_.n + 1024;
+  ServeRequest one;
+  one.src = request.src;
+  one.dest_key = dest_key(request.scheme, request.dest);
+  bool delivered = false;
+  const std::uint64_t fp =
+      serve_one(stack_.csr, *scheme, one, budget, hops, &delivered);
+  CR_CHECK(delivered);
+  return fp;
+}
+
+std::uint64_t ServerEpoch::compute_self_fingerprint() const {
+  // A deterministic mixed-scheme batch over this epoch's own tables, served
+  // sequentially (publish() runs this mid-flip; keeping it off the Executor
+  // avoids contending with a concurrent pump's parallel region).
+  std::uint64_t digest = 0;
+  std::size_t k = 0;
+  for (std::size_t s = 0; s < kNumServeSchemes; ++s) {
+    const ServeScheme scheme = static_cast<ServeScheme>(s);
+    if (!has(scheme)) continue;
+    Prng prng = Prng::split(kSelfAuditSeed, s);
+    for (std::size_t i = 0; i < kSelfAuditRequests; ++i, ++k) {
+      ServerRequest request;
+      request.scheme = scheme;
+      request.src = static_cast<NodeId>(prng.next_below(stack_.n));
+      NodeId dest = static_cast<NodeId>(prng.next_below(stack_.n - 1));
+      if (dest >= request.src) ++dest;
+      request.dest = dest;
+      const std::uint64_t fp = serve(request, 0, nullptr);
+      digest ^= mix64(fp + kGolden * (k + 1));
+    }
+  }
+  return digest;
+}
+
+// --------------------------------------------------------------------- Server
+
+Server::Server(const ServerOptions& options) : options_(options) {
+  CR_CHECK_MSG(options_.queue_depth > 0, "queue depth must be positive");
+  const std::size_t count =
+      options_.shards != 0 ? options_.shards : Executor::global().workers();
+  shards_.reserve(count);
+  for (std::size_t s = 0; s < count; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->ring.reserve(options_.queue_depth);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+Server::~Server() { stop(); }
+
+std::shared_ptr<ServerEpoch> Server::publish(
+    std::shared_ptr<ServerEpoch> epoch) {
+  CR_CHECK_MSG(epoch != nullptr, "cannot publish a null epoch");
+  // Audit the incoming stack before any request can route on it, and the
+  // outgoing one after its final requests were issued: both must still serve
+  // their load-time fingerprints, or tables were torn somewhere.
+  CR_CHECK_MSG(epoch->audit(), "incoming epoch failed its serve audit");
+  std::shared_ptr<ServerEpoch> previous;
+  {
+    std::lock_guard<std::mutex> lock(epoch_mu_);
+    previous = std::move(epoch_);
+    epoch_ = std::move(epoch);
+  }
+  if (previous) {
+    CR_CHECK_MSG(previous->audit(), "outgoing epoch failed its serve audit");
+  }
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+  CR_OBS_COUNT("serve.epoch.swaps");
+  return previous;
+}
+
+std::shared_ptr<ServerEpoch> Server::current() const {
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  return epoch_;
+}
+
+bool Server::submit(const ServerRequest& request, std::uint64_t id) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = *shards_[id % shards_.size()];
+  {
+    std::unique_lock<std::mutex> lock(shard.mu);
+    for (;;) {
+      if (stopped_.load(std::memory_order_acquire)) break;
+      if (shard.ring.size() < options_.queue_depth) {
+        Entry entry;
+        entry.request = request;
+        entry.id = id;
+        entry.submit_ts_us = options_.collect_latencies ? now_us() : 0;
+        shard.ring.push_back(entry);
+        enqueued_.fetch_add(1, std::memory_order_relaxed);
+        CR_OBS_COUNT("serve.queue.enqueued");
+        return true;
+      }
+      if (!options_.backpressure) break;
+      shard.room.wait(lock);
+    }
+  }
+  shed_.fetch_add(1, std::memory_order_relaxed);
+  CR_OBS_COUNT("serve.queue.shed");
+  return false;
+}
+
+std::size_t Server::pump(std::vector<ServerResult>& results) {
+  const std::size_t num_shards = shards_.size();
+  // Exactly-once drain: each shard's ring moves wholesale into pump-local
+  // scratch under the shard lock; concurrent pumps therefore partition the
+  // queued requests between them.
+  std::vector<std::vector<Entry>> scratch(num_shards);
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.ring.empty()) continue;
+    scratch[s].swap(shard.ring);
+    shard.ring.reserve(options_.queue_depth);
+    total += scratch[s].size();
+    shard.room.notify_all();
+  }
+  if (total == 0) return 0;
+  // Monotone time-integral proxy for instantaneous depth: every pump adds
+  // the occupancy it observed, so depth-per-pump is recoverable from two
+  // scrapes (DESIGN.md §12).
+  CR_OBS_ADD("serve.queue.depth", total);
+
+  parallel_for("server.pump", num_shards, 1, [&](std::size_t first,
+                                                 std::size_t last) {
+    for (std::size_t s = first; s < last; ++s) {
+      const std::vector<Entry>& entries = scratch[s];
+      if (entries.empty()) continue;
+      // One epoch pin per shard chunk: every request drained here serves
+      // under the same tables, even if a publish lands mid-chunk.
+      const std::shared_ptr<ServerEpoch> epoch = current();
+      CR_CHECK_MSG(epoch != nullptr, "pump with no published epoch");
+      EpochPin pin(*epoch);
+#ifndef CR_OBS_DISABLED
+      obs::LogHistogram* latency_hist =
+          options_.collect_latencies
+              ? &obs::local_registry().log_histogram("serve.latency_us", 1e-2,
+                                                     1e7, 16)
+              : nullptr;
+#endif
+      for (const Entry& entry : entries) {
+        CR_CHECK_MSG(entry.id < results.size(),
+                     "result slot out of range for request id");
+        std::size_t hops = 0;
+        const std::uint64_t fp =
+            epoch->serve(entry.request, options_.max_hops, &hops);
+        ServerResult& slot = results[entry.id];
+        slot.fingerprint = fp;
+        slot.epoch = epoch->id();
+        slot.hops = static_cast<std::uint32_t>(hops);
+        if (options_.collect_latencies) {
+          slot.latency_us = now_us() - entry.submit_ts_us;
+#ifndef CR_OBS_DISABLED
+          latency_hist->record(slot.latency_us);
+#endif
+        }
+        slot.status.store(ServeStatus::kDelivered, std::memory_order_release);
+      }
+    }
+  });
+  served_.fetch_add(total, std::memory_order_relaxed);
+  return total;
+}
+
+std::size_t Server::drain(std::vector<ServerResult>& results) {
+  std::size_t total = 0;
+  for (;;) {
+    const std::size_t served = pump(results);
+    if (served == 0 && queued() == 0) break;
+    total += served;
+  }
+  return total;
+}
+
+void Server::stop() {
+  stopped_.store(true, std::memory_order_release);
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->room.notify_all();
+  }
+}
+
+std::size_t Server::queued() const {
+  std::size_t total = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->ring.size();
+  }
+  return total;
+}
+
+ServerCounters Server::counters() const {
+  ServerCounters c;
+  c.submitted = submitted_.load(std::memory_order_relaxed);
+  c.enqueued = enqueued_.load(std::memory_order_relaxed);
+  c.shed = shed_.load(std::memory_order_relaxed);
+  c.served = served_.load(std::memory_order_relaxed);
+  c.swaps = swaps_.load(std::memory_order_relaxed);
+  return c;
+}
+
+std::uint64_t Server::delivered_digest(
+    const std::vector<ServerResult>& results) {
+  std::uint64_t digest = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (results[i].status.load(std::memory_order_acquire) !=
+        ServeStatus::kDelivered) {
+      continue;
+    }
+    digest ^= mix64(results[i].fingerprint + kGolden * (i + 1));
+  }
+  return digest;
+}
+
+}  // namespace compactroute

@@ -18,7 +18,11 @@
 #include "gen/generators.hpp"
 #include "graph/csr.hpp"
 #include "graph/metric.hpp"
+#include "io/snapshot.hpp"
 #include "labeled/hierarchical_labeled.hpp"
+#include "labeled/scale_free_labeled.hpp"
+#include "nameind/scale_free_nameind.hpp"
+#include "nameind/simple_nameind.hpp"
 #include "nets/rnet.hpp"
 #include "obs/exposition.hpp"
 #include "obs/flight_recorder.hpp"
@@ -26,8 +30,10 @@
 #include "obs/metrics.hpp"
 #include "obs/sharded.hpp"
 #include "obs/spans.hpp"
+#include "routing/naming.hpp"
 #include "runtime/hop_hierarchical.hpp"
 #include "runtime/serve.hpp"
+#include "runtime/server.hpp"
 #include "test_util.hpp"
 
 namespace compactroute {
@@ -514,6 +520,55 @@ TEST(ServeInstrumentation, PreregisteredServingMetricsVisibleAtZero) {
   // The Prometheus page carries them too, pinned at zero.
   const std::string prom = obs::registry_to_prometheus(*scraped);
   EXPECT_NE(prom.find("cr_serve_queue_shed_total 0"), std::string::npos);
+}
+
+// The preregistered queue/epoch metrics move once runtime/server actually
+// runs: a reload cycle (submit a shedding burst, pump, publish twice) must
+// leave every serving-surface counter nonzero in the scrape.
+TEST(ServeInstrumentation, ServerReloadCycleBumpsQueueAndEpochCounters) {
+  Executor::global().set_workers(1);
+  obs::reset_global();
+  preregister_serving_metrics();
+
+  const Graph graph = make_grid(8, 8);
+  const MetricSpace metric(graph);
+  const NetHierarchy hierarchy(metric);
+  const Naming naming = Naming::random(metric.n(), 4242);
+  const HierarchicalLabeledScheme hier(metric, hierarchy, 0.5);
+  const ScaleFreeLabeledScheme sf(metric, hierarchy, 0.5);
+  const SimpleNameIndependentScheme simple(metric, hierarchy, naming, hier, 0.5);
+  const ScaleFreeNameIndependentScheme sfni(metric, hierarchy, naming, sf, 0.5);
+  const std::vector<std::uint8_t> bytes = encode_snapshot(
+      metric, 0.5, hierarchy, naming, hier, sf, simple, sfni);
+
+  ServerOptions options;
+  options.queue_depth = 4;  // tiny on purpose: the burst below must shed
+  options.shards = 1;
+  Server server(options);
+  server.publish(ServerEpoch::adopt(decode_snapshot(bytes), 0));
+
+  std::vector<ServerResult> results(16);
+  ServerRequest request;
+  request.src = 0;
+  request.dest = 63;
+  std::size_t accepted = 0;
+  for (std::uint64_t id = 0; id < 16; ++id) {
+    if (server.submit(request, id)) ++accepted;
+  }
+  EXPECT_EQ(accepted, 4u);
+  server.drain(results);
+  server.publish(ServerEpoch::adopt(decode_snapshot(bytes), 1));
+
+  const auto scraped = obs::scrape_global();
+  const auto counter = [&](const char* name) {
+    return scraped->counters().at(name).value();
+  };
+  EXPECT_EQ(counter("serve.queue.enqueued"), 4u);
+  EXPECT_EQ(counter("serve.queue.shed"), 12u);
+  EXPECT_EQ(counter("serve.queue.depth"), 4u);  // one pump saw 4 queued
+  EXPECT_EQ(counter("serve.epoch.swaps"), 2u);
+  // Queue latency rides the shared serve.latency_us histogram.
+  EXPECT_EQ(scraped->log_histograms().at("serve.latency_us").count(), 4u);
 }
 
 TEST(ServeInstrumentation, SampledServeSpansAppearInTrace) {

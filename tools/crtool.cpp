@@ -19,6 +19,12 @@
 //   crtool load-info <snap>                     snapshot header + section table
 //   crtool serve <snap> [options]               replay route batches against a
 //                                               loaded snapshot (no metric)
+//   crtool server <snap> [<snap2>] [options]    long-running serving engine:
+//                                               mmap zero-copy epoch loads,
+//                                               bounded shard queues with
+//                                               shedding/backpressure, epoch
+//                                               hot-swap under load
+//                                               (--reload-every)
 //   crtool stats [<snap>] [options]             telemetry scrape: optionally
 //                                               serve a small batch, then emit
 //                                               the merged registry as
@@ -46,7 +52,12 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <future>
+#include <iostream>
 #include <memory>
+#include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -82,6 +93,7 @@
 #include "runtime/hop_scheme.hpp"
 #include "runtime/hop_simple_ni.hpp"
 #include "runtime/serve.hpp"
+#include "runtime/server.hpp"
 
 using namespace compactroute;
 
@@ -100,6 +112,7 @@ namespace {
                "  crtool build <graph> [eps] [build options]\n"
                "  crtool load-info <snap>\n"
                "  crtool serve <snap> [serve options]\n"
+               "  crtool server <snap> [<snap2>] [server options]\n"
                "  crtool stats [<snap>] [stats options]\n"
                "\n"
                "global options (anywhere on the command line; --opt=value\n"
@@ -164,6 +177,32 @@ namespace {
                "                       of stderr\n"
                "serve never touches the metric backend: routing uses only the\n"
                "tables restored from the snapshot.\n"
+               "\n"
+               "server options:\n"
+               "  --requests N         requests to push through the queues\n"
+               "                       (default 20000; caps --source)\n"
+               "  --source FILE|-      replay requests from FILE (or stdin):\n"
+               "                       one 'src dest scheme' triple per line,\n"
+               "                       scheme in {hier, sf, simple, sfni};\n"
+               "                       default is a seeded mixed-scheme batch\n"
+               "  --seed S             synthetic request seed (default 1)\n"
+               "  --reload-every N     hot-swap the serving epoch every N\n"
+               "                       requests; loads run on a background\n"
+               "                       thread, alternating <snap2> and <snap>\n"
+               "                       when both are given (default 0 = never)\n"
+               "  --queue-depth N      bounded ring capacity per shard\n"
+               "                       (default 1024)\n"
+               "  --shards N           request shards (default: one per\n"
+               "                       executor worker)\n"
+               "  --backpressure       block full-shard submits until a pump\n"
+               "                       drains room, instead of shedding\n"
+               "  --no-mmap            load epochs through the heap-read\n"
+               "                       decode path instead of mmap\n"
+               "  --out FILE           write the run summary as JSON\n"
+               "  --obs-out FILE       write the post-run telemetry scrape\n"
+               "server prints routes/s, p50/p99/p999 latency, shed and epoch-\n"
+               "swap counts, and the delivered-request digest; both epochs'\n"
+               "serve fingerprints are re-audited at every swap.\n"
                "\n"
                "stats options:\n"
                "  --pairs N            with a snapshot: serve N requests per\n"
@@ -1016,6 +1055,294 @@ int cmd_serve(std::vector<std::string> args) {
   return report.ok() && artifacts_ok ? 0 : 1;
 }
 
+/// `crtool server`: the long-running engine. Loads a snapshot as epoch 0
+/// (mmap zero-copy unless --no-mmap), then pushes a request stream — a seeded
+/// synthetic mixed-scheme batch, or a file/stdin replay — through the bounded
+/// shard queues, hot-swapping epochs every --reload-every requests (loads run
+/// on a background thread; the flip is one publish). Prints sustained
+/// throughput, latency percentiles, shed/swap counters, and the delivered-
+/// request digest (identical across runs that shed the same requests —
+/// the CI fingerprint gate compares a reloading run against a static one).
+int cmd_server(std::vector<std::string> args) {
+  std::string out_path;
+  std::string obs_out_path;
+  std::string source_path;
+  std::uint64_t requests = 20000;
+  std::uint64_t seed = 1;
+  std::uint64_t reload_every = 0;
+  std::uint64_t queue_depth = 1024;
+  std::uint64_t shards = 0;
+  bool backpressure = false;
+  bool use_mmap = true;
+  std::string value;
+  for (std::size_t i = 0; i < args.size();) {
+    if (take_option(args, i, "--requests", value)) {
+      requests = parse_u64(value, "--requests value");
+    } else if (take_option(args, i, "--seed", value)) {
+      seed = parse_u64(value, "--seed value");
+    } else if (take_option(args, i, "--reload-every", value)) {
+      reload_every = parse_u64(value, "--reload-every value");
+    } else if (take_option(args, i, "--queue-depth", value)) {
+      queue_depth = parse_u64(value, "--queue-depth value");
+    } else if (take_option(args, i, "--shards", value)) {
+      shards = parse_u64(value, "--shards value");
+    } else if (take_option(args, i, "--source", value)) {
+      source_path = value;
+    } else if (take_option(args, i, "--out", value)) {
+      out_path = value;
+    } else if (take_option(args, i, "--obs-out", value)) {
+      obs_out_path = value;
+    } else if (args[i] == "--backpressure") {
+      backpressure = true;
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
+    } else if (args[i] == "--no-mmap") {
+      use_mmap = false;
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+  if (args.empty()) usage();
+  if (queue_depth == 0) {
+    std::fprintf(stderr, "--queue-depth must be >= 1\n\n");
+    usage();
+  }
+  const std::string snap_a = args[0];
+  // With a second snapshot, reloads alternate A, B, A, ...; with one, every
+  // reload re-maps the same file (a fresh epoch object and mapping each time).
+  const std::string snap_b = args.size() > 1 ? args[1] : args[0];
+
+  preregister_serving_metrics();
+
+  ServerOptions options;
+  options.queue_depth = static_cast<std::size_t>(queue_depth);
+  options.shards = static_cast<std::size_t>(shards);
+  options.backpressure = backpressure;
+  Server server(options);
+
+  std::uint64_t next_epoch_id = 0;
+  const auto load_next = [&](std::uint64_t id) {
+    const std::string& path = (id % 2 == 1) ? snap_b : snap_a;
+    return ServerEpoch::load(path, use_mmap, id);
+  };
+  std::shared_ptr<ServerEpoch> first = load_next(next_epoch_id++);
+  const std::size_t n = first->n();
+  std::printf(
+      "server: %s (n = %zu), %s load %.2f ms + arena %.2f ms, "
+      "%zu shards x depth %llu, %s mode\n",
+      snap_a.c_str(), n, first->load_info().used_mmap ? "mmap" : "vector",
+      first->load_info().load_ms, first->load_info().arena_ms, server.shards(),
+      static_cast<unsigned long long>(queue_depth),
+      backpressure ? "backpressure" : "shedding");
+
+  // Request stream: schemes the first epoch serves (subset snapshots skip the
+  // absent ones). Both snapshots must agree on n and scheme set — enforced at
+  // each publish below.
+  std::vector<ServeScheme> mix;
+  for (std::size_t s = 0; s < kNumServeSchemes; ++s) {
+    if (first->has(static_cast<ServeScheme>(s))) {
+      mix.push_back(static_cast<ServeScheme>(s));
+    }
+  }
+  CR_CHECK_MSG(!mix.empty(), "snapshot serves no scheme");
+
+  std::vector<ServerRequest> stream;
+  if (!source_path.empty()) {
+    // File replay: one request per line, "src dest scheme" with scheme in
+    // {hier, sf, simple, sfni}; '-' replays stdin. --requests caps the count
+    // (0 = whole file).
+    std::ifstream file;
+    std::istream* in = &std::cin;
+    if (source_path != "-") {
+      file.open(source_path);
+      if (!file) {
+        std::fprintf(stderr, "cannot open request source %s\n",
+                     source_path.c_str());
+        return 1;
+      }
+      in = &file;
+    }
+    std::string line;
+    while (std::getline(*in, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      std::istringstream row(line);
+      std::uint64_t src = 0, dest = 0;
+      std::string scheme;
+      if (!(row >> src >> dest >> scheme) || src >= n || dest >= n) {
+        std::fprintf(stderr, "malformed request line: %s\n", line.c_str());
+        return 1;
+      }
+      ServerRequest request;
+      request.src = static_cast<NodeId>(src);
+      request.dest = static_cast<NodeId>(dest);
+      if (scheme == "hier") {
+        request.scheme = ServeScheme::kHierarchical;
+      } else if (scheme == "sf") {
+        request.scheme = ServeScheme::kScaleFree;
+      } else if (scheme == "simple") {
+        request.scheme = ServeScheme::kSimpleNi;
+      } else if (scheme == "sfni") {
+        request.scheme = ServeScheme::kScaleFreeNi;
+      } else {
+        std::fprintf(stderr, "unknown scheme '%s' in request line: %s\n",
+                     scheme.c_str(), line.c_str());
+        return 1;
+      }
+      stream.push_back(request);
+      if (requests != 0 && stream.size() >= requests) break;
+    }
+    if (stream.empty()) {
+      std::fprintf(stderr, "request source %s yielded no requests\n",
+                   source_path.c_str());
+      return 1;
+    }
+  } else {
+    if (requests == 0) {
+      std::fprintf(stderr, "--requests must be >= 1 without --source\n\n");
+      usage();
+    }
+    Prng prng(seed);
+    stream.resize(requests);
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      stream[i].scheme = mix[i % mix.size()];
+      stream[i].src = static_cast<NodeId>(prng.next_below(n));
+      NodeId dest = static_cast<NodeId>(prng.next_below(n - 1));
+      if (dest >= stream[i].src) ++dest;
+      stream[i].dest = dest;
+    }
+  }
+
+  server.publish(std::move(first));
+
+  // Offered load: waves of one full queue capacity, pumped between waves.
+  // Epoch reloads run on a background thread (std::async) while requests keep
+  // flowing; the publish lands as soon as the load completes.
+  const std::size_t total = stream.size();
+  std::vector<ServerResult> results(total);
+  const std::size_t capacity =
+      server.shards() * static_cast<std::size_t>(queue_depth);
+  std::future<std::shared_ptr<ServerEpoch>> pending;
+  std::uint64_t next_reload_at = reload_every != 0 ? reload_every : ~0ULL;
+
+  using Clock = std::chrono::steady_clock;
+  const auto t0 = Clock::now();
+  std::size_t submitted = 0;
+  while (submitted < total) {
+    const std::size_t wave = std::min(capacity, total - submitted);
+    for (std::size_t i = 0; i < wave; ++i, ++submitted) {
+      server.submit(stream[submitted], submitted);
+    }
+    server.pump(results);
+    if (submitted >= next_reload_at) {
+      // One reload per boundary, guaranteed: if the previous background load
+      // is still in flight at the next boundary, wait for it here rather
+      // than skip the cycle — the swap cadence (and the epoch_swaps counter
+      // the CI soak gates on) is then a deterministic function of
+      // --reload-every, while requests still flow during the load whenever
+      // it finishes faster than a cycle.
+      if (pending.valid()) {
+        std::shared_ptr<ServerEpoch> next = pending.get();
+        CR_CHECK_MSG(next->n() == n, "reload snapshot changed node count");
+        server.publish(std::move(next));
+      }
+      const std::uint64_t id = next_epoch_id++;
+      pending = std::async(std::launch::async, load_next, id);
+      next_reload_at += reload_every;
+    }
+    if (pending.valid() &&
+        pending.wait_for(std::chrono::seconds(0)) ==
+            std::future_status::ready) {
+      std::shared_ptr<ServerEpoch> next = pending.get();
+      CR_CHECK_MSG(next->n() == n, "reload snapshot changed node count");
+      server.publish(std::move(next));
+    }
+  }
+  server.drain(results);
+  if (pending.valid()) {
+    // A load still in flight at stream end: publish it anyway so the swap
+    // counter reflects every initiated reload, then retire immediately.
+    server.publish(pending.get());
+  }
+  const double elapsed_s =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  server.stop();
+
+  const ServerCounters counters = server.counters();
+  std::vector<double> latencies;
+  latencies.reserve(total);
+  std::set<std::uint64_t> epochs_seen;
+  for (const ServerResult& r : results) {
+    if (r.status != ServeStatus::kDelivered) continue;
+    latencies.push_back(r.latency_us);
+    epochs_seen.insert(r.epoch);
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const auto pct = [&](double q) {
+    if (latencies.empty()) return 0.0;
+    const double rank = q * static_cast<double>(latencies.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, latencies.size() - 1);
+    return latencies[lo] + (latencies[hi] - latencies[lo]) *
+                               (rank - static_cast<double>(lo));
+  };
+  const std::uint64_t digest = Server::delivered_digest(results);
+  const double routes_per_sec =
+      elapsed_s > 0 ? static_cast<double>(counters.served) / elapsed_s : 0;
+
+  std::printf("\n%-12s %12llu\n", "submitted",
+              static_cast<unsigned long long>(counters.submitted));
+  std::printf("%-12s %12llu\n", "served",
+              static_cast<unsigned long long>(counters.served));
+  std::printf("%-12s %12llu\n", "shed",
+              static_cast<unsigned long long>(counters.shed));
+  std::printf("%-12s %12llu\n", "epoch swaps",
+              static_cast<unsigned long long>(counters.swaps));
+  std::printf("%-12s %12zu\n", "epochs used", epochs_seen.size());
+  std::printf("%-12s %12.0f\n", "routes/s", routes_per_sec);
+  std::printf("%-12s %12.2f\n", "p50 us", pct(0.50));
+  std::printf("%-12s %12.2f\n", "p99 us", pct(0.99));
+  std::printf("%-12s %12.2f\n", "p999 us", pct(0.999));
+  std::printf("%-12s %#12llx\n", "digest",
+              static_cast<unsigned long long>(digest));
+
+  bool artifacts_ok = true;
+  if (!out_path.empty()) {
+    obs::JsonValue doc = obs::JsonValue::object();
+    doc["bench"] = std::string("server");
+    doc["snapshot"] = snap_a;
+    if (snap_b != snap_a) doc["snapshot_b"] = snap_b;
+    doc["n"] = static_cast<std::uint64_t>(n);
+    doc["requests"] = static_cast<std::uint64_t>(total);
+    doc["seed"] = seed;
+    doc["mmap"] = use_mmap;
+    doc["backpressure"] = backpressure;
+    doc["queue_depth"] = queue_depth;
+    doc["shards"] = static_cast<std::uint64_t>(server.shards());
+    doc["reload_every"] = reload_every;
+    doc["submitted"] = counters.submitted;
+    doc["served"] = counters.served;
+    doc["shed"] = counters.shed;
+    doc["epoch_swaps"] = counters.swaps;
+    doc["epochs_used"] = static_cast<std::uint64_t>(epochs_seen.size());
+    doc["elapsed_s"] = elapsed_s;
+    doc["routes_per_sec"] = routes_per_sec;
+    doc["p50_us"] = pct(0.50);
+    doc["p99_us"] = pct(0.99);
+    doc["p999_us"] = pct(0.999);
+    // Hex string: a 64-bit digest emitted as a JSON number would round
+    // through double and break exact comparison (the CI fingerprint gate).
+    std::ostringstream hex;
+    hex << "0x" << std::hex << digest;
+    doc["digest"] = hex.str();
+    artifacts_ok &= write_output_file(out_path, doc.dump(2) + "\n");
+  }
+  if (!obs_out_path.empty()) {
+    artifacts_ok &=
+        write_output_file(obs_out_path, scrape_to_json_doc().dump(2) + "\n");
+  }
+  return artifacts_ok ? 0 : 1;
+}
+
 int cmd_stats(std::vector<std::string> args) {
   std::string format = "prom";
   std::string out_path;
@@ -1167,6 +1494,7 @@ int main(int argc, char** argv) {
     if (command == "build") return cmd_build(args);
     if (command == "load-info") return cmd_load_info(args);
     if (command == "serve") return cmd_serve(args);
+    if (command == "server") return cmd_server(args);
     if (command == "stats") return cmd_stats(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

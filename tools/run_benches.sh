@@ -42,9 +42,25 @@ for json in BENCH_*.json; do
   cp "$json" "$artifact_dir/"
 done
 
-# The serving numbers are the repo's headline (EXPERIMENTS.md E10); keep the
-# latest run visible at the repo root alongside the docs that cite it.
+# The serving numbers are the repo's headline (EXPERIMENTS.md E10/E11); keep
+# the latest run visible at the repo root alongside the docs that cite it,
+# and require the E11 hot-swap table (fingerprint-stable reload cycles, plus
+# the shed curve and the vector-vs-mmap load comparison) to be present.
 if [ -e BENCH_serving.json ]; then
+  python3 - <<'EOF'
+import json
+doc = json.load(open("BENCH_serving.json"))
+hot = doc["hot_swap"]
+assert hot["swaps"] == hot["cycles"] >= 8, hot
+assert hot["fingerprints_stable"] is True
+assert hot["requests"] > 0 and hot["routes_per_sec"] > 0
+assert hot["p999_us"] >= hot["p99_us"] >= 0
+assert doc["load_ms_mmap"] > 0 and doc["load_ms_vector"] > 0
+curve = doc["shed_curve"]
+assert len(curve) >= 5
+assert curve[0]["shed"] == 0          # under capacity: nothing sheds
+assert curve[-1]["shed_rate"] > 0.5   # 8x overload: most of the burst sheds
+EOF
   cp BENCH_serving.json "$repo_root/BENCH_serving.json"
 fi
 
