@@ -46,7 +46,8 @@ const char* backend_name(MetricBackendKind kind) {
 const std::vector<std::string>& campaign_families() {
   static const std::vector<std::string> families = {
       "grid", "holes", "geometric", "tree",
-      "spider", "clusters", "cliques", "torus"};
+      "spider", "clusters", "cliques", "torus",
+      "powerlaw", "hyperbolic", "astopo"};
   return families;
 }
 
@@ -75,6 +76,11 @@ Graph make_campaign_instance(const std::string& family, std::size_t n_hint,
   }
   if (family == "cliques") {
     return make_ring_of_cliques(std::max<std::size_t>(3, n_hint / 8), 8, 4);
+  }
+  if (family == "powerlaw") return make_power_law(n_hint, 2, seed);
+  if (family == "hyperbolic") return make_hyperbolic_disk(n_hint, 0.75, 6.0, seed);
+  if (family == "astopo") {
+    return make_as_topology(n_hint, std::max<std::size_t>(4, n_hint / 8), seed);
   }
   CR_CHECK_MSG(false, "unknown campaign family: " + family);
   return Graph{};
@@ -409,6 +415,73 @@ obs::JsonValue campaign_report_json(const CampaignOptions& options,
   }
   doc["shrunk"] = std::move(shrunk);
   return doc;
+}
+
+std::vector<MinedPair> mine_worst_pairs(const Graph& graph,
+                                        const MineOptions& options) {
+  CR_CHECK(options.samples >= 1 && options.keep >= 1);
+  MetricOptions metric_options;
+  metric_options.backend = options.backend;
+  const MetricSpace metric(graph, metric_options);
+  const NetHierarchy hierarchy(metric);
+  const Naming naming = Naming::random(metric.n(), 4242);
+  const double eps_labeled = std::min(options.epsilon, 0.5);
+  const HierarchicalLabeledScheme hier(metric, hierarchy, eps_labeled);
+  const ScaleFreeLabeledScheme sf(metric, hierarchy, eps_labeled);
+  const SimpleNameIndependentScheme simple(metric, hierarchy, naming, hier,
+                                           options.epsilon);
+  const ScaleFreeNameIndependentScheme sfni(metric, hierarchy, naming, sf,
+                                            options.epsilon);
+
+  const std::size_t n = metric.n();
+  const auto route_for = [&](ServeScheme scheme, NodeId src, NodeId dst) {
+    switch (scheme) {
+      case ServeScheme::kHierarchical: return hier.route(src, hier.label(dst));
+      case ServeScheme::kScaleFree: return sf.route(src, sf.label(dst));
+      case ServeScheme::kSimpleNi:
+        return simple.route(src, naming.name_of(dst));
+      case ServeScheme::kScaleFreeNi:
+        return sfni.route(src, naming.name_of(dst));
+    }
+    CR_CHECK_MSG(false, "unknown serve scheme");
+    return RouteResult{};
+  };
+
+  // Serial on purpose: the mined set must be a pure function of (graph,
+  // options), and a few thousand routes per scheme are cheap enough that
+  // worker-count-independent chunking would buy nothing here.
+  std::vector<MinedPair> mined;
+  mined.reserve(options.samples * kNumServeSchemes);
+  for (std::size_t s = 0; s < kNumServeSchemes; ++s) {
+    const ServeScheme scheme = static_cast<ServeScheme>(s);
+    Prng prng = Prng::split(options.seed, s);
+    for (std::size_t i = 0; i < options.samples; ++i) {
+      const NodeId src = static_cast<NodeId>(prng.next_below(n));
+      NodeId dst = static_cast<NodeId>(prng.next_below(n - 1));
+      if (dst >= src) ++dst;
+      const Weight optimal = metric.dist(src, dst);
+      const RouteResult route = route_for(scheme, src, dst);
+      MinedPair pair;
+      pair.request.src = src;
+      pair.request.dest = dst;
+      pair.request.scheme = scheme;
+      pair.stretch = optimal > 0 ? route.cost / optimal : 1.0;
+      mined.push_back(pair);
+    }
+  }
+  std::sort(mined.begin(), mined.end(),
+            [](const MinedPair& a, const MinedPair& b) {
+              if (a.stretch != b.stretch) return a.stretch > b.stretch;
+              if (a.request.scheme != b.request.scheme) {
+                return a.request.scheme < b.request.scheme;
+              }
+              if (a.request.src != b.request.src) {
+                return a.request.src < b.request.src;
+              }
+              return a.request.dest < b.request.dest;
+            });
+  if (mined.size() > options.keep) mined.resize(options.keep);
+  return mined;
 }
 
 }  // namespace compactroute::audit

@@ -28,6 +28,7 @@
 #include "graph/graph.hpp"
 #include "graph/metric_backend.hpp"
 #include "obs/json_export.hpp"
+#include "runtime/server.hpp"
 
 namespace compactroute::audit {
 
@@ -119,6 +120,32 @@ Report run_audit_case(const CampaignCase& config, const Options& audit_options,
 
 /// Runs the sweep, then shrinks the first failure (when shrink is enabled).
 CampaignResult run_campaign(const CampaignOptions& options);
+
+/// One mined worst-stretch pair: a replayable server request plus the
+/// stretch the named scheme produced on it.
+struct MinedPair {
+  ServerRequest request;
+  double stretch = 1.0;
+};
+
+struct MineOptions {
+  /// Ordered (src, dest) pairs sampled per scheme.
+  std::size_t samples = 2000;
+  /// Worst pairs kept across all four schemes.
+  std::size_t keep = 64;
+  double epsilon = 0.5;
+  std::uint64_t seed = 1;
+  MetricBackendKind backend = MetricBackendKind::kDense;
+};
+
+/// Adversarial-traffic mining: builds the full four-scheme stack on `graph`,
+/// routes `samples` seeded pairs through every scheme, and returns the
+/// `keep` worst (stretch, scheme, src, dest) entries in descending-stretch
+/// order (ties toward the smaller scheme/src/dest, so the mined set is a
+/// pure function of the graph and options). The result feeds
+/// TrafficShape::kWorstPairs and `crtool server --source` replay files.
+std::vector<MinedPair> mine_worst_pairs(const Graph& graph,
+                                        const MineOptions& options);
 
 /// Machine-readable campaign report — the artifact CI uploads.
 obs::JsonValue campaign_report_json(const CampaignOptions& options,

@@ -139,6 +139,13 @@ Graph make_random_geometric(std::size_t n, int dim, std::size_t k,
   }
 
   // Stitch components via closest cross-component pairs.
+  stitch_components(graph, [&](NodeId a, NodeId b) { return euclid(a, b); });
+  return graph;
+}
+
+void stitch_components(Graph& graph,
+                       const std::function<Weight(NodeId, NodeId)>& distance) {
+  const std::size_t n = graph.num_nodes();
   while (!graph.is_connected()) {
     std::vector<int> component(n, -1);
     int num_components = 0;
@@ -158,20 +165,24 @@ Graph make_random_geometric(std::size_t n, int dim, std::size_t k,
       }
       ++num_components;
     }
-    double best = kInfiniteWeight;
-    NodeId bu = 0, bv = 0;
+    // Closest cross-component pair; ties broken by the smallest (u, v) so
+    // the stitched edge is a function of the point set, not of scan order.
+    Weight best = kInfiniteWeight;
+    NodeId bu = kInvalidNode, bv = kInvalidNode;
     for (NodeId u = 0; u < n; ++u) {
       for (NodeId v = u + 1; v < n; ++v) {
-        if (component[u] != component[v] && euclid(u, v) < best) {
-          best = euclid(u, v);
+        if (component[u] == component[v]) continue;
+        const Weight d = distance(u, v);
+        if (d < best || (d == best && (u < bu || (u == bu && v < bv)))) {
+          best = d;
           bu = u;
           bv = v;
         }
       }
     }
-    graph.add_edge(bu, bv, best);
+    CR_CHECK_MSG(bu != kInvalidNode, "disconnected graph with no cross pair");
+    graph.add_edge(bu, bv, std::max<Weight>(best, 1e-9));
   }
-  return graph;
 }
 
 Graph make_path(std::size_t n, Weight edge_weight) {
@@ -295,6 +306,140 @@ Graph make_cluster_hierarchy(std::size_t levels, std::size_t fanout, Weight spre
         for (std::size_t b = 0; b < fanout; ++b) build(lo + b * block, block, level - 1);
       };
   build(0, n, levels);
+  return graph;
+}
+
+namespace {
+
+/// Samples `want` distinct attachment targets for a newly arriving node from
+/// `endpoints` (one entry per half-edge, so sampling is degree-proportional),
+/// rejecting duplicates. Shared by the BA and AS-topology generators.
+std::vector<NodeId> preferential_targets(const std::vector<NodeId>& endpoints,
+                                         std::size_t want, Prng& prng) {
+  std::vector<NodeId> targets;
+  targets.reserve(want);
+  while (targets.size() < want) {
+    const NodeId pick = endpoints[prng.next_below(endpoints.size())];
+    if (std::find(targets.begin(), targets.end(), pick) == targets.end()) {
+      targets.push_back(pick);
+    }
+  }
+  return targets;
+}
+
+}  // namespace
+
+Graph make_power_law(std::size_t n, std::size_t edges_per_node,
+                     std::uint64_t seed) {
+  CR_CHECK(n >= 3 && edges_per_node >= 1 && edges_per_node < n);
+  Prng prng(seed);
+  Graph graph(n);
+  // Half-edge endpoint list: node u appears deg(u) times, so a uniform draw
+  // is a degree-proportional draw — the classic BA urn, no floats involved.
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(2 * n * edges_per_node);
+
+  // Seed core: a clique on the first edges_per_node + 1 nodes, so every
+  // early node has positive degree before preferential attachment starts.
+  const std::size_t core = std::min(n, edges_per_node + 1);
+  for (NodeId u = 0; u < core; ++u) {
+    for (NodeId v = u + 1; v < core; ++v) {
+      graph.add_edge(u, v, 1.0 + prng.next_double());
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  for (NodeId u = static_cast<NodeId>(core); u < n; ++u) {
+    const std::vector<NodeId> targets =
+        preferential_targets(endpoints, edges_per_node, prng);
+    for (const NodeId t : targets) {
+      graph.add_edge(u, t, 1.0 + prng.next_double());
+      endpoints.push_back(u);
+      endpoints.push_back(t);
+    }
+  }
+  return graph;
+}
+
+Graph make_hyperbolic_disk(std::size_t n, double alpha, double avg_degree,
+                           std::uint64_t seed) {
+  CR_CHECK(n >= 3 && alpha > 0 && avg_degree > 0 &&
+           avg_degree < static_cast<double>(n));
+  Prng prng(seed);
+  // Disk radius tuned so the expected degree lands near avg_degree for
+  // alpha ≈ 1 (Krioukov et al. 2010, eq. 22 heuristic); clamp away from 0
+  // for tiny n where the formula goes negative.
+  const double R =
+      std::max(1.0, 2.0 * std::log(8.0 * static_cast<double>(n) /
+                                   (3.14159265358979323846 * avg_degree)));
+  std::vector<double> r(n), theta(n);
+  const double cosh_alpha_r = std::cosh(alpha * R);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Inverse-CDF radial sample: density ~ sinh(alpha r) on [0, R].
+    const double u = prng.next_double();
+    r[i] = std::acosh(1.0 + (cosh_alpha_r - 1.0) * u) / alpha;
+    theta[i] = 2.0 * 3.14159265358979323846 * prng.next_double();
+  }
+  // Hyperbolic distance via the law of cosines; returning cosh(d) lets the
+  // connect test compare against cosh(R) without an acosh per pair.
+  const auto cosh_dist = [&](std::size_t a, std::size_t b) {
+    const double dt = std::cos(theta[a] - theta[b]);
+    const double c = std::cosh(r[a]) * std::cosh(r[b]) -
+                     std::sinh(r[a]) * std::sinh(r[b]) * dt;
+    return std::max(c, 1.0);  // numeric noise can dip below cosh(0) = 1
+  };
+  const auto hyp = [&](NodeId a, NodeId b) {
+    return std::max(std::acosh(cosh_dist(a, b)), 1e-9);
+  };
+
+  Graph graph(n);
+  const double cosh_R = std::cosh(R);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (cosh_dist(u, v) <= cosh_R) graph.add_edge(u, v, hyp(u, v));
+    }
+  }
+  stitch_components(graph, hyp);
+  return graph;
+}
+
+Graph make_as_topology(std::size_t n, std::size_t core, std::uint64_t seed) {
+  CR_CHECK(n >= 4 && core >= 3 && core < n);
+  Prng prng(seed);
+  Graph graph(n);
+  std::vector<NodeId> endpoints;
+
+  // Tier 1: dense core. A ring guarantees core connectivity; on top, every
+  // core pair gets a peering link with probability 1/2. Core links are the
+  // cheap, fat backbone: weights in [1, 2).
+  for (NodeId u = 0; u < core; ++u) {
+    const NodeId next = static_cast<NodeId>((u + 1) % core);
+    graph.add_edge(u, next, 1.0 + prng.next_double());
+    endpoints.push_back(u);
+    endpoints.push_back(next);
+  }
+  for (NodeId u = 0; u < core; ++u) {
+    for (NodeId v = u + 2; v < core; ++v) {
+      if ((u == 0 && v + 1 == core) || prng.next_below(2) != 0) continue;
+      graph.add_edge(u, v, 1.0 + prng.next_double());
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+
+  // Tier 2: stubs attach preferentially (degree-proportional, so early core
+  // hubs stay hubs) over heavier access links, weights in [2, 4); roughly a
+  // quarter of stubs dual-home for redundancy.
+  for (NodeId u = static_cast<NodeId>(core); u < n; ++u) {
+    const std::size_t links = 1 + (prng.next_below(4) == 0 ? 1 : 0);
+    const std::vector<NodeId> targets =
+        preferential_targets(endpoints, links, prng);
+    for (const NodeId t : targets) {
+      graph.add_edge(u, t, 2.0 + 2.0 * prng.next_double());
+      endpoints.push_back(u);
+      endpoints.push_back(t);
+    }
+  }
   return graph;
 }
 

@@ -15,8 +15,17 @@
 //                                   sparse regions side by side, the case
 //                                   that defeats plain grid hierarchies).
 //
+// Beyond the paper's own class, the Internet-like families (DESIGN.md §13)
+// probe what happens when the doubling assumption *breaks*: power-law
+// preferential attachment, hyperbolic disks, and a two-tier AS-style core/
+// stub topology — the graph classes of Krioukov–Fall–Yang and
+// Krioukov–claffy–Brady (PAPERS.md).
+//
+// Every generator is seed-deterministic and returns a connected graph.
+//
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 
 #include "graph/graph.hpp"
 
@@ -69,5 +78,38 @@ Graph make_torus(std::size_t width, std::size_t height);
 /// one-dimensional backbone — doubling, not growth-bounded.
 Graph make_ring_of_cliques(std::size_t num_cliques, std::size_t clique_size,
                            Weight bridge);
+
+/// Connects `graph` by repeatedly adding the closest cross-component pair
+/// under `distance` (which must be symmetric and positive). Ties are broken
+/// explicitly by the lexicographically smallest (u, v) pair among the
+/// minimum-distance candidates, so the result never depends on scan order.
+void stitch_components(Graph& graph,
+                       const std::function<Weight(NodeId, NodeId)>& distance);
+
+/// Barabási–Albert-style preferential attachment: nodes arrive one at a
+/// time and attach `edges_per_node` distinct edges to endpoints sampled
+/// proportionally to degree (degree distribution ~ k^-3). Edge weights are
+/// uniform in [1, 2), so any two-edge detour already costs more than any
+/// direct edge. Structure decisions use only integer Prng draws (no libm),
+/// so the topology is bit-stable across platforms. Connected by
+/// construction; unbounded doubling dimension as hubs grow.
+Graph make_power_law(std::size_t n, std::size_t edges_per_node,
+                     std::uint64_t seed);
+
+/// Hyperbolic random disk (Krioukov et al.): n points on a disk of radius
+/// R ≈ 2 ln(8n / (π·avg_degree)), radial density ~ sinh(alpha r), joined
+/// when their hyperbolic distance is at most R, with that distance as the
+/// edge weight. Degree distribution ~ k^-(2·alpha+1); alpha in (0.5, 1]
+/// gives Internet-like exponents in (2, 3]. Components are stitched via
+/// stitch_components under the same hyperbolic distance. O(n²) build.
+Graph make_hyperbolic_disk(std::size_t n, double alpha, double avg_degree,
+                           std::uint64_t seed);
+
+/// Two-tier AS-like topology: a dense random core of `core` nodes (ring
+/// plus ~half of all core pairs, weights in [1, 2)) and n - core stub nodes
+/// attaching preferentially to earlier nodes with heavier access links
+/// (weights in [2, 4)); ~1/4 of stubs are dual-homed. Connected by
+/// construction; hub-and-spoke like measured AS graphs.
+Graph make_as_topology(std::size_t n, std::size_t core, std::uint64_t seed);
 
 }  // namespace compactroute

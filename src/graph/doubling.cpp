@@ -1,80 +1,157 @@
 #include "graph/doubling.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <numeric>
 #include <vector>
 
 #include "core/check.hpp"
+#include "graph/ball_oracle.hpp"
 
 namespace compactroute {
 
 namespace {
 
-// Greedily covers `targets` (all within distance r of some center) with balls
-// of radius half_r centered at arbitrary graph nodes; returns the number of
-// balls used.
-std::size_t greedy_cover(const MetricSpace& metric, const std::vector<NodeId>& targets,
-                         Weight half_r) {
-  std::vector<char> covered(targets.size(), 0);
-  std::size_t remaining = targets.size();
+/// Per-candidate coverage bitmask over the target set: cover[c] bit k set
+/// iff dist(targets[c], targets[k]) <= r/2. Both estimation paths reduce to
+/// this form, so the greedy below is the single shared cover algorithm and
+/// the two paths agree bit for bit.
+using CoverMasks = std::vector<std::vector<std::uint64_t>>;
+
+/// Greedily covers the targets with half-radius balls (largest uncovered
+/// gain first); returns the number of balls used. Candidate centers are the
+/// targets themselves: any external ball intersecting the set can be
+/// replaced by a same-radius ball centered inside it at the cost of doubling
+/// the radius, so covering "from inside" at radius r/2 still certifies the
+/// dimension within one unit, which the callers' tolerances absorb. Ties go
+/// to the smaller node id for determinism.
+std::size_t greedy_cover(const std::vector<NodeId>& targets,
+                         const CoverMasks& cover) {
+  const std::size_t m = targets.size();
+  const std::size_t words = (m + 63) / 64;
+  std::vector<std::uint64_t> uncovered(words, 0);
+  for (std::size_t k = 0; k < m; ++k) uncovered[k >> 6] |= 1ULL << (k & 63);
+  std::size_t remaining = m;
   std::size_t balls = 0;
   while (remaining > 0) {
-    // Pick the center covering the most uncovered targets; ties toward the
-    // smaller id for determinism. Candidate centers are the targets
-    // themselves: any external ball intersecting the set can be replaced by a
-    // same-radius ball centered inside it at the cost of doubling the radius,
-    // so covering "from inside" at radius r/2 still certifies dimension
-    // within one unit, which the callers' tolerances absorb.
     std::size_t best_gain = 0;
+    std::size_t best_idx = 0;
     NodeId best_center = kInvalidNode;
-    for (NodeId c : targets) {
+    for (std::size_t ci = 0; ci < m; ++ci) {
       std::size_t gain = 0;
-      for (std::size_t k = 0; k < targets.size(); ++k) {
-        if (!covered[k] && metric.dist(c, targets[k]) <= half_r) ++gain;
+      for (std::size_t w = 0; w < words; ++w) {
+        gain += static_cast<std::size_t>(std::popcount(cover[ci][w] & uncovered[w]));
       }
+      const NodeId c = targets[ci];
       if (gain > best_gain || (gain == best_gain && gain > 0 && c < best_center)) {
         best_gain = gain;
         best_center = c;
+        best_idx = ci;
       }
     }
     CR_CHECK_MSG(best_gain > 0, "uncoverable target (impossible: targets cover themselves)");
-    for (std::size_t k = 0; k < targets.size(); ++k) {
-      if (!covered[k] && metric.dist(best_center, targets[k]) <= half_r) {
-        covered[k] = 1;
-        --remaining;
-      }
+    for (std::size_t w = 0; w < words; ++w) {
+      remaining -= static_cast<std::size_t>(std::popcount(cover[best_idx][w] & uncovered[w]));
+      uncovered[w] &= ~cover[best_idx][w];
     }
     ++balls;
   }
   return balls;
 }
 
-}  // namespace
-
-DoublingEstimate estimate_doubling_dimension(const MetricSpace& metric,
-                                             std::size_t center_samples, Prng& prng) {
-  const std::size_t n = metric.n();
+/// Shared center-sampling (Fisher–Yates prefix shuffle) so both paths draw
+/// identical centers from an identically seeded Prng.
+std::vector<NodeId> sample_centers(std::size_t n, std::size_t center_samples,
+                                   Prng& prng) {
   std::vector<NodeId> centers(n);
   std::iota(centers.begin(), centers.end(), NodeId{0});
   if (center_samples < n) {
-    // Fisher–Yates prefix shuffle.
     for (std::size_t i = 0; i < center_samples; ++i) {
       const std::size_t j = i + prng.next_below(n - i);
       std::swap(centers[i], centers[j]);
     }
     centers.resize(center_samples);
   }
+  return centers;
+}
+
+}  // namespace
+
+DoublingEstimate estimate_doubling_dimension(const MetricSpace& metric,
+                                             std::size_t center_samples, Prng& prng) {
+  if (metric.backend_kind() == MetricBackendKind::kRowFree) {
+    // The row-based loop below would force row materialization through
+    // dist(); the oracle path answers the same queries with bounded-radius
+    // Dijkstras and is golden-equivalent (tests/test_internet.cpp).
+    return estimate_doubling_dimension(metric.balls_oracle(), metric.num_levels(),
+                                       center_samples, prng);
+  }
+  const std::size_t n = metric.n();
+  const std::vector<NodeId> centers = sample_centers(n, center_samples, prng);
 
   DoublingEstimate estimate;
   estimate.worst_cover_size = 1;
   for (NodeId c : centers) {
     for (int level = 0; level <= metric.num_levels(); ++level) {
       const Weight r = std::ldexp(1.0, level);
-      std::vector<NodeId> ball = metric.ball(c, r);
+      const std::vector<NodeId> ball = metric.ball(c, r);
       if (ball.size() <= 1) continue;
-      const std::size_t cover = greedy_cover(metric, ball, r / 2);
-      estimate.worst_cover_size = std::max(estimate.worst_cover_size, cover);
+      const Weight half_r = r / 2;
+      CoverMasks cover(ball.size(),
+                       std::vector<std::uint64_t>((ball.size() + 63) / 64, 0));
+      for (std::size_t ci = 0; ci < ball.size(); ++ci) {
+        for (std::size_t k = 0; k < ball.size(); ++k) {
+          if (metric.dist(ball[ci], ball[k]) <= half_r) {
+            cover[ci][k >> 6] |= 1ULL << (k & 63);
+          }
+        }
+      }
+      estimate.worst_cover_size =
+          std::max(estimate.worst_cover_size, greedy_cover(ball, cover));
+    }
+  }
+  estimate.dimension = std::log2(static_cast<double>(estimate.worst_cover_size));
+  return estimate;
+}
+
+DoublingEstimate estimate_doubling_dimension(const BallOracle& oracle,
+                                             int num_levels,
+                                             std::size_t center_samples,
+                                             Prng& prng) {
+  const std::size_t n = oracle.csr().num_nodes();
+  const std::vector<NodeId> centers = sample_centers(n, center_samples, prng);
+
+  DoublingEstimate estimate;
+  estimate.worst_cover_size = 1;
+  for (NodeId c : centers) {
+    for (int level = 0; level <= num_levels; ++level) {
+      const Weight r = std::ldexp(1.0, level);
+      const BallView outer = oracle.ball(c, r);
+      if (outer.size() <= 1) continue;
+      const std::vector<NodeId>& targets = outer.members;
+      // dist(t, k) <= r/2 is exactly membership of k in B(t, r/2) — one
+      // batched query replaces the dense path's m² dist() probes.
+      const std::vector<BallView> half =
+          oracle.balls(std::span<const NodeId>(targets), r / 2);
+      // Ball members arrive sorted by (distance, id); index targets by id
+      // for the membership lookups.
+      std::vector<std::pair<NodeId, std::size_t>> by_id(targets.size());
+      for (std::size_t k = 0; k < targets.size(); ++k) by_id[k] = {targets[k], k};
+      std::sort(by_id.begin(), by_id.end());
+      CoverMasks cover(targets.size(),
+                       std::vector<std::uint64_t>((targets.size() + 63) / 64, 0));
+      for (std::size_t ci = 0; ci < targets.size(); ++ci) {
+        for (const NodeId member : half[ci].members) {
+          const auto it = std::lower_bound(
+              by_id.begin(), by_id.end(),
+              std::pair<NodeId, std::size_t>(member, 0));
+          if (it == by_id.end() || it->first != member) continue;
+          cover[ci][it->second >> 6] |= 1ULL << (it->second & 63);
+        }
+      }
+      estimate.worst_cover_size =
+          std::max(estimate.worst_cover_size, greedy_cover(targets, cover));
     }
   }
   estimate.dimension = std::log2(static_cast<double>(estimate.worst_cover_size));

@@ -19,6 +19,8 @@
 
 namespace compactroute {
 
+class BallOracle;
+
 struct DoublingEstimate {
   /// log2 of the largest greedy half-radius cover found.
   double dimension = 0;
@@ -28,8 +30,20 @@ struct DoublingEstimate {
 
 /// Estimates the doubling dimension by sampling `center_samples` ball centers
 /// (all centers if center_samples >= n) and testing radii 2^i for every level
-/// i of the metric.
+/// i of the metric. On a row-free backend this delegates to the BallOracle
+/// overload below, so `--metric rowfree` estimation materializes zero rows.
 DoublingEstimate estimate_doubling_dimension(const MetricSpace& metric,
                                              std::size_t center_samples, Prng& prng);
+
+/// Row-free form of the same estimate: every distance probe is a bounded-
+/// radius CSR Dijkstra through the oracle (dist(t, k) <= r/2 becomes
+/// membership of k in the batched half-radius ball of t), never a metric
+/// row. Golden-equivalent to the dense path — identical centers, covers, and
+/// worst_cover_size for an identically seeded Prng — which is what makes it
+/// usable on internet-scale graphs where n² rows do not fit.
+DoublingEstimate estimate_doubling_dimension(const BallOracle& oracle,
+                                             int num_levels,
+                                             std::size_t center_samples,
+                                             Prng& prng);
 
 }  // namespace compactroute

@@ -1,0 +1,137 @@
+#include "runtime/traffic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/check.hpp"
+#include "core/prng.hpp"
+
+namespace compactroute {
+
+bool traffic_shape_from_string(const std::string& name, TrafficShape* out) {
+  if (name == "uniform") *out = TrafficShape::kUniform;
+  else if (name == "zipf") *out = TrafficShape::kZipf;
+  else if (name == "incast") *out = TrafficShape::kIncast;
+  else if (name == "worst") *out = TrafficShape::kWorstPairs;
+  else return false;
+  return true;
+}
+
+const char* traffic_shape_name(TrafficShape shape) {
+  switch (shape) {
+    case TrafficShape::kUniform: return "uniform";
+    case TrafficShape::kZipf: return "zipf";
+    case TrafficShape::kIncast: return "incast";
+    case TrafficShape::kWorstPairs: return "worst";
+  }
+  return "uniform";
+}
+
+namespace {
+
+/// Uniform destination != src, with the classic shift trick so the draw
+/// stays a single next_below — the exact loop `crtool server` used before
+/// traffic shapes existed, kept verbatim so uniform streams (and the CI
+/// digest gates built on them) are unchanged.
+NodeId uniform_dest(Prng& prng, std::size_t n, NodeId src) {
+  NodeId dest = static_cast<NodeId>(prng.next_below(n - 1));
+  if (dest >= src) ++dest;
+  return dest;
+}
+
+std::vector<ServerRequest> uniform_stream(std::size_t n, std::size_t count,
+                                          std::uint64_t seed,
+                                          std::span<const ServeScheme> mix) {
+  Prng prng(seed);
+  std::vector<ServerRequest> stream(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    stream[i].scheme = mix[i % mix.size()];
+    stream[i].src = static_cast<NodeId>(prng.next_below(n));
+    stream[i].dest = uniform_dest(prng, n, stream[i].src);
+  }
+  return stream;
+}
+
+std::vector<ServerRequest> zipf_stream(std::size_t n, std::size_t count,
+                                       std::uint64_t seed, double skew,
+                                       std::span<const ServeScheme> mix) {
+  Prng prng(seed);
+  // Which node gets which popularity rank is itself seeded: a Fisher–Yates
+  // permutation, so the hotspots are not always the low node ids (which the
+  // schemes' tie-breaks could accidentally favor).
+  std::vector<NodeId> by_rank(n);
+  std::iota(by_rank.begin(), by_rank.end(), NodeId{0});
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const std::size_t j = i + prng.next_below(n - i);
+    std::swap(by_rank[i], by_rank[j]);
+  }
+  // Cumulative Zipf weights; a uniform draw binary-searches its rank.
+  std::vector<double> cum(n);
+  double total = 0;
+  for (std::size_t r = 0; r < n; ++r) {
+    total += std::pow(static_cast<double>(r + 1), -skew);
+    cum[r] = total;
+  }
+  std::vector<ServerRequest> stream(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    stream[i].scheme = mix[i % mix.size()];
+    const double u = prng.next_double() * total;
+    const std::size_t rank = static_cast<std::size_t>(
+        std::lower_bound(cum.begin(), cum.end(), u) - cum.begin());
+    const NodeId dest = by_rank[std::min(rank, n - 1)];
+    stream[i].dest = dest;
+    NodeId src = static_cast<NodeId>(prng.next_below(n - 1));
+    if (src >= dest) ++src;
+    stream[i].src = src;
+  }
+  return stream;
+}
+
+std::vector<ServerRequest> incast_stream(std::size_t n, std::size_t count,
+                                         std::uint64_t seed,
+                                         std::span<const ServeScheme> mix) {
+  Prng prng(seed);
+  const NodeId dest = static_cast<NodeId>(prng.next_below(n));
+  std::vector<ServerRequest> stream(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    stream[i].scheme = mix[i % mix.size()];
+    stream[i].dest = dest;
+    NodeId src = static_cast<NodeId>(prng.next_below(n - 1));
+    if (src >= dest) ++src;
+    stream[i].src = src;
+  }
+  return stream;
+}
+
+}  // namespace
+
+std::vector<ServerRequest> make_traffic(std::size_t n, std::size_t count,
+                                        std::uint64_t seed,
+                                        std::span<const ServeScheme> mix,
+                                        const TrafficOptions& options) {
+  CR_CHECK(n >= 2 && count >= 1);
+  CR_CHECK_MSG(!mix.empty() || options.shape == TrafficShape::kWorstPairs,
+               "traffic stream needs at least one scheme");
+  switch (options.shape) {
+    case TrafficShape::kUniform:
+      return uniform_stream(n, count, seed, mix);
+    case TrafficShape::kZipf:
+      CR_CHECK_MSG(options.zipf_skew > 0, "zipf skew must be positive");
+      return zipf_stream(n, count, seed, options.zipf_skew, mix);
+    case TrafficShape::kIncast:
+      return incast_stream(n, count, seed, mix);
+    case TrafficShape::kWorstPairs: {
+      CR_CHECK_MSG(!options.pairs.empty(), "worst-pair traffic with no mined pairs");
+      std::vector<ServerRequest> stream(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        stream[i] = options.pairs[i % options.pairs.size()];
+      }
+      return stream;
+    }
+  }
+  CR_CHECK_MSG(false, "unknown traffic shape");
+  return {};
+}
+
+}  // namespace compactroute

@@ -1,0 +1,54 @@
+#pragma once
+//
+// Adversarial request-stream shapes for the serving engine (DESIGN.md §13).
+//
+// The server soaks so far pushed uniformly random pairs — the kindest
+// possible load. Real traffic is skewed (a few destinations absorb most
+// flows), bursty (incast: everyone talks to one service at once), and, for
+// an adversary, targeted (the pairs with the worst stretch the scheme can
+// be made to produce). Each shape here compiles to a plain deterministic
+// std::vector<ServerRequest>, so the same stream drives `crtool server`,
+// bench_internet, and tests, and a given (shape, seed, n) is reproducible
+// bit for bit.
+//
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "runtime/server.hpp"
+
+namespace compactroute {
+
+enum class TrafficShape : std::uint8_t {
+  kUniform = 0,    // independent uniform (src, dest) pairs — the baseline
+  kZipf = 1,       // destinations Zipf(skew) over a seeded rank permutation
+  kIncast = 2,     // every request targets one seeded hotspot destination
+  kWorstPairs = 3, // replay of mined worst-stretch pairs (TrafficOptions)
+};
+
+/// Parses "uniform" | "zipf" | "incast" | "worst"; false on unknown names.
+bool traffic_shape_from_string(const std::string& name, TrafficShape* out);
+const char* traffic_shape_name(TrafficShape shape);
+
+struct TrafficOptions {
+  TrafficShape shape = TrafficShape::kUniform;
+  /// Zipf exponent s > 0: destination of rank r drawn with probability
+  /// proportional to (r + 1)^-s. ~1 matches web/DNS popularity curves.
+  double zipf_skew = 1.0;
+  /// kWorstPairs replay list (each entry already carries its scheme); the
+  /// stream cycles it. Mined by audit::mine_worst_pairs.
+  std::vector<ServerRequest> pairs;
+};
+
+/// Builds a deterministic stream of `count` requests over nodes [0, n).
+/// Schemes cycle through `mix` (request i rides mix[i % mix.size()]) except
+/// for kWorstPairs, where each mined pair keeps the scheme it was mined
+/// against. src != dest always holds.
+std::vector<ServerRequest> make_traffic(std::size_t n, std::size_t count,
+                                        std::uint64_t seed,
+                                        std::span<const ServeScheme> mix,
+                                        const TrafficOptions& options);
+
+}  // namespace compactroute

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/prng.hpp"
@@ -88,6 +89,153 @@ TEST(Generators, ClusterHierarchySizes) {
   const Graph g = make_cluster_hierarchy(3, 4, 8, 1);
   EXPECT_EQ(g.num_nodes(), 64u);
   EXPECT_TRUE(g.is_connected());
+}
+
+// ---- Seed-stability goldens -----------------------------------------------
+// Every generator, fixed arguments and seed -> fixed (n, m, total weight)
+// fingerprint. A golden change here means the generated instances changed —
+// i.e. every downstream bench table and campaign verdict silently shifted —
+// which must be a deliberate, reviewed event, not a refactoring accident.
+// Node/edge counts are exact. Weight sums are exact for generators with
+// integer or Prng-rational weights; the geometric/hyperbolic families route
+// coordinates through libm (sqrt/cosh/acosh), so their sums get a relative
+// tolerance instead of bit-equality.
+
+namespace {
+
+double total_weight(const Graph& g) {
+  double sum = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const HalfEdge& e : g.neighbors(u)) sum += e.weight;
+  }
+  return sum / 2;  // each undirected edge counted from both endpoints
+}
+
+void expect_fingerprint(const Graph& g, std::size_t n, std::size_t m,
+                        double weight_sum, bool exact_weights) {
+  EXPECT_EQ(g.num_nodes(), n);
+  EXPECT_EQ(g.num_edges(), m);
+  EXPECT_TRUE(g.is_connected());
+  if (exact_weights) {
+    EXPECT_DOUBLE_EQ(total_weight(g), weight_sum);
+  } else {
+    EXPECT_NEAR(total_weight(g), weight_sum, 1e-9 * weight_sum);
+  }
+}
+
+}  // namespace
+
+TEST(GeneratorGoldens, ExactWeightFamilies) {
+  expect_fingerprint(make_grid(7, 5), 35, 58, 58.0, true);
+  expect_fingerprint(make_grid_with_holes(10, 10, 4, 3, 7), 82, 131, 131.0,
+                     true);
+  expect_fingerprint(make_path(16), 16, 15, 15.0, true);
+  expect_fingerprint(make_cycle(16), 16, 16, 16.0, true);
+  expect_fingerprint(make_star(16), 17, 16, 16.0, true);
+  expect_fingerprint(make_balanced_tree(3, 3), 40, 39, 39.0, true);
+  expect_fingerprint(make_exponential_spider(5, 6), 31, 30, 186.0, true);
+  expect_fingerprint(make_torus(6, 5), 30, 60, 60.0, true);
+  expect_fingerprint(make_ring_of_cliques(6, 5, 9), 30, 66, 114.0, true);
+  // Prng-derived weights, but no libm in the weight path: still exact.
+  expect_fingerprint(make_random_tree(48, 4, 7), 48, 47, 120.18623074659078,
+                     true);
+  expect_fingerprint(make_cluster_hierarchy(2, 5, 6, 7), 25, 24,
+                     279.76468392490352, true);
+  expect_fingerprint(make_power_law(64, 2, 7), 64, 125, 184.28540314756151,
+                     true);
+  expect_fingerprint(make_as_topology(64, 8, 7), 64, 98, 257.69088279632649,
+                     true);
+}
+
+TEST(GeneratorGoldens, LibmWeightFamilies) {
+  expect_fingerprint(make_random_geometric(64, 2, 4, 7), 64, 150,
+                     17.479864299194531, false);
+  expect_fingerprint(make_hyperbolic_disk(64, 0.75, 6.0, 7), 64, 240,
+                     1180.2778527426267, false);
+}
+
+// ---- Internet-like families -----------------------------------------------
+
+TEST(Generators, PowerLawIsConnectedAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Graph g = make_power_law(80, 2, seed);
+    EXPECT_EQ(g.num_nodes(), 80u);
+    EXPECT_TRUE(g.is_connected());
+  }
+}
+
+TEST(Generators, PowerLawGrowsHubs) {
+  // Preferential attachment concentrates degree: the max degree must clear
+  // the mean by a wide margin (a geometric graph of the same size won't).
+  const Graph g = make_power_law(200, 2, 3);
+  std::size_t max_degree = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    max_degree = std::max(max_degree, g.degree(u));
+  }
+  const double mean = 2.0 * static_cast<double>(g.num_edges()) /
+                      static_cast<double>(g.num_nodes());
+  EXPECT_GE(static_cast<double>(max_degree), 3.0 * mean);
+}
+
+TEST(Generators, HyperbolicDiskIsConnectedAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Graph g = make_hyperbolic_disk(80, 0.75, 6.0, seed);
+    EXPECT_EQ(g.num_nodes(), 80u);
+    EXPECT_TRUE(g.is_connected());
+  }
+}
+
+TEST(Generators, AsTopologyCoreIsDenserThanStubs) {
+  const std::size_t core = 12;
+  const Graph g = make_as_topology(96, core, 3);
+  EXPECT_EQ(g.num_nodes(), 96u);
+  EXPECT_TRUE(g.is_connected());
+  double core_degree = 0, stub_degree = 0;
+  for (NodeId u = 0; u < core; ++u) core_degree += g.degree(u);
+  for (NodeId u = core; u < g.num_nodes(); ++u) stub_degree += g.degree(u);
+  core_degree /= static_cast<double>(core);
+  stub_degree /= static_cast<double>(g.num_nodes() - core);
+  EXPECT_GT(core_degree, 2.0 * stub_degree);
+}
+
+TEST(Generators, InternetFamiliesLookHighDimensional) {
+  // The point of the families: their doubling estimate exceeds the
+  // constant-dimension control on the same node budget.
+  const MetricSpace control(make_random_geometric(96, 2, 5, 12));
+  const MetricSpace powerlaw(make_power_law(96, 2, 12));
+  Prng p1(1), p2(1);
+  const double d_control = estimate_doubling_dimension(control, 8, p1).dimension;
+  const double d_powerlaw = estimate_doubling_dimension(powerlaw, 8, p2).dimension;
+  EXPECT_GT(d_powerlaw, d_control);
+}
+
+// ---- stitch_components tie-break ------------------------------------------
+
+TEST(StitchComponents, TieBreaksToSmallestPair) {
+  // Two components {0,1} and {2,3}; every cross pair is at distance 5, so
+  // only the explicit (dist, min u, min v) tie-break determines the bridge.
+  // Before the fix the choice depended on component scan order.
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(2, 3, 1.0);
+  stitch_components(g, [](NodeId, NodeId) -> Weight { return 5.0; });
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 2), 5.0);
+}
+
+TEST(StitchComponents, PrefersSmallerDistanceOverSmallerIds) {
+  // Distance still dominates the tie-break: the (1, 3) pair at distance 2
+  // must beat the lexicographically smaller (0, 2) pair at distance 5.
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(2, 3, 1.0);
+  stitch_components(g, [](NodeId u, NodeId v) -> Weight {
+    const NodeId a = std::min(u, v), b = std::max(u, v);
+    return (a == 1 && b == 3) ? 2.0 : 5.0;
+  });
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_DOUBLE_EQ(g.edge_weight(1, 3), 2.0);
 }
 
 TEST(LowerBoundTree, ParametersMatchPaper) {

@@ -30,10 +30,17 @@
 //                                               the merged registry as
 //                                               Prometheus text or JSON
 //
+//   crtool mine <graph> <out.pairs> [options]    mine the worst-stretch
+//                                               (src, dest, scheme) triples
+//                                               into a `server --source`
+//                                               replay file
+//
 // Families for `gen`:
 //   grid W H | torus W H | geometric N DIM K SEED | spider ARMS LEN |
 //   clusters LEVELS FANOUT SPREAD SEED | cliques NUM SIZE BRIDGE |
-//   tree N MAXW SEED | lbtree EPS N
+//   tree N MAXW SEED | lbtree EPS N |
+//   powerlaw N EDGES SEED | hyperbolic N ALPHA AVGDEG SEED |
+//   astopo N CORE SEED
 //
 // Global options (anywhere on the command line):
 //   --threads N            pin the executor's worker count (CR_THREADS=N)
@@ -94,6 +101,7 @@
 #include "runtime/hop_simple_ni.hpp"
 #include "runtime/serve.hpp"
 #include "runtime/server.hpp"
+#include "runtime/traffic.hpp"
 
 using namespace compactroute;
 
@@ -114,6 +122,7 @@ namespace {
                "  crtool serve <snap> [serve options]\n"
                "  crtool server <snap> [<snap2>] [server options]\n"
                "  crtool stats [<snap>] [stats options]\n"
+               "  crtool mine <graph> <out.pairs> [mine options]\n"
                "\n"
                "global options (anywhere on the command line; --opt=value\n"
                "also accepted):\n"
@@ -185,7 +194,16 @@ namespace {
                "                       one 'src dest scheme' triple per line,\n"
                "                       scheme in {hier, sf, simple, sfni};\n"
                "                       default is a seeded mixed-scheme batch\n"
+               "                       (`crtool mine` writes this format)\n"
                "  --seed S             synthetic request seed (default 1)\n"
+               "  --traffic SHAPE      synthetic request shape: uniform\n"
+               "                       (default), zipf (Zipf-skewed hotspot\n"
+               "                       destinations over a seeded rank\n"
+               "                       permutation), or incast (every request\n"
+               "                       targets one seeded destination);\n"
+               "                       worst-pair replay goes via --source\n"
+               "  --zipf-skew S        Zipf exponent for --traffic zipf\n"
+               "                       (finite, > 0; default 1.0)\n"
                "  --reload-every N     hot-swap the serving epoch every N\n"
                "                       requests; loads run on a background\n"
                "                       thread, alternating <snap2> and <snap>\n"
@@ -212,9 +230,21 @@ namespace {
                "  --format prom|json   exposition format (default prom)\n"
                "  --out FILE           write instead of printing to stdout\n"
                "\n"
+               "mine options:\n"
+               "  --samples N          seeded pairs routed per scheme\n"
+               "                       (default 2000; N >= 1)\n"
+               "  --keep K             worst pairs written (default 64)\n"
+               "  --seed S             pair-sampling seed (default 1)\n"
+               "  --eps E              scheme epsilon (default 0.5)\n"
+               "mine builds the four-scheme stack, routes the sampled pairs,\n"
+               "and writes the worst-stretch triples as a `server --source`\n"
+               "replay file (stretch in a trailing comment per line).\n"
+               "\n"
                "gen families: grid W H | torus W H | geometric N DIM K SEED |\n"
                "  spider ARMS LEN | clusters LEVELS FANOUT SPREAD SEED |\n"
-               "  cliques NUM SIZE BRIDGE | tree N MAXW SEED | lbtree EPS N\n"
+               "  cliques NUM SIZE BRIDGE | tree N MAXW SEED | lbtree EPS N |\n"
+               "  powerlaw N EDGES SEED | hyperbolic N ALPHA AVGDEG SEED |\n"
+               "  astopo N CORE SEED\n"
                "\n"
                "trace prints one line per physical hop (phase tag, edge cost,\n"
                "header bits) for all four hop-by-hop schemes; the optional\n"
@@ -319,6 +349,44 @@ int cmd_gen(const std::vector<std::string>& args) {
   } else if (family == "lbtree") {
     graph = make_lower_bound_tree(arg_positive_double(rest, 0, 4.0), arg_u64(rest, 1, 1000))
                 .graph;
+  } else if (family == "powerlaw") {
+    const std::uint64_t n = arg_u64(rest, 0, 512, "powerlaw n");
+    const std::uint64_t epn = arg_u64(rest, 1, 2, "powerlaw edges-per-node");
+    if (n < 3 || epn < 1 || epn >= n) {
+      std::fprintf(stderr,
+                   "powerlaw needs n >= 3 and 1 <= edges-per-node < n, got "
+                   "n=%llu edges=%llu\n\n",
+                   static_cast<unsigned long long>(n),
+                   static_cast<unsigned long long>(epn));
+      usage();
+    }
+    graph = make_power_law(n, epn, arg_u64(rest, 2, 1, "powerlaw seed"));
+  } else if (family == "hyperbolic") {
+    const std::uint64_t n = arg_u64(rest, 0, 512, "hyperbolic n");
+    const double alpha = arg_positive_double(rest, 1, 0.75, "hyperbolic alpha");
+    const double avg_degree =
+        arg_positive_double(rest, 2, 6.0, "hyperbolic avg-degree");
+    if (n < 3 || avg_degree >= static_cast<double>(n)) {
+      std::fprintf(stderr,
+                   "hyperbolic needs n >= 3 and avg-degree < n, got n=%llu "
+                   "avg-degree=%g\n\n",
+                   static_cast<unsigned long long>(n), avg_degree);
+      usage();
+    }
+    graph = make_hyperbolic_disk(n, alpha, avg_degree,
+                                 arg_u64(rest, 3, 1, "hyperbolic seed"));
+  } else if (family == "astopo") {
+    const std::uint64_t n = arg_u64(rest, 0, 512, "astopo n");
+    const std::uint64_t core = arg_u64(rest, 1, 32, "astopo core");
+    if (n < 4 || core < 3 || core >= n) {
+      std::fprintf(stderr,
+                   "astopo needs n >= 4 and 3 <= core < n, got n=%llu "
+                   "core=%llu\n\n",
+                   static_cast<unsigned long long>(n),
+                   static_cast<unsigned long long>(core));
+      usage();
+    }
+    graph = make_as_topology(n, core, arg_u64(rest, 2, 1, "astopo seed"));
   } else {
     std::fprintf(stderr, "unknown gen family '%s'\n\n", family.c_str());
     usage();
@@ -1074,12 +1142,27 @@ int cmd_server(std::vector<std::string> args) {
   std::uint64_t shards = 0;
   bool backpressure = false;
   bool use_mmap = true;
+  TrafficOptions traffic;
   std::string value;
   for (std::size_t i = 0; i < args.size();) {
     if (take_option(args, i, "--requests", value)) {
       requests = parse_u64(value, "--requests value");
     } else if (take_option(args, i, "--seed", value)) {
       seed = parse_u64(value, "--seed value");
+    } else if (take_option(args, i, "--traffic", value)) {
+      // kWorstPairs needs mined pairs, which a snapshot-only server cannot
+      // produce (mining routes against the metric); replay them via
+      // `--source` from a `crtool mine` file instead.
+      if (!traffic_shape_from_string(value, &traffic.shape) ||
+          traffic.shape == TrafficShape::kWorstPairs) {
+        std::fprintf(stderr,
+                     "--traffic must be 'uniform', 'zipf', or 'incast' "
+                     "(replay mined worst pairs via --source), got '%s'\n\n",
+                     value.c_str());
+        usage();
+      }
+    } else if (take_option(args, i, "--zipf-skew", value)) {
+      traffic.zipf_skew = parse_positive_double(value, "--zipf-skew value");
     } else if (take_option(args, i, "--reload-every", value)) {
       reload_every = parse_u64(value, "--reload-every value");
     } else if (take_option(args, i, "--queue-depth", value)) {
@@ -1129,11 +1212,12 @@ int cmd_server(std::vector<std::string> args) {
   const std::size_t n = first->n();
   std::printf(
       "server: %s (n = %zu), %s load %.2f ms + arena %.2f ms, "
-      "%zu shards x depth %llu, %s mode\n",
+      "%zu shards x depth %llu, %s mode, %s traffic\n",
       snap_a.c_str(), n, first->load_info().used_mmap ? "mmap" : "vector",
       first->load_info().load_ms, first->load_info().arena_ms, server.shards(),
       static_cast<unsigned long long>(queue_depth),
-      backpressure ? "backpressure" : "shedding");
+      backpressure ? "backpressure" : "shedding",
+      source_path.empty() ? traffic_shape_name(traffic.shape) : "replayed");
 
   // Request stream: schemes the first epoch serves (subset snapshots skip the
   // absent ones). Both snapshots must agree on n and scheme set — enforced at
@@ -1201,15 +1285,9 @@ int cmd_server(std::vector<std::string> args) {
       std::fprintf(stderr, "--requests must be >= 1 without --source\n\n");
       usage();
     }
-    Prng prng(seed);
-    stream.resize(requests);
-    for (std::size_t i = 0; i < stream.size(); ++i) {
-      stream[i].scheme = mix[i % mix.size()];
-      stream[i].src = static_cast<NodeId>(prng.next_below(n));
-      NodeId dest = static_cast<NodeId>(prng.next_below(n - 1));
-      if (dest >= stream[i].src) ++dest;
-      stream[i].dest = dest;
-    }
+    // Shaped synthetic load (runtime/traffic): uniform reproduces the
+    // pre-shape request stream bit for bit, zipf/incast skew destinations.
+    stream = make_traffic(n, requests, seed, mix, traffic);
   }
 
   server.publish(std::move(first));
@@ -1314,6 +1392,11 @@ int cmd_server(std::vector<std::string> args) {
     doc["n"] = static_cast<std::uint64_t>(n);
     doc["requests"] = static_cast<std::uint64_t>(total);
     doc["seed"] = seed;
+    doc["traffic"] = std::string(
+        source_path.empty() ? traffic_shape_name(traffic.shape) : "source");
+    if (traffic.shape == TrafficShape::kZipf && source_path.empty()) {
+      doc["zipf_skew"] = traffic.zipf_skew;
+    }
     doc["mmap"] = use_mmap;
     doc["backpressure"] = backpressure;
     doc["queue_depth"] = queue_depth;
@@ -1341,6 +1424,64 @@ int cmd_server(std::vector<std::string> args) {
         write_output_file(obs_out_path, scrape_to_json_doc().dump(2) + "\n");
   }
   return artifacts_ok ? 0 : 1;
+}
+
+int cmd_mine(std::vector<std::string> args) {
+  audit::MineOptions options;
+  options.backend = g_metric_options.backend;
+  double eps = 0.5;
+  std::string value;
+  for (std::size_t i = 0; i < args.size();) {
+    if (take_option(args, i, "--samples", value)) {
+      options.samples = parse_u64(value, "--samples value");
+    } else if (take_option(args, i, "--keep", value)) {
+      options.keep = parse_u64(value, "--keep value");
+    } else if (take_option(args, i, "--seed", value)) {
+      options.seed = parse_u64(value, "--seed value");
+    } else if (take_option(args, i, "--eps", value)) {
+      eps = parse_positive_double(value, "--eps value");
+    } else {
+      ++i;
+    }
+  }
+  if (args.size() < 2) usage();
+  if (options.samples < 1 || options.keep < 1) {
+    std::fprintf(stderr, "--samples and --keep must be >= 1\n\n");
+    usage();
+  }
+  options.epsilon = eps;
+
+  const Graph graph = load_graph(args[0]);
+  const std::vector<audit::MinedPair> mined =
+      audit::mine_worst_pairs(graph, options);
+  CR_CHECK(!mined.empty());
+
+  // `server --source` replay format: "src dest scheme" per line, the scheme
+  // as its short token; the mined stretch rides in a trailing comment.
+  const auto token = [](ServeScheme scheme) {
+    switch (scheme) {
+      case ServeScheme::kHierarchical: return "hier";
+      case ServeScheme::kScaleFree: return "sf";
+      case ServeScheme::kSimpleNi: return "simple";
+      case ServeScheme::kScaleFreeNi: return "sfni";
+    }
+    return "hier";
+  };
+  std::ostringstream body;
+  body << "# crtool mine: " << mined.size() << " worst-stretch pairs of "
+       << args[0] << " (samples " << options.samples << "/scheme, seed "
+       << options.seed << ", eps " << eps << ")\n";
+  for (const audit::MinedPair& pair : mined) {
+    body << pair.request.src << ' ' << pair.request.dest << ' '
+         << token(pair.request.scheme) << "   # stretch " << pair.stretch
+         << '\n';
+  }
+  if (!write_output_file(args[1], body.str())) return 1;
+  std::printf("worst stretch %.3f (%s %u -> %u), %zu pairs kept\n",
+              mined.front().stretch, token(mined.front().request.scheme),
+              mined.front().request.src, mined.front().request.dest,
+              mined.size());
+  return 0;
 }
 
 int cmd_stats(std::vector<std::string> args) {
@@ -1496,6 +1637,7 @@ int main(int argc, char** argv) {
     if (command == "serve") return cmd_serve(args);
     if (command == "server") return cmd_server(args);
     if (command == "stats") return cmd_stats(args);
+    if (command == "mine") return cmd_mine(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

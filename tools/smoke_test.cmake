@@ -111,6 +111,92 @@ foreach(bad_eps nan inf -1 0)
     message(FATAL_ERROR "crtool save with eps=${bad_eps} should exit 2, got ${rc}")
   endif()
 endforeach()
+# Internet-like families: gen -> save -> mine -> server replay, end to end.
+set(pl_graph ${CMAKE_CURRENT_BINARY_DIR}/smoke_powerlaw.graph)
+execute_process(COMMAND ${CRTOOL} gen powerlaw ${pl_graph} 64 2 7 RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "crtool gen powerlaw failed")
+endif()
+execute_process(COMMAND ${CRTOOL} gen hyperbolic
+                ${CMAKE_CURRENT_BINARY_DIR}/smoke_hyp.graph 64 0.75 6.0 7
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "crtool gen hyperbolic failed")
+endif()
+execute_process(COMMAND ${CRTOOL} gen astopo
+                ${CMAKE_CURRENT_BINARY_DIR}/smoke_as.graph 64 8 7
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "crtool gen astopo failed")
+endif()
+set(mined ${CMAKE_CURRENT_BINARY_DIR}/smoke_mined.txt)
+execute_process(COMMAND ${CRTOOL} mine ${pl_graph} ${mined} --samples 100
+                --keep 16 RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "crtool mine failed")
+endif()
+if(NOT EXISTS ${mined})
+  message(FATAL_ERROR "crtool mine did not write ${mined}")
+endif()
+set(pl_snap ${CMAKE_CURRENT_BINARY_DIR}/smoke_powerlaw.snap)
+execute_process(COMMAND ${CRTOOL} save ${pl_graph} ${pl_snap} 0.5 RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "crtool save powerlaw failed")
+endif()
+foreach(shape uniform zipf incast)
+  execute_process(COMMAND ${CRTOOL} server ${pl_snap} --requests 200
+                  --traffic ${shape} RESULT_VARIABLE rc OUTPUT_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "crtool server --traffic ${shape} failed with ${rc}")
+  endif()
+endforeach()
+execute_process(COMMAND ${CRTOOL} server ${pl_snap} --source ${mined}
+                RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "crtool server replay of mined pairs failed with ${rc}")
+endif()
+# Garbage values for the new numeric options must exit 2 at the CLI boundary.
+foreach(bad nan inf -1 0)
+  execute_process(COMMAND ${CRTOOL} gen hyperbolic
+                  ${CMAKE_CURRENT_BINARY_DIR}/bad.graph 64 ${bad} 6.0 7
+                  RESULT_VARIABLE rc ERROR_QUIET OUTPUT_QUIET)
+  if(NOT rc EQUAL 2)
+    message(FATAL_ERROR "crtool gen hyperbolic alpha=${bad} should exit 2, got ${rc}")
+  endif()
+  execute_process(COMMAND ${CRTOOL} server ${pl_snap} --requests 10
+                  --traffic zipf --zipf-skew ${bad}
+                  RESULT_VARIABLE rc ERROR_QUIET OUTPUT_QUIET)
+  if(NOT rc EQUAL 2)
+    message(FATAL_ERROR "crtool server --zipf-skew ${bad} should exit 2, got ${rc}")
+  endif()
+endforeach()
+execute_process(COMMAND ${CRTOOL} gen powerlaw
+                ${CMAKE_CURRENT_BINARY_DIR}/bad.graph 64 0 7
+                RESULT_VARIABLE rc ERROR_QUIET OUTPUT_QUIET)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "crtool gen powerlaw with 0 edges/node should exit 2, got ${rc}")
+endif()
+execute_process(COMMAND ${CRTOOL} gen astopo
+                ${CMAKE_CURRENT_BINARY_DIR}/bad.graph 64 999 7
+                RESULT_VARIABLE rc ERROR_QUIET OUTPUT_QUIET)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "crtool gen astopo with core > n should exit 2, got ${rc}")
+endif()
+execute_process(COMMAND ${CRTOOL} server ${pl_snap} --traffic mystery
+                RESULT_VARIABLE rc ERROR_QUIET OUTPUT_QUIET)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "crtool server --traffic mystery should exit 2, got ${rc}")
+endif()
+execute_process(COMMAND ${CRTOOL} server ${pl_snap} --traffic worst
+                RESULT_VARIABLE rc ERROR_QUIET OUTPUT_QUIET)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "crtool server --traffic worst (no replay file) should exit 2, got ${rc}")
+endif()
+execute_process(COMMAND ${CRTOOL} mine ${pl_graph} ${mined}.bad --samples 0
+                RESULT_VARIABLE rc ERROR_QUIET OUTPUT_QUIET)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "crtool mine --samples 0 should exit 2, got ${rc}")
+endif()
 # Bad invocations must exit 2 (usage), not crash or succeed.
 execute_process(COMMAND ${CRTOOL} gen mystery ${graph} 8 RESULT_VARIABLE rc)
 if(NOT rc EQUAL 2)
